@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one paper table or figure, printing
+the same rows the paper reports alongside the published values, and
+times the regeneration under pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Render one comparison table to stdout."""
+    print()
+    print(f"== {title} ==")
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}f}"

@@ -1,0 +1,111 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* Transverse write vs whole-nanowire shifting in the max() subroutine.
+* CSA 7->3 reduction vs naive repeated addition in multiplication.
+* TRD sensitivity of addition and multiplication.
+* Padding presets vs explicit padding writes for small-cardinality ops.
+"""
+
+from benchmarks.conftest import fmt, print_table
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.bulk_bitwise import BulkBitwiseUnit
+from repro.core.maxpool import MaxUnit
+from repro.core.multiplication import Multiplier
+from repro.core.pim_logic import BulkOp
+from repro.device.parameters import DeviceParameters
+
+
+def make_dbc(trd=7, tracks=32, overhead=None):
+    return DomainBlockCluster(
+        tracks=tracks,
+        domains=32,
+        params=DeviceParameters(trd=trd),
+        overhead=overhead,
+    )
+
+
+def run_tw_ablation():
+    with_tw = MaxUnit(make_dbc(overhead=(11, 80))).run(
+        [9, 200, 41, 77], 8
+    ).cycles
+    without = MaxUnit(make_dbc(overhead=(11, 80))).run(
+        [9, 200, 41, 77], 8, use_transverse_write=False
+    ).cycles
+    return with_tw, without
+
+
+def test_ablation_transverse_write(benchmark):
+    with_tw, without = benchmark(run_tw_ablation)
+    saving = 1 - with_tw / without
+    print_table(
+        "Ablation: transverse write in max()",
+        ["variant", "cycles"],
+        [("with TW", with_tw), ("whole-wire shifts", without),
+         ("saving", f"{saving:.1%} (paper: 28.5%)")],
+    )
+    assert 0.25 <= saving <= 0.35
+
+
+def run_csa_ablation():
+    # 219 has six set bits, so the arbitrary method needs two grouped
+    # addition steps; sparser multipliers can tie the CSA path.
+    opt = Multiplier(make_dbc()).multiply(173, 219, 8).cycles
+    arb = Multiplier(make_dbc()).multiply_arbitrary(173, 219, 8).cycles
+    naive = Multiplier(make_dbc()).multiply_naive(173, 219, 8).cycles
+    return opt, arb, naive
+
+
+def test_ablation_multiplication_strategies(benchmark):
+    opt, arb, naive = benchmark(run_csa_ablation)
+    print_table(
+        "Ablation: multiplication strategy (8-bit, 173*219)",
+        ["strategy", "cycles"],
+        [
+            ("optimized (CSA 7->3)", opt),
+            ("arbitrary (grouped adds)", arb),
+            ("naive (repeated addition)", naive),
+        ],
+    )
+    assert opt < arb < naive
+    assert naive / opt > 5
+
+
+def run_trd_sensitivity():
+    out = {}
+    for trd in (3, 5, 7):
+        mult = Multiplier(make_dbc(trd=trd))
+        out[trd] = mult.multiply(173, 219, 8).cycles
+    return out
+
+
+def test_ablation_trd_sensitivity(benchmark):
+    cycles = benchmark(run_trd_sensitivity)
+    print_table(
+        "Ablation: multiply cycles vs TRD (paper: 105 @3, 64 @7)",
+        ["TRD", "cycles"],
+        [(trd, c) for trd, c in cycles.items()],
+    )
+    assert cycles[3] > cycles[5] > cycles[7]
+    assert cycles[7] == 64
+
+
+def run_padding_ablation():
+    # Preset padding: stage operands only (padding rows preloaded).
+    unit = BulkBitwiseUnit(make_dbc(tracks=8))
+    rows = [[1, 0, 1, 0, 1, 0, 1, 0], [1, 1, 0, 0, 1, 1, 0, 0]]
+    preset_cycles = unit.write_operands(BulkOp.AND, rows)
+    # Explicit padding: also write the five pad rows through the head.
+    explicit = BulkBitwiseUnit(make_dbc(tracks=8))
+    all_rows = rows + [[1] * 8] * 5
+    explicit_cycles = explicit.write_operands(BulkOp.AND, all_rows)
+    return preset_cycles, explicit_cycles
+
+
+def test_ablation_padding_presets(benchmark):
+    preset, explicit = benchmark(run_padding_ablation)
+    print_table(
+        "Ablation: Fig. 7 padding presets vs explicit pad writes",
+        ["variant", "staging cycles"],
+        [("preset rows", preset), ("explicit writes", explicit)],
+    )
+    assert preset < explicit

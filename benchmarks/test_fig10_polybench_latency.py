@@ -1,0 +1,36 @@
+"""Fig. 10: normalized Polybench latency (CPU+DRAM / CPU+DWM / PIM)."""
+
+from benchmarks.conftest import fmt, print_table
+from repro.sim.experiments import polybench_experiment, polybench_summary
+
+
+def test_fig10_latency(benchmark):
+    results = benchmark(polybench_experiment)
+    rows = [
+        (
+            r.name,
+            fmt(r.latency_dram_cpu),
+            "1.00",
+            fmt(r.latency_pim),
+            fmt(r.speedup_vs_dwm),
+        )
+        for r in results
+    ]
+    print_table(
+        "Fig. 10: normalized DWM latency (DWM-CPU = 1)",
+        ["kernel", "DRAM-CPU", "DWM-CPU", "CORUSCANT", "speedup"],
+        rows,
+    )
+    summary = polybench_summary(results)
+    print(
+        f"average speedup vs DWM-CPU: {summary['avg_speedup_vs_dwm']:.2f} "
+        "(paper: 2.07)"
+    )
+    print(
+        f"average speedup vs DRAM-CPU: {summary['avg_speedup_vs_dram']:.2f} "
+        "(paper: 2.20)"
+    )
+    assert abs(summary["avg_speedup_vs_dwm"] - 2.07) < 0.2
+    assert abs(summary["avg_speedup_vs_dram"] - 2.20) < 0.2
+    # DRAM is slower than DWM on every kernel (Section V-C).
+    assert all(r.latency_dram_cpu > 1.0 for r in results)

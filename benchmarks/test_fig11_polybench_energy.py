@@ -1,0 +1,21 @@
+"""Fig. 11: normalized energy reduction over Polybench."""
+
+from benchmarks.conftest import fmt, print_table
+from repro.sim.experiments import polybench_experiment, polybench_summary
+
+
+def test_fig11_energy(benchmark):
+    results = benchmark(polybench_experiment)
+    rows = [(r.name, fmt(r.energy_reduction)) for r in results]
+    print_table(
+        "Fig. 11: energy reduction vs CPU (baseline = 1)",
+        ["kernel", "reduction x"],
+        rows,
+    )
+    summary = polybench_summary(results)
+    print(
+        f"average energy reduction: {summary['avg_energy_reduction']:.1f}x "
+        "(paper: 25.2x)"
+    )
+    assert abs(summary["avg_energy_reduction"] - 25.2) < 2.5
+    assert all(r.energy_reduction > 10 for r in results)

@@ -1,0 +1,29 @@
+"""Fig. 12: bitmap-index query speedups vs DRAM-CPU."""
+
+from benchmarks.conftest import fmt, print_table
+from repro.sim.experiments import bitmap_experiment
+
+PAPER_RATIOS = {2: 1.6, 3: 2.2, 4: 3.4}  # CORUSCANT over ELP2IM
+
+
+def test_fig12_bitmap(benchmark):
+    results = benchmark(bitmap_experiment)
+    rows = [
+        (
+            f"w={r.weeks} (k={r.operands})",
+            fmt(r.speedup_ambit),
+            fmt(r.speedup_elp2im),
+            fmt(r.speedup_coruscant),
+            fmt(r.coruscant_vs_elp2im),
+            PAPER_RATIOS[r.weeks],
+        )
+        for r in results
+    ]
+    print_table(
+        "Fig. 12: query speedup over DRAM-CPU (16M users)",
+        ["query", "Ambit", "ELP2IM", "CORUSCANT", "C/E ratio", "paper"],
+        rows,
+    )
+    for r in results:
+        assert abs(r.coruscant_vs_elp2im - PAPER_RATIOS[r.weeks]) < 0.25
+        assert r.speedup_ambit < r.speedup_elp2im < r.speedup_coruscant

@@ -1,0 +1,44 @@
+"""Ablation: shift-aware data placement (the 'S' of Table II).
+
+DWM access latency depends on how far rows must shift to reach a port.
+This bench quantifies the expected-shift reduction of hot-row-first
+placement versus address-order placement for access skews from uniform
+to heavily Zipfian, at each port configuration.
+"""
+
+from benchmarks.conftest import fmt, print_table
+from repro.arch.placement import placement_improvement
+
+
+def zipf_frequencies(rows: int, skew: float):
+    return [1.0 / (r + 1) ** skew for r in range(rows)]
+
+
+def run_sweep():
+    out = {}
+    for label, skew in (("uniform", 0.0), ("mild", 0.5), ("zipf", 1.0),
+                        ("heavy", 2.0)):
+        freq = zipf_frequencies(32, skew)
+        out[label] = {
+            "1 port": placement_improvement(freq, (31,)),
+            "2 ports (TR)": placement_improvement(freq, (14, 20)),
+            "2 ports (opt)": placement_improvement(freq, (8, 24)),
+        }
+    return out
+
+
+def test_placement_ablation(benchmark):
+    results = benchmark(run_sweep)
+    rows = [
+        (label, *(fmt(v) + "x" for v in columns.values()))
+        for label, columns in results.items()
+    ]
+    print_table(
+        "Ablation: expected-shift reduction from hot-row placement",
+        ["access skew", "1 port", "2 ports (TR)", "2 ports (opt)"],
+        rows,
+    )
+    # Skewed access patterns benefit; uniform ones cannot.
+    assert results["uniform"]["2 ports (TR)"] == 1.0
+    assert results["heavy"]["2 ports (TR)"] > results["mild"]["2 ports (TR)"]
+    assert results["heavy"]["1 port"] > 1.5

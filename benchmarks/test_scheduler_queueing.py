@@ -1,0 +1,62 @@
+"""Fig. 10 companion: the queueing-delay breakdown of the runtime.
+
+The paper attributes ~80% of the PIM runtime to queueing delay with the
+remaining ~20% being array operation time. The bank-state command
+scheduler reproduces this breakdown under saturating load, and shows how
+it collapses when the offered load drops.
+"""
+
+from benchmarks.conftest import fmt, print_table
+from repro.arch.scheduler import CommandScheduler, stream_from_counts
+from repro.arch.timing import DRAM_DDR3_1600, DWM_DDR3_1600
+
+
+def run_breakdown():
+    out = {}
+    for label, rate in (("saturated", 8.0), ("moderate", 0.8), ("light", 0.05)):
+        stream = stream_from_counts(3000, arrival_rate=rate, seed=5)
+        stats = CommandScheduler(DWM_DDR3_1600).run(stream)
+        out[label] = stats
+    return out
+
+
+def test_queueing_breakdown(benchmark):
+    results = benchmark(run_breakdown)
+    rows = [
+        (
+            label,
+            fmt(stats.queue_fraction * 100, 1) + "%",
+            fmt(stats.hit_rate * 100, 1) + "%",
+            stats.total_cycles,
+        )
+        for label, stats in results.items()
+    ]
+    print_table(
+        "Queueing share of runtime (paper: ~80% under load)",
+        ["load", "queue share", "row-hit rate", "makespan"],
+        rows,
+    )
+    assert results["saturated"].queue_fraction > 0.6
+    assert results["light"].queue_fraction < 0.3
+    assert (
+        results["saturated"].queue_fraction
+        > results["moderate"].queue_fraction
+        > results["light"].queue_fraction
+    )
+
+
+def test_dwm_vs_dram_occupancy(benchmark):
+    def run():
+        stream = stream_from_counts(3000, arrival_rate=8.0, seed=6)
+        dwm = CommandScheduler(DWM_DDR3_1600).run(stream)
+        dram = CommandScheduler(DRAM_DDR3_1600).run(stream)
+        return dwm, dram
+
+    dwm, dram = benchmark(run)
+    print_table(
+        "Saturated makespan: DWM vs DRAM (Section V-C ordering)",
+        ["memory", "makespan (cycles)"],
+        [("DWM", dwm.total_cycles), ("DRAM", dram.total_cycles)],
+    )
+    # With good locality, DWM's shift cost undercuts DRAM's precharge.
+    assert dwm.total_cycles < dram.total_cycles * 1.15

@@ -1,0 +1,21 @@
+"""Table I: PIM area overhead vs base DWM main memory."""
+
+from benchmarks.conftest import print_table
+from repro.sim.experiments import area_table
+
+PAPER = {"ADD2": 3.7, "ADD5": 9.2, "MUL+ADD5": 9.4, "MUL+ADD5+BBO": 10.0}
+
+
+def test_table1_area(benchmark):
+    table = benchmark(area_table)
+    rows = [
+        (design, f"{measured}%", f"{PAPER[design]}%")
+        for design, measured in table.items()
+    ]
+    print_table(
+        "Table I: area overhead (1-PIM per subarray)",
+        ["design", "measured", "paper"],
+        rows,
+    )
+    for design, measured in table.items():
+        assert abs(measured - PAPER[design]) <= 0.2

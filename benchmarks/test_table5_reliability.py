@@ -1,0 +1,40 @@
+"""Table V: operation reliability and NMR error probabilities."""
+
+from benchmarks.conftest import fmt, print_table
+from repro.sim.experiments import reliability_table
+
+PAPER_PER_BIT = {
+    "and_per_bit": {"C3": 3.3e-7, "C5": 2.0e-7, "C7": 1.4e-7},
+    "xor_per_bit": {"C3": 1.0e-6, "C5": 1.0e-6, "C7": 1.0e-6},
+    "carry_per_bit": {"C3": 3.3e-7, "C5": 4.0e-7, "C7": 4.3e-7},
+    "add_per_8bit": {"C3": 8.0e-6, "C5": 8.0e-6, "C7": 8.0e-6},
+    "multiply_per_8bit": {"C3": 4.1e-4, "C5": 2.1e-4, "C7": 7.6e-5},
+}
+
+
+def test_table5_reliability(benchmark):
+    table = benchmark(reliability_table)
+    rows = []
+    for op, columns in table.items():
+        paper = PAPER_PER_BIT.get(op, {})
+        for col, value in columns.items():
+            rows.append((op, col, fmt(value), fmt(paper[col]) if col in paper else "-"))
+    print_table(
+        "Table V: error probabilities (p_TR = 1e-6)",
+        ["operation", "TRD", "measured", "paper"],
+        rows,
+    )
+    # Per-bit and per-op rows match the paper's published values.
+    for op, paper_cols in PAPER_PER_BIT.items():
+        for col, want in paper_cols.items():
+            got = table[op][col]
+            assert 0.8 <= got / want <= 1.25, (op, col, got, want)
+    # NMR rows: each redundancy step suppresses errors by orders of
+    # magnitude, and larger TRD never hurts.
+    assert table["add_nmr3"]["C7"] < table["add_per_8bit"]["C7"] / 1e4
+    assert table["add_nmr5"]["C7"] < table["add_nmr3"]["C7"] / 1e3
+    assert table["add_nmr7"]["C7"] < table["add_nmr5"]["C7"] / 1e3
+    # Our union-bound NMR model is more conservative than the paper's
+    # (which reports ~5e-18 here); the orders-of-magnitude suppression
+    # per redundancy step is the reproduced shape.
+    assert table["multiply_nmr5"]["C7"] < 1e-13

@@ -1,0 +1,42 @@
+"""The consolidated TRD sensitivity sweep (the paper's cross-cutting study)."""
+
+from benchmarks.conftest import fmt, print_table
+from repro.sim.sensitivity import trd_sweep
+
+
+def test_trd_sensitivity(benchmark):
+    points = benchmark(trd_sweep)
+    rows = []
+    for trd, p in sorted(points.items()):
+        rows.append(
+            (
+                trd,
+                p.max_add_operands,
+                p.max_redundancy,
+                p.add_cycles_8bit,
+                p.mult_cycles_8bit,
+                f"{p.area_overhead_pct}%",
+                fmt(p.mult_error_8bit),
+                fmt(p.alexnet_full_fps, 1),
+                fmt(p.alexnet_ternary_fps, 1),
+            )
+        )
+    print_table(
+        "TRD sensitivity (the conclusion's area/performance tradeoff)",
+        [
+            "TRD", "add ops", "max NMR", "add cyc", "mult cyc",
+            "area", "mult err", "AlexNet FPS", "ternary FPS",
+        ],
+        rows,
+    )
+    p3, p5, p7 = points[3], points[5], points[7]
+    # Capability grows with TRD...
+    assert p3.max_add_operands < p5.max_add_operands < p7.max_add_operands
+    assert p3.max_redundancy < p7.max_redundancy
+    # ...performance improves...
+    assert p3.mult_cycles_8bit > p5.mult_cycles_8bit > p7.mult_cycles_8bit
+    assert p3.alexnet_full_fps < p5.alexnet_full_fps < p7.alexnet_full_fps
+    # ...reliability of multiply improves...
+    assert p3.mult_error_8bit > p5.mult_error_8bit > p7.mult_error_8bit
+    # ...and area pays for it ("this area can be cut in less than half").
+    assert p3.area_overhead_pct < p7.area_overhead_pct / 2

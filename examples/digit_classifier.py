@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""A tiny digit classifier running entirely on simulated PIM hardware.
+
+Every multiply, reduction, max-pool, and ReLU of this fixed-point CNN
+executes through the CORUSCANT primitives (carry-save multiplier, 7->3
+reducer, multi-operand adder, transverse-write max, MSB-predicated
+reset). Synthetic 8x8 "digits" (horizontal vs vertical vs diagonal
+strokes) are classified, and the output is verified bit-exactly against
+a numpy reference before reporting the in-array cost.
+
+Run:  python examples/digit_classifier.py
+"""
+
+import numpy as np
+
+from repro.workloads.cnn.inference import (
+    PimCnnEngine,
+    reference_pipeline,
+    run_tiny_cnn,
+)
+
+
+def make_digit(kind: str) -> np.ndarray:
+    """An 8x8 synthetic stroke pattern with intensity 0..15."""
+    image = np.zeros((8, 8), dtype=np.int64)
+    if kind == "horizontal":
+        image[3:5, 1:7] = 12
+    elif kind == "vertical":
+        image[1:7, 3:5] = 12
+    elif kind == "diagonal":
+        for i in range(1, 7):
+            image[i, i] = 12
+    else:
+        raise ValueError(f"unknown digit kind {kind!r}")
+    return image
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    kernel = rng.integers(0, 8, (3, 3))
+    fc_weights = rng.integers(0, 8, (3, 9))
+
+    print("classifying synthetic strokes on simulated CORUSCANT PIM\n")
+    total_cycles = 0
+    for kind in ("horizontal", "vertical", "diagonal"):
+        image = make_digit(kind)
+        logits, engine = run_tiny_cnn(image, kernel, fc_weights)
+        reference = reference_pipeline(image, kernel, fc_weights)
+        assert np.array_equal(logits, reference), "PIM diverged from numpy"
+        total_cycles += engine.cycles
+        print(f"  {kind:10s} -> logits {logits.tolist()} "
+              f"(class {int(np.argmax(logits))}), "
+              f"{engine.cycles} array cycles, "
+              f"{engine.stats.multiplies} multiplies, "
+              f"{engine.stats.reductions} CSA rounds")
+
+    print(f"\nall outputs bit-exact vs numpy; {total_cycles} total cycles")
+
+    print("\nTRD sensitivity of the same inference:")
+    image = make_digit("diagonal")
+    for trd in (3, 5, 7):
+        _, engine = run_tiny_cnn(image, kernel, fc_weights, trd=trd)
+        print(f"  TRD={trd}: {engine.cycles} cycles")
+
+
+if __name__ == "__main__":
+    main()

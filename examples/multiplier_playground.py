@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Multiplication strategies side by side (Section III-D).
+
+Compares the three CORUSCANT multiplication paths — constant (CSD
+planned), arbitrary (grouped partial-product additions), and optimized
+(carry-save 7->3 reduction) — plus the naive repeated-addition strawman,
+across TRD in {3, 5, 7}, reporting the cycle costs the device simulator
+measures.
+
+Run:  python examples/multiplier_playground.py
+"""
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.booth import plan_constant_multiply
+from repro.core.multiplication import Multiplier
+from repro.device.parameters import DeviceParameters
+
+
+def fresh(trd: int) -> Multiplier:
+    return Multiplier(
+        DomainBlockCluster(
+            tracks=64, domains=32, params=DeviceParameters(trd=trd)
+        )
+    )
+
+
+def main() -> None:
+    a, b = 173, 219
+    print(f"computing {a} * {b} = {a * b}\n")
+    print(f"{'TRD':>4} {'optimized':>10} {'arbitrary':>10} {'naive':>8}")
+    for trd in (3, 5, 7):
+        opt = fresh(trd).multiply(a, b, 8)
+        arb = fresh(trd).multiply_arbitrary(a, b, 8)
+        naive = fresh(trd).multiply_naive(a, min(b, 40), 8)
+        assert opt.value == arb.value == a * b
+        print(
+            f"{trd:>4} {opt.cycles:>10} {arb.cycles:>10} "
+            f"{naive.cycles:>7}+ (only {min(b, 40)} copies!)"
+        )
+
+    print("\nconstant-multiplication plans (TRD = 7):")
+    for constant in (9, 255, 515, 20061):
+        plan = plan_constant_multiply(constant, trd=7)
+        mult = fresh(7)
+        result = mult.multiply_constant(a, constant, 8, result_bits=26)
+        assert result.value == (a * constant) & ((1 << 26) - 1)
+        print(
+            f"  {constant:>6}*A: {plan.num_additions} addition step(s), "
+            f"{result.cycles} cycles"
+        )
+        for step in plan.steps:
+            print(f"          {step.describe()}")
+
+    print("\nbreakdown of the optimized multiply at TRD = 7:")
+    result = fresh(7).multiply(a, b, 8)
+    for phase, cycles in result.breakdown.items():
+        print(f"  {phase:18s} {cycles:>4} cycles")
+    print(f"  {'total':18s} {result.cycles:>4} cycles (paper: 64)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""CORUSCANT: processing-in-racetrack-memory simulator.
+
+A reproduction of "CORUSCANT: Fast Efficient Processing-in-Racetrack
+Memories" (MICRO 2022): a behavioral/cycle-level Domain-Wall-Memory
+simulator with transverse read/write, the CORUSCANT polymorphic-gate PIM
+core (multi-operand bulk-bitwise logic, addition, carry-save
+multiplication, max pooling, N-modular redundancy), the baselines the
+paper compares against, and the energy/area/reliability models behind
+every table and figure.
+
+Quickstart::
+
+    from repro import CoruscantSystem, BulkOp
+
+    system = CoruscantSystem(trd=7)
+    print(system.add([13, 200, 7, 99, 55], n_bits=8).value)     # 374
+    print(system.multiply(173, 219, n_bits=8).value)            # 37887
+    print(system.maximum([12, 250, 99], n_bits=8).value)        # 250
+"""
+
+from repro.sim.system import CoruscantSystem
+from repro.core.pim_logic import BulkOp
+from repro.arch.dbc import DomainBlockCluster
+from repro.arch.geometry import MemoryGeometry
+from repro.device.nanowire import AccessPort, Nanowire
+from repro.device.parameters import DeviceParameters
+from repro.device.faults import FaultConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPort",
+    "BulkOp",
+    "CoruscantSystem",
+    "DeviceParameters",
+    "DomainBlockCluster",
+    "FaultConfig",
+    "MemoryGeometry",
+    "Nanowire",
+    "__version__",
+]

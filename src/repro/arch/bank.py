@@ -1,0 +1,68 @@
+"""A bank: subarrays behind one set of bank-level peripherals (Fig. 2a/b)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.arch.subarray import Subarray
+from repro.device.faults import FaultInjector
+from repro.device.parameters import DeviceParameters
+
+
+class Bank:
+    """Subarrays of one bank; materialised lazily like tiles/DBCs."""
+
+    def __init__(
+        self,
+        subarrays: int = 64,
+        tiles_per_subarray: int = 16,
+        pim_tiles_per_subarray: int = 1,
+        dbcs_per_tile: int = 16,
+        pim_dbcs_per_tile: int = 1,
+        tracks: int = 512,
+        domains: int = 32,
+        params: Optional[DeviceParameters] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        if subarrays < 1:
+            raise ValueError(f"subarrays must be >= 1, got {subarrays}")
+        self.params = params or DeviceParameters()
+        self.num_subarrays = subarrays
+        self.injector = injector or FaultInjector()
+        self._subarray_config = dict(
+            tiles=tiles_per_subarray,
+            pim_tiles=pim_tiles_per_subarray,
+            dbcs_per_tile=dbcs_per_tile,
+            pim_dbcs_per_tile=pim_dbcs_per_tile,
+            tracks=tracks,
+            domains=domains,
+        )
+        self._subarrays: List[Optional[Subarray]] = [None] * subarrays
+
+    def subarray(self, index: int) -> Subarray:
+        """The subarray at ``index``, materialising it on first use."""
+        if not 0 <= index < self.num_subarrays:
+            raise IndexError(
+                f"subarray index {index} outside [0, {self.num_subarrays})"
+            )
+        s = self._subarrays[index]
+        if s is None:
+            s = Subarray(
+                params=self.params,
+                injector=self.injector,
+                **self._subarray_config,
+            )
+            self._subarrays[index] = s
+        return s
+
+    @property
+    def materialized_subarrays(self) -> int:
+        return sum(1 for s in self._subarrays if s is not None)
+
+    def total_cycles(self) -> int:
+        return sum(s.total_cycles() for s in self._subarrays if s is not None)
+
+    def total_energy_pj(self) -> float:
+        return sum(
+            s.total_energy_pj() for s in self._subarrays if s is not None
+        )

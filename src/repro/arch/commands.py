@@ -1,0 +1,55 @@
+"""Memory-controller command vocabulary.
+
+Regular DDR-style commands plus the CORUSCANT PIM commands the controller
+issues in response to a ``cpim`` instruction (Section III-E).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+
+class CommandKind(enum.Enum):
+    """Every command the controller can schedule."""
+
+    ACTIVATE = "activate"
+    READ = "read"
+    WRITE = "write"
+    PRECHARGE = "precharge"
+    SHIFT = "shift"
+    TRANSVERSE_READ = "transverse_read"
+    TRANSVERSE_WRITE = "transverse_write"
+    PIM_BULK = "pim_bulk"
+    PIM_ADD = "pim_add"
+    PIM_REDUCE = "pim_reduce"
+    PIM_MULT = "pim_mult"
+    PIM_MAX = "pim_max"
+    PIM_VOTE = "pim_vote"
+    ROW_CLONE = "row_clone"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One scheduled command.
+
+    Attributes:
+        kind: what to do.
+        bank/subarray/tile/dbc/row: target coordinates.
+        args: free-form command arguments (operation, blocksize, masks...).
+    """
+
+    kind: CommandKind
+    bank: int = 0
+    subarray: int = 0
+    tile: int = 0
+    dbc: int = 0
+    row: int = 0
+    args: Mapping[str, object] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for traces and logs."""
+        loc = f"b{self.bank}.s{self.subarray}.t{self.tile}.d{self.dbc}.r{self.row}"
+        extra = f" {dict(self.args)}" if self.args else ""
+        return f"{self.kind.value}@{loc}{extra}"

@@ -1,0 +1,181 @@
+"""Memory controller: regular accesses plus cpim dispatch (Section III-E).
+
+The controller owns the timing model: regular reads/writes pay the DDR
+timings of Table II (with DWM's placement-dependent shift latency in
+place of precharge), while cpim instructions are expanded into the PIM
+command sequences the core units execute on the target DBC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.commands import Command, CommandKind
+from repro.arch.memory import MainMemory
+from repro.core.addition import MultiOperandAdder
+from repro.core.bulk_bitwise import BulkBitwiseUnit
+from repro.core.isa import Address, CpimInstruction, CpimOp
+from repro.core.maxpool import MaxUnit
+from repro.core.multiplication import Multiplier
+from repro.core.nmr import ModularRedundancy
+from repro.core.pim_logic import BulkOp
+from repro.core.reduction import CarrySaveReducer
+
+_BULK_OPS = {
+    CpimOp.AND: BulkOp.AND,
+    CpimOp.NAND: BulkOp.NAND,
+    CpimOp.OR: BulkOp.OR,
+    CpimOp.NOR: BulkOp.NOR,
+    CpimOp.XOR: BulkOp.XOR,
+    CpimOp.XNOR: BulkOp.XNOR,
+    CpimOp.NOT: BulkOp.NOT,
+}
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate accounting across all controller activity."""
+
+    reads: int = 0
+    writes: int = 0
+    pim_ops: int = 0
+    memory_cycles: int = 0
+    command_log: List[Command] = field(default_factory=list)
+
+    def log(self, command: Command) -> None:
+        self.command_log.append(command)
+
+
+class MemoryController:
+    """Decodes requests into commands against a :class:`MainMemory`."""
+
+    def __init__(self, memory: Optional[MainMemory] = None) -> None:
+        self.memory = memory or MainMemory()
+        self.stats = ControllerStats()
+        self._open_rows: Dict[tuple, int] = {}
+
+    # ------------------------------------------------------------------
+    # regular accesses
+
+    def read(self, address: Address) -> List[int]:
+        """Regular row read through the orange bypass path of Fig. 4(a)."""
+        dbc = self._dbc(address)
+        shifts = dbc.align(address.row, port_index=0)
+        bits = dbc.read_row(port_index=0)
+        self._account_access(address, shifts, is_write=False)
+        self.stats.reads += 1
+        self.stats.log(self._command(CommandKind.READ, address))
+        return bits
+
+    def write(self, address: Address, bits: Sequence[int]) -> None:
+        """Regular row write."""
+        dbc = self._dbc(address)
+        shifts = dbc.align(address.row, port_index=0)
+        dbc.write_row(list(bits), port_index=0)
+        self._account_access(address, shifts, is_write=True)
+        self.stats.writes += 1
+        self.stats.log(self._command(CommandKind.WRITE, address))
+
+    # ------------------------------------------------------------------
+    # cpim dispatch
+
+    def execute(self, instruction: CpimInstruction):
+        """Expand and run one cpim instruction; returns the op's result.
+
+        Bulk-bitwise ops return a :class:`~repro.core.bulk_bitwise.BulkResult`;
+        ADD returns an :class:`~repro.core.addition.AdditionResult` computed
+        per ``blocksize`` segment; other ops return their unit's result type.
+        """
+        dbc = self._dbc(instruction.src)
+        if not dbc.pim_enabled:
+            raise ValueError(
+                f"cpim targets non-PIM DBC at {instruction.src}"
+            )
+        self.stats.pim_ops += 1
+        op = instruction.op
+        if op in _BULK_OPS:
+            unit = BulkBitwiseUnit(dbc)
+            result = unit.execute(_BULK_OPS[op], instruction.operands)
+            self.stats.log(
+                self._command(CommandKind.PIM_BULK, instruction.src)
+            )
+            return result
+        if op is CpimOp.ADD:
+            adder = MultiOperandAdder(dbc)
+            blocks = dbc.tracks // instruction.blocksize
+            result = adder.run(
+                instruction.operands,
+                result_bits=instruction.blocksize,
+                blocks=blocks,
+                block_stride=instruction.blocksize,
+            )
+            self.stats.log(self._command(CommandKind.PIM_ADD, instruction.src))
+            return result
+        if op is CpimOp.MAX:
+            unit = MaxUnit(dbc)
+            result = unit.run(n_bits=instruction.blocksize)
+            self.stats.log(self._command(CommandKind.PIM_MAX, instruction.src))
+            return result
+        if op is CpimOp.REDUCE:
+            reducer = CarrySaveReducer(dbc)
+            rows = [
+                dbc.peek_window_slot(slot)
+                for slot in range(instruction.operands)
+            ]
+            result = reducer.reduce_once(rows)
+            self.stats.log(
+                self._command(CommandKind.PIM_REDUCE, instruction.src)
+            )
+            return result
+        if op is CpimOp.VOTE:
+            voter = ModularRedundancy(dbc)
+            replicas = [
+                dbc.peek_window_slot(slot)
+                for slot in range(instruction.operands)
+            ]
+            result = voter.vote(replicas)
+            self.stats.log(
+                self._command(CommandKind.PIM_VOTE, instruction.src)
+            )
+            return result
+        raise NotImplementedError(
+            f"cpim op {op.name} requires staged operand data; use the "
+            "core units directly or repro.sim.system"
+        )
+
+    # ------------------------------------------------------------------
+
+    def _dbc(self, address: Address):
+        return (
+            self.memory.bank(address.bank)
+            .subarray(address.subarray)
+            .tile(address.tile)
+            .dbc(address.dbc)
+        )
+
+    def _account_access(
+        self, address: Address, shifts: int, is_write: bool
+    ) -> None:
+        timings = self.memory.timings
+        key = (address.bank, address.subarray, address.tile, address.dbc)
+        open_row = self._open_rows.get(key)
+        if open_row == address.row and not is_write:
+            cycles = timings.row_hit_read_cycles()
+        elif is_write:
+            cycles = timings.row_miss_write_cycles(shifts)
+        else:
+            cycles = timings.row_miss_read_cycles(shifts)
+        self._open_rows[key] = address.row
+        self.stats.memory_cycles += cycles
+
+    @staticmethod
+    def _command(kind: CommandKind, address: Address) -> Command:
+        return Command(
+            kind=kind,
+            bank=address.bank,
+            subarray=address.subarray,
+            tile=address.tile,
+            dbc=address.dbc,
+            row=address.row,
+        )

@@ -1,0 +1,249 @@
+"""Domain-block cluster (DBC): the unit CORUSCANT computes in.
+
+A DBC is X parallel racetracks of Y data domains each (Fig. 2d). The X
+nanowires shift in lockstep, so a memory *row* is one domain position read
+across all X tracks. PIM-enabled DBCs have two access ports per track
+spaced TRD-1 domains apart so a transverse read spans exactly TRD domains
+(Section III-A).
+
+Cost accounting happens at the cluster level: a lockstep operation across
+all X tracks costs one operation's latency but X tracks' energy. The
+per-track :class:`~repro.device.nanowire.Nanowire` objects therefore run
+with recording suppressed and the DBC's own :class:`DeviceStats` is the
+source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.device.faults import FaultInjector
+from repro.device.nanowire import AccessPort, Nanowire
+from repro.device.parameters import DeviceParameters
+from repro.device.stats import DeviceStats
+
+
+def pim_port_positions(domains: int, trd: int) -> Tuple[int, int]:
+    """Data-relative port positions for a PIM DBC.
+
+    Ports are centered and spaced TRD-1 apart so the TR window covers TRD
+    domains; for Y = 32, TRD = 7 this gives positions (14, 20) exactly as
+    in Section III-A ("the ports would move to positions 14 and 20").
+    """
+    if trd < 2:
+        raise ValueError(f"trd must be >= 2, got {trd}")
+    if trd > domains:
+        raise ValueError(f"trd {trd} cannot exceed domains {domains}")
+    left = domains // 2 - trd // 2 + 1
+    left = max(0, min(left, domains - trd))
+    return left, left + trd - 1
+
+
+class DomainBlockCluster:
+    """X lockstep racetracks forming one domain-block cluster."""
+
+    def __init__(
+        self,
+        tracks: int = 512,
+        domains: int = 32,
+        params: Optional[DeviceParameters] = None,
+        pim_enabled: bool = True,
+        port_positions: Optional[Tuple[int, int]] = None,
+        injector: Optional[FaultInjector] = None,
+        overhead: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        if tracks < 1:
+            raise ValueError(f"tracks must be >= 1, got {tracks}")
+        self.params = params or DeviceParameters()
+        self.tracks = tracks
+        self.domains = domains
+        self.pim_enabled = pim_enabled
+        self.injector = injector or FaultInjector()
+        if port_positions is None:
+            if pim_enabled:
+                port_positions = pim_port_positions(domains, self.params.trd)
+            else:
+                port_positions = (domains // 2,)  # single central port
+        ports = [AccessPort(p) for p in port_positions]
+        self.port_positions: Tuple[int, ...] = tuple(port_positions)
+        self.wires: List[Nanowire] = [
+            Nanowire(
+                domains,
+                ports,
+                params=self.params,
+                injector=self.injector,
+                overhead=overhead,
+            )
+            for _ in range(tracks)
+        ]
+        self.stats = DeviceStats()
+
+    # ------------------------------------------------------------------
+    # geometry
+
+    @property
+    def window(self) -> Tuple[int, int]:
+        """Inclusive physical window [left, right] a TR spans (PIM DBCs)."""
+        if len(self.port_positions) < 2:
+            raise ValueError("window is only defined for two-port (PIM) DBCs")
+        wire = self.wires[0]
+        return (
+            wire.port_physical_position(0),
+            wire.port_physical_position(1),
+        )
+
+    @property
+    def window_size(self) -> int:
+        lo, hi = self.window
+        return hi - lo + 1
+
+    def window_row_at(self, slot: int) -> Optional[int]:
+        """Data row currently occupying window slot ``slot`` (0 = left head)."""
+        lo, _ = self.window
+        wire = self.wires[0]
+        row = lo + slot - wire.overhead_left - wire.offset
+        return row if 0 <= row < self.domains else None
+
+    # ------------------------------------------------------------------
+    # zero-cost state accessors
+
+    def poke_row(self, row: int, bits: Sequence[int]) -> None:
+        """Set data row ``row`` across all tracks (no cost recorded)."""
+        self._check_row_width(bits)
+        for wire, bit in zip(self.wires, bits):
+            wire.poke_row(row, bit)
+
+    def peek_row(self, row: int) -> List[int]:
+        """Read data row ``row`` across all tracks (no cost recorded)."""
+        return [wire.peek_row(row) for wire in self.wires]
+
+    def poke_window_slot(self, slot: int, bits: Sequence[int]) -> None:
+        """Set the domains at window slot ``slot`` (no cost recorded)."""
+        self._check_row_width(bits)
+        lo, hi = self.window
+        if not lo <= lo + slot <= hi:
+            raise ValueError(f"slot {slot} outside window of {self.window_size}")
+        for wire, bit in zip(self.wires, bits):
+            wire.poke_physical(lo + slot, bit)
+
+    def peek_window_slot(self, slot: int) -> List[int]:
+        """Read the domains at window slot ``slot`` (no cost recorded)."""
+        lo, hi = self.window
+        if not lo <= lo + slot <= hi:
+            raise ValueError(f"slot {slot} outside window of {self.window_size}")
+        return [wire.peek_physical(lo + slot) for wire in self.wires]
+
+    # ------------------------------------------------------------------
+    # lockstep device operations (cost-recorded at cluster level)
+
+    def shift(self, direction: int, count: int = 1) -> None:
+        """Shift all tracks in lockstep."""
+        for wire in self.wires:
+            wire.shift(direction, count, record=False)
+        p = self.params.shift
+        self.stats.record(
+            "shift", p.cycles * count, p.energy_pj * self.tracks * count
+        )
+
+    def align(self, row: int, port_index: int = 0) -> int:
+        """Shift all tracks so data row ``row`` is under ``port_index``."""
+        wire = self.wires[0]
+        target = wire.port_physical_position(port_index)
+        delta = target - wire.row_physical_position(row)
+        if delta:
+            self.shift(1 if delta > 0 else -1, abs(delta))
+        return abs(delta)
+
+    def read_row(self, port_index: int = 0) -> List[int]:
+        """Orthogonal read of the aligned row on every track (one cycle)."""
+        bits = [wire.read(port_index, record=False) for wire in self.wires]
+        p = self.params.read
+        self.stats.record("read", p.cycles, p.energy_pj * self.tracks)
+        return bits
+
+    def write_row(self, bits: Sequence[int], port_index: int = 0) -> None:
+        """Write a full row through the given port on every track."""
+        self._check_row_width(bits)
+        for wire, bit in zip(self.wires, bits):
+            wire.write(port_index, bit, record=False)
+        p = self.params.write
+        self.stats.record("write", p.cycles, p.energy_pj * self.tracks)
+
+    def transverse_read_all(self) -> List[int]:
+        """TR every track in parallel; returns one level per track.
+
+        This is the CORUSCANT polymorphic-gate read: each track's level is
+        the count of '1's in its TRD-domain window, feeding the seven-level
+        sense amp of Fig. 4(a).
+        """
+        levels = [
+            wire.transverse_read(0, 1, record=False) for wire in self.wires
+        ]
+        p = self.params.transverse_read
+        self.stats.record("transverse_read", p.cycles, p.energy_pj * self.tracks)
+        return levels
+
+    def transverse_read_track(self, track: int) -> int:
+        """TR a single track (the sequential addition walk of Fig. 6)."""
+        level = self.wires[track].transverse_read(0, 1, record=False)
+        p = self.params.transverse_read
+        self.stats.record("transverse_read", p.cycles, p.energy_pj)
+        return level
+
+    def transverse_read_tracks(self, tracks: Sequence[int]) -> List[int]:
+        """TR several tracks in the same cycle.
+
+        Used by blocksize-packed addition (Section III-E): the walks of
+        independent blocks advance in lockstep, so the per-step TRs of
+        different blocks share one cycle while each consumes TR energy.
+        """
+        levels = [
+            self.wires[t].transverse_read(0, 1, record=False) for t in tracks
+        ]
+        p = self.params.transverse_read
+        self.stats.record(
+            "transverse_read", p.cycles, p.energy_pj * len(levels)
+        )
+        return levels
+
+    def transverse_write_row(self, bits: Sequence[int]) -> List[int]:
+        """TW a full row: write under the left head, segment-shift right.
+
+        Returns the row ejected under the right head (Fig. 9).
+        """
+        self._check_row_width(bits)
+        ejected = [
+            wire.transverse_write(bit, 0, 1, record=False)
+            for wire, bit in zip(self.wires, bits)
+        ]
+        p = self.params.transverse_write
+        self.stats.record("transverse_write", p.cycles, p.energy_pj * self.tracks)
+        return ejected
+
+    def write_bit(self, track: int, port_index: int, bit: int) -> None:
+        """Write one track's domain under a port (carry-chain writes).
+
+        Latency is accounted by the caller (the carry writes of one
+        addition step land in the same cycle as the sum write), so this
+        records energy only.
+        """
+        self.wires[track].write(port_index, bit, record=False)
+        self.stats.record("write_bit", 0, self.params.write.energy_pj)
+
+    def tick(self, cycles: int = 1, label: str = "tick") -> None:
+        """Account cycles with no device activity (controller overhead)."""
+        self.stats.record(label, cycles, 0.0)
+
+    # ------------------------------------------------------------------
+
+    def _check_row_width(self, bits: Sequence[int]) -> None:
+        if len(bits) != self.tracks:
+            raise ValueError(
+                f"row must have {self.tracks} bits, got {len(bits)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DomainBlockCluster(tracks={self.tracks}, domains={self.domains}, "
+            f"ports={self.port_positions}, pim={self.pim_enabled})"
+        )

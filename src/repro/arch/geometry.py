@@ -1,0 +1,86 @@
+"""Memory organisation constants (Fig. 2 and Table II of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MemoryGeometry:
+    """Shape of the DWM main memory.
+
+    Defaults follow Table II: a 1 GB (8 Gb) part with 32 banks, 64
+    subarrays per bank, 16 tiles per subarray, and 16 DBCs per tile of
+    which one is PIM-enabled. Each tile is 512 x 512 bits; a DBC is
+    X = 512 racetracks of Y = 32 data domains.
+    """
+
+    banks: int = 32
+    subarrays_per_bank: int = 64
+    tiles_per_subarray: int = 16
+    dbcs_per_tile: int = 16
+    pim_dbcs_per_tile: int = 1
+    tracks_per_dbc: int = 512  # X: bits accessed simultaneously
+    domains_per_track: int = 32  # Y: row addresses per DBC
+    bus_mhz: float = 1000.0
+    memory_cycle_ns: float = 1.25
+
+    def __post_init__(self) -> None:
+        for name in (
+            "banks",
+            "subarrays_per_bank",
+            "tiles_per_subarray",
+            "dbcs_per_tile",
+            "tracks_per_dbc",
+            "domains_per_track",
+        ):
+            check_positive(name, getattr(self, name))
+        if not 0 <= self.pim_dbcs_per_tile <= self.dbcs_per_tile:
+            raise ValueError(
+                "pim_dbcs_per_tile must be between 0 and dbcs_per_tile"
+            )
+        check_positive("bus_mhz", self.bus_mhz)
+        check_positive("memory_cycle_ns", self.memory_cycle_ns)
+
+    @property
+    def row_bits(self) -> int:
+        """Bits per memory row (one domain position across a DBC)."""
+        return self.tracks_per_dbc
+
+    @property
+    def rows_per_dbc(self) -> int:
+        """Row addresses within one DBC."""
+        return self.domains_per_track
+
+    @property
+    def total_tiles(self) -> int:
+        return self.banks * self.subarrays_per_bank * self.tiles_per_subarray
+
+    @property
+    def total_pim_dbcs(self) -> int:
+        """PIM-enabled DBCs across the whole memory (the PIM parallelism)."""
+        return (
+            self.banks * self.subarrays_per_bank * self.pim_dbcs_per_tile
+        ) * 1
+
+    @property
+    def pim_subarrays(self) -> int:
+        """Subarrays containing at least one PIM tile."""
+        return self.banks * self.subarrays_per_bank
+
+    @property
+    def capacity_bits(self) -> int:
+        return (
+            self.banks
+            * self.subarrays_per_bank
+            * self.tiles_per_subarray
+            * self.dbcs_per_tile
+            * self.tracks_per_dbc
+            * self.domains_per_track
+        )
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_bits // 8

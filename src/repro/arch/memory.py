@@ -1,0 +1,79 @@
+"""Top-level DWM main memory (Fig. 2a): banks + geometry + timing."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.arch.bank import Bank
+from repro.arch.geometry import MemoryGeometry
+from repro.arch.timing import DDRTimings, DWM_DDR3_1600
+from repro.device.faults import FaultInjector
+from repro.device.parameters import DeviceParameters
+
+
+class MainMemory:
+    """The whole DWM main memory, lazily materialised.
+
+    A 1 GB part at Table II geometry has 32 banks x 64 subarrays x 16
+    tiles; we only allocate track state for the clusters an experiment
+    touches, so whole-memory experiments stay laptop-sized.
+    """
+
+    def __init__(
+        self,
+        geometry: Optional[MemoryGeometry] = None,
+        params: Optional[DeviceParameters] = None,
+        timings: Optional[DDRTimings] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.geometry = geometry or MemoryGeometry()
+        self.params = params or DeviceParameters()
+        self.timings = timings or DWM_DDR3_1600
+        self.injector = injector or FaultInjector()
+        self._banks: List[Optional[Bank]] = [None] * self.geometry.banks
+
+    def bank(self, index: int) -> Bank:
+        """The bank at ``index``, materialising it on first use."""
+        if not 0 <= index < self.geometry.banks:
+            raise IndexError(
+                f"bank index {index} outside [0, {self.geometry.banks})"
+            )
+        b = self._banks[index]
+        if b is None:
+            g = self.geometry
+            b = Bank(
+                subarrays=g.subarrays_per_bank,
+                tiles_per_subarray=g.tiles_per_subarray,
+                pim_tiles_per_subarray=1,
+                dbcs_per_tile=g.dbcs_per_tile,
+                pim_dbcs_per_tile=g.pim_dbcs_per_tile,
+                tracks=g.tracks_per_dbc,
+                domains=g.domains_per_track,
+                params=self.params,
+                injector=self.injector,
+            )
+            self._banks[index] = b
+        return b
+
+    def pim_dbc(self, bank: int = 0, subarray: int = 0, tile: int = 0, dbc: int = 0):
+        """Shorthand for the PIM DBC at the given coordinates."""
+        return self.bank(bank).subarray(subarray).pim_tile(tile).pim_dbc(dbc)
+
+    @property
+    def total_pim_units(self) -> int:
+        """Concurrently usable PIM DBCs — the PIM parallelism (Table II)."""
+        return (
+            self.geometry.banks
+            * self.geometry.subarrays_per_bank
+            * self.geometry.pim_dbcs_per_tile
+        )
+
+    @property
+    def materialized_banks(self) -> int:
+        return sum(1 for b in self._banks if b is not None)
+
+    def total_cycles(self) -> int:
+        return sum(b.total_cycles() for b in self._banks if b is not None)
+
+    def total_energy_pj(self) -> float:
+        return sum(b.total_energy_pj() for b in self._banks if b is not None)

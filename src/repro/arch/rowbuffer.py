@@ -1,0 +1,58 @@
+"""Hierarchical row buffer (Fig. 2 / Fig. 4a orange path).
+
+The row buffer holds the most recently sensed row. CORUSCANT reuses it to
+move data between non-PIM and PIM DBCs and for the predicated-reset step
+of the max() subroutine (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class RowBuffer:
+    """Latch for one memory row of ``width`` bits."""
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.width = width
+        self._data: Optional[List[int]] = None
+        self.open_row: Optional[int] = None
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self._data is not None
+
+    def latch(self, bits: Sequence[int], row: Optional[int] = None) -> None:
+        """Capture a sensed row."""
+        if len(bits) != self.width:
+            raise ValueError(f"expected {self.width} bits, got {len(bits)}")
+        self._data = list(bits)
+        self.open_row = row
+
+    def data(self) -> List[int]:
+        """Contents of the buffer; raises if nothing is latched."""
+        if self._data is None:
+            raise RuntimeError("row buffer is empty")
+        return list(self._data)
+
+    def reset(self) -> None:
+        """Predicated row-buffer reset: zero the latch (max() subroutine)."""
+        self._data = [0] * self.width
+        self.open_row = None
+
+    def close(self) -> None:
+        """Drop the latched row (precharge)."""
+        self._data = None
+        self.open_row = None
+
+    def access(self, row: int) -> bool:
+        """Record a row-buffer access; returns True on a hit."""
+        if self.is_open and self.open_row == row:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False

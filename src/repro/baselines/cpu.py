@@ -1,0 +1,96 @@
+"""Non-PIM CPU + memory baseline (Figs. 10-11).
+
+The CPU computes; every operand crosses the memory bus. Latency is
+dominated by memory access streams through the DDR timing model (with
+bank-level parallelism) and the queueing the paper observes (~80% of
+runtime). Energy uses the Table II transfer and per-op constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.timing import DDRTimings, DRAM_DDR3_1600, DWM_DDR3_1600
+from repro.energy.model import OpCounts, SystemEnergyModel
+
+
+@dataclass(frozen=True)
+class CpuSystemConfig:
+    """Knobs of the CPU-side latency model.
+
+    Attributes:
+        banks: bank-level parallelism available to the access stream.
+        row_hit_rate: fraction of accesses hitting the open row.
+        avg_shift_distance: average DWM shift per row miss (placement-
+            dependent 'S' of Table II).
+        queue_factor: multiplier capturing controller queueing delay
+            (the paper attributes ~80% of runtime to queueing).
+    """
+
+    banks: int = 32
+    row_hit_rate: float = 0.6
+    avg_shift_distance: int = 17
+    queue_factor: float = 5.0
+
+
+class CpuSystem:
+    """Latency/energy of running a kernel on the CPU with DRAM or DWM.
+
+    Under the heavy queueing the paper observes, latency is throughput
+    bound: what matters is how long each access keeps a bank busy. A
+    DRAM bank is occupied for t_RAS + t_RP per activation; a DWM bank
+    for t_RAS plus the placement-dependent shifting (there is no
+    precharge), which is why DRAM ends up slightly *slower* than DWM
+    despite the shifts (Section V-C).
+    """
+
+    def __init__(
+        self,
+        timings: DDRTimings,
+        config: CpuSystemConfig = CpuSystemConfig(),
+    ) -> None:
+        self.timings = timings
+        self.config = config
+
+    @classmethod
+    def with_dram(cls, config: CpuSystemConfig = CpuSystemConfig()) -> "CpuSystem":
+        return cls(DRAM_DDR3_1600, config)
+
+    @classmethod
+    def with_dwm(cls, config: CpuSystemConfig = CpuSystemConfig()) -> "CpuSystem":
+        return cls(DWM_DDR3_1600, config)
+
+    def avg_access_cycles(self) -> float:
+        """Expected memory cycles of one access given the hit rate."""
+        cfg = self.config
+        shifts = (
+            cfg.avg_shift_distance if self.timings.shift_per_position else 0
+        )
+        hit = self.timings.row_hit_read_cycles()
+        miss = self.timings.row_miss_read_cycles(shifts)
+        return cfg.row_hit_rate * hit + (1 - cfg.row_hit_rate) * miss
+
+    def bank_occupancy_cycles(self) -> float:
+        """Cycles one row activation keeps its bank busy."""
+        shifts = (
+            self.config.avg_shift_distance
+            if self.timings.shift_per_position
+            else 0
+        )
+        return self.timings.t_ras + self.timings.t_rp + shifts
+
+    def latency_cycles(self, accesses: int) -> float:
+        """Total memory cycles for an access stream with queueing."""
+        if accesses < 0:
+            raise ValueError(f"accesses must be >= 0, got {accesses}")
+        cfg = self.config
+        service = accesses * self.bank_occupancy_cycles() / cfg.banks
+        return service * cfg.queue_factor
+
+    def latency_ns(self, accesses: int) -> float:
+        return self.timings.ns(round(self.latency_cycles(accesses)))
+
+    @staticmethod
+    def energy_pj(counts: OpCounts) -> float:
+        """Bus transfer + CPU compute energy (Table II constants)."""
+        return SystemEnergyModel().cpu_energy_pj(counts)

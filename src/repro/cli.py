@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's tables and figures, or run one-off PIM
+operations for exploration:
+
+    python -m repro table1          # area overhead
+    python -m repro table3          # operation comparison
+    python -m repro table4          # CNN FPS
+    python -m repro table5          # reliability
+    python -m repro table6          # CNN with NMR
+    python -m repro fig10           # Polybench latency
+    python -m repro fig11           # Polybench energy
+    python -m repro fig12           # bitmap indices
+    python -m repro all             # everything
+    python -m repro add 13 200 7    # one PIM addition with cycle cost
+    python -m repro mult 173 219    # one PIM multiplication
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _print_kv(title: str, data: dict) -> None:
+    print(f"\n== {title} ==")
+    for key, value in data.items():
+        if isinstance(value, dict):
+            print(f"  {key}:")
+            for k2, v2 in value.items():
+                print(f"    {k2}: {v2}")
+        else:
+            print(f"  {key}: {value}")
+
+
+def _run_table1() -> None:
+    from repro.sim.experiments import area_table
+
+    _print_kv("Table I: area overhead (%)", area_table())
+
+
+def _run_table3() -> None:
+    from repro.sim.experiments import operation_comparison, operation_speedups
+
+    _print_kv("Table III: operations", operation_comparison())
+    _print_kv("Table III: headline ratios vs SPIM", operation_speedups())
+
+
+def _run_table4() -> None:
+    from repro.sim.experiments import cnn_experiment
+
+    _print_kv("Table IV: CNN inference (FPS)", cnn_experiment())
+
+
+def _run_table5() -> None:
+    from repro.sim.experiments import reliability_table
+
+    _print_kv("Table V: reliability", reliability_table())
+
+
+def _run_table6() -> None:
+    from repro.sim.experiments import cnn_nmr_experiment
+
+    _print_kv("Table VI: CNN with NMR (FPS)", cnn_nmr_experiment())
+
+
+def _run_fig10() -> None:
+    from repro.sim.experiments import polybench_experiment, polybench_summary
+
+    results = polybench_experiment()
+    print("\n== Fig. 10: Polybench normalized latency ==")
+    for r in results:
+        print(
+            f"  {r.name:10s} DRAM {r.latency_dram_cpu:5.2f}  DWM 1.00  "
+            f"PIM {r.latency_pim:5.2f}  (speedup {r.speedup_vs_dwm:.2f}x)"
+        )
+    _print_kv("summary", polybench_summary(results))
+
+
+def _run_fig11() -> None:
+    from repro.sim.experiments import polybench_experiment
+
+    print("\n== Fig. 11: Polybench energy reduction ==")
+    for r in polybench_experiment():
+        print(f"  {r.name:10s} {r.energy_reduction:6.1f}x")
+
+
+def _run_fig12() -> None:
+    from repro.sim.experiments import bitmap_experiment
+
+    print("\n== Fig. 12: bitmap query speedups ==")
+    for r in bitmap_experiment():
+        print(
+            f"  w={r.weeks}: Ambit {r.speedup_ambit:6.1f}x  "
+            f"ELP2IM {r.speedup_elp2im:6.1f}x  "
+            f"CORUSCANT {r.speedup_coruscant:6.1f}x"
+        )
+
+
+def _run_report() -> None:
+    from repro.sim.report import generate_report
+
+    print(generate_report())
+
+
+_EXPERIMENTS = {
+    "report": _run_report,
+    "table1": _run_table1,
+    "table3": _run_table3,
+    "table4": _run_table4,
+    "table5": _run_table5,
+    "table6": _run_table6,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "fig12": _run_fig12,
+}
+
+
+def _run_add(values: List[int], trd: int) -> None:
+    from repro import CoruscantSystem, MemoryGeometry
+
+    system = CoruscantSystem(
+        trd=trd, geometry=MemoryGeometry(tracks_per_dbc=64)
+    )
+    n_bits = max(8, max(values).bit_length())
+    result = system.add(values, n_bits=n_bits)
+    print(f"{' + '.join(map(str, values))} = {result.value} "
+          f"[{result.cycles} cycles, TRD={trd}]")
+
+
+def _run_mult(a: int, b: int, trd: int) -> None:
+    from repro import CoruscantSystem, MemoryGeometry
+
+    system = CoruscantSystem(
+        trd=trd, geometry=MemoryGeometry(tracks_per_dbc=64)
+    )
+    n_bits = max(8, a.bit_length(), b.bit_length())
+    result = system.multiply(a, b, n_bits=n_bits)
+    print(f"{a} * {b} = {result.value} "
+          f"[{result.cycles} cycles, TRD={trd}, {result.breakdown}]")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CORUSCANT processing-in-racetrack-memory simulator",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(_EXPERIMENTS) + ["all", "add", "mult"],
+        help="experiment to regenerate, or a one-off PIM operation",
+    )
+    parser.add_argument(
+        "operands", nargs="*", type=int, help="operands for add/mult"
+    )
+    parser.add_argument(
+        "--trd", type=int, default=7, choices=(3, 5, 7),
+        help="transverse read distance (default 7)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "all":
+        for run in _EXPERIMENTS.values():
+            run()
+        return 0
+    if args.command == "add":
+        if len(args.operands) < 2:
+            parser.error("add needs at least two operands")
+        _run_add(args.operands, args.trd)
+        return 0
+    if args.command == "mult":
+        if len(args.operands) != 2:
+            parser.error("mult needs exactly two operands")
+        _run_mult(args.operands[0], args.operands[1], args.trd)
+        return 0
+    _EXPERIMENTS[args.command]()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""CORUSCANT core: the paper's primary contribution.
+
+The polymorphic gate (seven-level TR sense amp + PIM logic block) and the
+algorithms built on it: multi-operand bulk-bitwise logic, multi-operand
+addition, carry-save 7->3 reduction, multiplication, the max()/pooling
+subroutine with transverse writes, and N-modular redundancy voting.
+"""
+
+from repro.core.sense_amp import SenseAmplifier
+from repro.core.pim_logic import BulkOp, PimLogicBlock, adder_outputs
+from repro.core.bulk_bitwise import BulkBitwiseUnit
+from repro.core.addition import MultiOperandAdder, AdditionResult
+from repro.core.reduction import CarrySaveReducer, ReductionResult
+from repro.core.booth import ConstantPlan, plan_constant_multiply
+from repro.core.multiplication import Multiplier, MultiplyResult
+from repro.core.maxpool import MaxUnit, MaxResult
+from repro.core.nmr import ModularRedundancy, VoteResult
+from repro.core.isa import CpimInstruction, CpimOp, decode, encode
+from repro.core.popcount import PopcountUnit
+from repro.core.compare import CompareUnit
+from repro.core.logical_shift import LogicalShifter
+from repro.core.signed import SignedUnit
+from repro.core.floatpoint import FloatUnit, PimFloat
+from repro.core.avgpool import AverageUnit
+
+__all__ = [
+    "AverageUnit",
+    "CompareUnit",
+    "FloatUnit",
+    "LogicalShifter",
+    "PimFloat",
+    "PopcountUnit",
+    "SignedUnit",
+    "AdditionResult",
+    "BulkBitwiseUnit",
+    "BulkOp",
+    "CarrySaveReducer",
+    "ConstantPlan",
+    "CpimInstruction",
+    "CpimOp",
+    "MaxResult",
+    "MaxUnit",
+    "ModularRedundancy",
+    "MultiOperandAdder",
+    "Multiplier",
+    "MultiplyResult",
+    "PimLogicBlock",
+    "ReductionResult",
+    "SenseAmplifier",
+    "VoteResult",
+    "adder_outputs",
+    "decode",
+    "encode",
+    "plan_constant_multiply",
+]

@@ -1,0 +1,86 @@
+"""Average pooling on the PIM primitives (Section IV-B).
+
+Pooling layers take the average or maximum of window values; the max
+path is the transverse-write subroutine in :mod:`repro.core.maxpool`.
+The average path sums the candidates through the multi-operand adder /
+carry-save reducer and divides by the (power-of-two) window size with a
+logical right shift — dropping the low tracks of the sum, the mirror of
+the Fig. 4(a) left-shift connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.addition import MultiOperandAdder
+from repro.core.reduction import CarrySaveReducer
+from repro.utils.bitops import bits_from_int
+
+
+@dataclass(frozen=True)
+class AvgResult:
+    """Outcome of one average-pooling reduction."""
+
+    value: int
+    cycles: int
+
+
+class AverageUnit:
+    """Mean of up to a window of words, rounded toward zero."""
+
+    def __init__(self, dbc: DomainBlockCluster) -> None:
+        if not dbc.pim_enabled:
+            raise ValueError("average pooling requires a PIM-enabled DBC")
+        self.dbc = dbc
+        self.adder = MultiOperandAdder(dbc)
+        self.reducer = CarrySaveReducer(dbc)
+
+    def average(self, words: Sequence[int], n_bits: int) -> AvgResult:
+        """Mean of the words; the count must be a power of two.
+
+        A non-power-of-two window would need a true division, which the
+        polymorphic gate does not provide (the paper's pooling windows
+        are 2x2 and 3x3 with 3x3 handled as max).
+        """
+        count = len(words)
+        if count < 1:
+            raise ValueError("average needs at least one word")
+        if count & (count - 1):
+            raise ValueError(
+                f"window of {count} is not a power of two; use max "
+                "pooling or pad the window"
+            )
+        before = self.dbc.stats.cycles
+        width = n_bits + count.bit_length() + 1
+        if width > self.dbc.tracks:
+            raise ValueError(
+                f"accumulator width {width} exceeds the DBC's "
+                f"{self.dbc.tracks} tracks"
+            )
+        total = self._sum(words, n_bits, width)
+        shift = count.bit_length() - 1
+        # Logical right shift: one shifted read/write per position.
+        self.dbc.tick(2 * shift, "right_shift")
+        return AvgResult(
+            value=total >> shift,
+            cycles=self.dbc.stats.cycles - before,
+        )
+
+    def _sum(self, words: Sequence[int], n_bits: int, width: int) -> int:
+        rows: List[List[int]] = []
+        for i, w in enumerate(words):
+            if w < 0 or w >> n_bits:
+                raise ValueError(
+                    f"word {i} ({w}) does not fit in {n_bits} bits"
+                )
+            rows.append(
+                bits_from_int(w, width) + [0] * (self.dbc.tracks - width)
+            )
+        if len(rows) == 1:
+            return words[0]
+        if len(rows) > self.adder.max_operands:
+            rows = self.reducer.reduce_to(rows).rows
+        self.adder.stage_rows(rows)
+        return self.adder.run(len(rows), width).value

@@ -1,0 +1,229 @@
+"""Constant-multiplication planning (Section III-D1).
+
+At compile time a constant multiplier is recoded into signed digits
+{0, N, P} = {0, -1, +1} (canonical signed digit / Booth form), then the
+non-zero digits are grouped into multi-operand addition steps of at most
+TRD-2 terms each. Every term is a logically shifted copy of the variable
+operand, possibly complemented; a complemented term's +1 rides in the
+addition's carry-in slot, so one negation per step is free.
+
+The paper's 20061 example compresses further by reusing a repeated digit
+pattern (515 appears twice); :func:`plan_constant_multiply` performs that
+common-subexpression search for repeated patterns too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.addition import max_addition_operands
+from repro.utils.bitops import csd_encode
+
+
+@dataclass(frozen=True)
+class Term:
+    """One addition operand: ``(+/-) source << shift``.
+
+    ``source`` names a previously computed value: "A" for the variable
+    operand, or "T<i>" for the output of step ``i``.
+    """
+
+    source: str
+    shift: int
+    negate: bool = False
+
+    def describe(self) -> str:
+        sign = "-" if self.negate else "+"
+        return f"{sign}{self.source}<<{self.shift}"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One multi-operand addition step of the plan."""
+
+    name: str
+    terms: Tuple[Term, ...]
+
+    def describe(self) -> str:
+        return f"{self.name} = " + " ".join(t.describe() for t in self.terms)
+
+
+@dataclass(frozen=True)
+class ConstantPlan:
+    """A complete plan: evaluate the steps in order; the last is c*A.
+
+    Attributes:
+        constant: the constant the plan computes.
+        steps: addition steps; each has at most TRD-2 terms.
+    """
+
+    constant: int
+    steps: Tuple[Step, ...]
+
+    @property
+    def num_additions(self) -> int:
+        return len(self.steps)
+
+    def evaluate(self, a: int) -> int:
+        """Reference evaluation of the plan (no hardware model)."""
+        values: Dict[str, int] = {"A": a}
+        result = 0
+        for step in self.steps:
+            result = 0
+            for term in step.terms:
+                v = values[term.source] << term.shift
+                result += -v if term.negate else v
+            values[step.name] = result
+        return result
+
+
+def plan_constant_multiply(constant: int, trd: int = 7) -> ConstantPlan:
+    """Plan ``constant * A`` as few multi-operand additions as possible.
+
+    Recode to CSD, search for a repeated digit pattern worth factoring
+    (the paper's 515-in-20061 trick), then greedily pack the remaining
+    terms into (TRD-2)-operand addition steps.
+    """
+    if constant < 0:
+        raise ValueError("plan the absolute value; negate the result")
+    budget = max_addition_operands(trd)
+    if constant == 0:
+        return ConstantPlan(constant=0, steps=())
+    digits = csd_encode(constant)
+    pattern = _best_repeated_pattern(digits, budget)
+    steps: List[Step] = []
+    if pattern is not None:
+        base_digits, occurrences = pattern
+        base_terms = _digit_terms(base_digits, "A")
+        steps.append(Step(name="T0", terms=tuple(base_terms)))
+        remaining = _subtract_occurrences(digits, base_digits, occurrences)
+        occurrence_terms = [
+            Term("T0", shift, negate=(sign < 0))
+            for shift, sign in occurrences
+        ]
+        leftover_terms = _digit_terms(remaining, "A")
+        steps.extend(
+            _pack_steps(occurrence_terms + leftover_terms, budget, start=1)
+        )
+    else:
+        steps.extend(_pack_steps(_digit_terms(digits, "A"), budget, start=0))
+    plan = ConstantPlan(constant=constant, steps=tuple(steps))
+    assert plan.evaluate(1) == constant, "planner produced a wrong plan"
+    return plan
+
+
+def _digit_terms(digits: Sequence[int], source: str) -> List[Term]:
+    """Terms for each non-zero CSD digit."""
+    return [
+        Term(source, shift, negate=(d < 0))
+        for shift, d in enumerate(digits)
+        if d
+    ]
+
+
+def _pack_steps(terms: List[Term], budget: int, start: int) -> List[Step]:
+    """Greedily chain terms into addition steps of at most ``budget`` operands.
+
+    After the first step its partial sum occupies one operand slot of the
+    next step, so step i > 0 absorbs budget-1 fresh terms.
+    """
+    if not terms:
+        return []
+    steps: List[Step] = []
+    index = start
+    first = terms[:budget]
+    rest = terms[budget:]
+    steps.append(Step(name=f"T{index}", terms=tuple(first)))
+    while rest:
+        index += 1
+        chunk, rest = rest[: budget - 1], rest[budget - 1 :]
+        carry_in = Term(f"T{index - 1}", 0)
+        steps.append(Step(name=f"T{index}", terms=(carry_in, *chunk)))
+    return steps
+
+
+def _best_repeated_pattern(
+    digits: Sequence[int], budget: int
+) -> Optional[Tuple[List[int], List[Tuple[int, int]]]]:
+    """Find a digit pattern appearing >= 2 times (possibly negated).
+
+    Returns (pattern_digits, occurrences) where each occurrence is a
+    (shift, sign) pair, or None when no profitable pattern exists. A
+    pattern is profitable when factoring it reduces the total number of
+    addition steps versus plain packing.
+    """
+    nonzero = [(i, d) for i, d in enumerate(digits) if d]
+    n = len(nonzero)
+    if n < 4:
+        return None
+    plain_steps = _steps_needed(n, budget)
+    best: Optional[Tuple[List[int], List[Tuple[int, int]]]] = None
+    best_steps = plain_steps
+    # Candidate patterns: windows of 2..budget consecutive non-zero digits.
+    for size in range(2, min(budget, n // 2) + 1):
+        for lead in range(n - size + 1):
+            window = nonzero[lead : lead + size]
+            base_shift = window[0][0]
+            shape = tuple(
+                (i - base_shift, d) for i, d in window
+            )  # normalised
+            occurrences = _find_occurrences(nonzero, shape)
+            if len(occurrences) < 2:
+                continue
+            used = len(occurrences) * size
+            leftover = n - used
+            # one step for the pattern + packing of occurrences+leftovers
+            total = 1 + _steps_needed(len(occurrences) + leftover, budget)
+            if total < best_steps:
+                pattern_digits = [0] * (shape[-1][0] + 1)
+                for off, d in shape:
+                    pattern_digits[off] = d
+                best = (pattern_digits, occurrences)
+                best_steps = total
+    return best
+
+
+def _find_occurrences(
+    nonzero: List[Tuple[int, int]], shape: Tuple[Tuple[int, int], ...]
+) -> List[Tuple[int, int]]:
+    """Non-overlapping occurrences of ``shape`` (or its negation)."""
+    taken: set = set()
+    occurrences: List[Tuple[int, int]] = []
+    positions = {i: d for i, d in nonzero}
+    for i, _ in nonzero:
+        if i in taken:
+            continue
+        for sign in (1, -1):
+            cells = [(i + off, sign * d) for off, d in shape]
+            if all(
+                positions.get(pos) == d and pos not in taken
+                for pos, d in cells
+            ):
+                occurrences.append((i, sign))
+                taken.update(pos for pos, _ in cells)
+                break
+    return occurrences
+
+
+def _subtract_occurrences(
+    digits: Sequence[int],
+    pattern: Sequence[int],
+    occurrences: Sequence[Tuple[int, int]],
+) -> List[int]:
+    """Digits left after removing every matched occurrence."""
+    out = list(digits)
+    for shift, sign in occurrences:
+        for off, d in enumerate(pattern):
+            if d:
+                out[shift + off] -= sign * d
+    return out
+
+
+def _steps_needed(terms: int, budget: int) -> int:
+    """Addition steps to sum ``terms`` values with chained partial sums."""
+    if terms <= 1:
+        return 0 if terms <= 1 else 1
+    if terms <= budget:
+        return 1
+    return 1 + -(-(terms - budget) // (budget - 1))

@@ -1,0 +1,114 @@
+"""Comparison, minimum, and ReLU built on the polymorphic gate.
+
+The max() subroutine of Section IV-B generalises: a minimum falls out
+of running max() over complemented values, and a two-value comparison
+is a max() whose survivor is inspected. ReLU (Section IV-C) is a
+predicated row refresh on the sign bit: the memory controller zeroes a
+value when its MSB reads '1'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.maxpool import MaxUnit
+from repro.utils.bitops import bits_from_int, bits_to_int
+
+
+@dataclass(frozen=True)
+class CompareResult:
+    """Outcome of a comparison-family operation."""
+
+    value: int
+    cycles: int
+
+
+class CompareUnit:
+    """min / compare / ReLU helpers bound to one PIM DBC."""
+
+    def __init__(self, dbc: DomainBlockCluster) -> None:
+        if not dbc.pim_enabled:
+            raise ValueError("comparison ops require a PIM-enabled DBC")
+        self.dbc = dbc
+        self.trd = dbc.window_size
+        self._max = MaxUnit(dbc)
+
+    def maximum(self, words: Sequence[int], n_bits: int) -> CompareResult:
+        """Max of up to TRD words (delegates to the TW subroutine)."""
+        result = self._max.run(words, n_bits)
+        return CompareResult(value=result.value, cycles=result.cycles)
+
+    def minimum(self, words: Sequence[int], n_bits: int) -> CompareResult:
+        """Min via max over the one's complements.
+
+        Complementing costs one NOT pass (TR + write) per word group on
+        entry and one on exit.
+        """
+        if not words:
+            raise ValueError("minimum needs at least one word")
+        mask = (1 << n_bits) - 1
+        before = self.dbc.stats.cycles
+        complemented = [(~w) & mask for w in words]
+        self.dbc.tick(2, "complement_in")
+        result = self._max.run(complemented, n_bits)
+        self.dbc.tick(2, "complement_out")
+        return CompareResult(
+            value=(~result.value) & mask,
+            cycles=self.dbc.stats.cycles - before,
+        )
+
+    def greater_equal(self, a: int, b: int, n_bits: int) -> CompareResult:
+        """a >= b, decided by whether ``a`` survives max(a, b).
+
+        Stages the two words, runs the max subroutine, and checks which
+        slot still holds a non-zero word (ties keep both, and a tie
+        means a >= b).
+        """
+        before = self.dbc.stats.cycles
+        result = self._max.run([a, b], n_bits)
+        value = 1 if result.value == a else 0
+        return CompareResult(
+            value=value, cycles=self.dbc.stats.cycles - before
+        )
+
+    def relu_row(
+        self, values: Sequence[int], n_bits: int
+    ) -> List[int]:
+        """ReLU over two's-complement words via MSB-predicated reset.
+
+        Each word is read, its sign bit drives a predicated row-buffer
+        reset, and the (possibly zeroed) word is written back — one
+        read + one write per word (Section IV-C).
+        """
+        out: List[int] = []
+        for v in values:
+            if v < 0 or v >> n_bits:
+                raise ValueError(
+                    f"value {v} is not an {n_bits}-bit pattern"
+                )
+            msb = (v >> (n_bits - 1)) & 1
+            out.append(0 if msb else v)
+            self.dbc.tick(2, "relu_rw")
+        return out
+
+
+def pack_row(words: Sequence[int], n_bits: int, tracks: int) -> List[int]:
+    """Pack words into one row of ``tracks`` bits (blocksize layout)."""
+    bits: List[int] = []
+    for w in words:
+        bits.extend(bits_from_int(w, n_bits))
+    if len(bits) > tracks:
+        raise ValueError(
+            f"{len(words)} x {n_bits}-bit words exceed {tracks} tracks"
+        )
+    return bits + [0] * (tracks - len(bits))
+
+
+def unpack_row(row: Sequence[int], n_bits: int) -> List[int]:
+    """Inverse of :func:`pack_row` (trailing zero padding ignored)."""
+    words = []
+    for start in range(0, len(row) - n_bits + 1, n_bits):
+        words.append(bits_to_int(list(row[start : start + n_bits])))
+    return words

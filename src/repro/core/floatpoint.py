@@ -1,0 +1,187 @@
+"""Floating-point operations on PIM — the paper's stated future work.
+
+The conclusion names floating-point as the next in-memory capability.
+This module implements a compact custom float (configurable exponent /
+mantissa widths, no subnormals or NaN payloads) whose add and multiply
+decompose entirely into the primitives this library already provides:
+
+* mantissa alignment — logical shifts (the Fig. 4a brown connections);
+* mantissa add/subtract — the multi-operand adder with the
+  complement-plus-carry-in subtraction trick;
+* mantissa multiply — the carry-save multiplier;
+* exponent arithmetic — small adds through the same adder;
+* normalisation — TR on successive tracks locates the leading one
+  (a TR level > 0 on the high group pins the top set bit's group).
+
+Results are exact in the representable range: round-to-zero on the
+mantissa, like a minimal hardware FPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.logical_shift import LogicalShifter
+from repro.core.multiplication import Multiplier
+from repro.core.signed import SignedUnit
+
+
+@dataclass(frozen=True)
+class PimFloat:
+    """A custom float: value = (-1)^sign * 1.mantissa * 2^(exp - bias).
+
+    ``mantissa`` stores the fraction bits only (the leading one is
+    implicit); ``exponent`` is biased. Zero is all-zero.
+    """
+
+    sign: int
+    exponent: int
+    mantissa: int
+    exp_bits: int = 6
+    man_bits: int = 10
+
+    def __post_init__(self) -> None:
+        if self.sign not in (0, 1):
+            raise ValueError("sign must be 0 or 1")
+        if not 0 <= self.exponent < (1 << self.exp_bits):
+            raise ValueError("exponent out of range")
+        if not 0 <= self.mantissa < (1 << self.man_bits):
+            raise ValueError("mantissa out of range")
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exp_bits - 1)) - 1
+
+    @property
+    def is_zero(self) -> bool:
+        return self.exponent == 0 and self.mantissa == 0
+
+    def to_float(self) -> float:
+        if self.is_zero:
+            return 0.0
+        significand = 1.0 + self.mantissa / (1 << self.man_bits)
+        return (-1.0) ** self.sign * significand * 2.0 ** (
+            self.exponent - self.bias
+        )
+
+    @classmethod
+    def from_float(
+        cls, value: float, exp_bits: int = 6, man_bits: int = 10
+    ) -> "PimFloat":
+        if value == 0.0:
+            return cls(0, 0, 0, exp_bits, man_bits)
+        sign = 1 if value < 0 else 0
+        magnitude = abs(value)
+        exponent = 0
+        while magnitude >= 2.0:
+            magnitude /= 2.0
+            exponent += 1
+        while magnitude < 1.0:
+            magnitude *= 2.0
+            exponent -= 1
+        bias = (1 << (exp_bits - 1)) - 1
+        biased = exponent + bias
+        if not 0 < biased < (1 << exp_bits):
+            raise OverflowError(f"{value} outside the representable range")
+        mantissa = int((magnitude - 1.0) * (1 << man_bits))
+        return cls(sign, biased, mantissa, exp_bits, man_bits)
+
+
+class FloatUnit:
+    """Float add/multiply built from the integer PIM primitives."""
+
+    def __init__(self, dbc: DomainBlockCluster) -> None:
+        if not dbc.pim_enabled:
+            raise ValueError("float ops require a PIM-enabled DBC")
+        self.dbc = dbc
+        self.signed = SignedUnit(dbc)
+        self.multiplier = Multiplier(dbc)
+        self.shifter = LogicalShifter(dbc)
+
+    # ------------------------------------------------------------------
+
+    def add(self, a: PimFloat, b: PimFloat) -> PimFloat:
+        """Align, add/subtract mantissas, renormalise."""
+        self._check_compatible(a, b)
+        if a.is_zero:
+            return b
+        if b.is_zero:
+            return a
+        man_bits = a.man_bits
+        width = man_bits + 4  # implicit one + carry + alignment slack
+        # Order so |a| >= |b| by exponent (ties by mantissa).
+        if (b.exponent, b.mantissa) > (a.exponent, a.mantissa):
+            a, b = b, a
+        shift = a.exponent - b.exponent
+        big = (1 << man_bits) | a.mantissa
+        small = (1 << man_bits) | b.mantissa
+        # Exponent difference via a small signed subtract on the PIM.
+        self.signed.subtract(a.exponent, b.exponent, a.exp_bits + 1)
+        if shift > width:
+            return a  # b vanishes entirely below the mantissa
+        # Mantissa alignment: logical right shift = drop low tracks
+        # (round toward zero), costed like its left counterpart.
+        self.dbc.tick(2 * min(shift, width), "align_shift")
+        small >>= shift
+        if a.sign == b.sign:
+            total = self.signed.add([big, small], width + 1).value
+            sign = a.sign
+        else:
+            total = self.signed.subtract(big, small, width + 1).value
+            sign = a.sign if total >= 0 else 1 - a.sign
+            total = abs(total)
+        if total == 0:
+            return PimFloat(0, 0, 0, a.exp_bits, man_bits)
+        exponent, mantissa = self._normalise(
+            total, a.exponent, man_bits, a.exp_bits
+        )
+        return PimFloat(sign, exponent, mantissa, a.exp_bits, man_bits)
+
+    def multiply(self, a: PimFloat, b: PimFloat) -> PimFloat:
+        """Multiply mantissas (carry-save path), add exponents."""
+        self._check_compatible(a, b)
+        if a.is_zero or b.is_zero:
+            return PimFloat(0, 0, 0, a.exp_bits, a.man_bits)
+        man_bits = a.man_bits
+        sig_a = (1 << man_bits) | a.mantissa
+        sig_b = (1 << man_bits) | b.mantissa
+        product = self.multiplier.multiply(
+            sig_a, sig_b, man_bits + 1, result_bits=2 * (man_bits + 1)
+        ).value
+        exp_sum = self.signed.add(
+            [a.exponent - a.bias, b.exponent - b.bias], a.exp_bits + 2
+        ).value
+        sign = a.sign ^ b.sign
+        # product is in [2^(2m), 2^(2m+2)); normalise to 1.m form.
+        top = product.bit_length() - 1
+        exponent = exp_sum + (top - 2 * man_bits) + a.bias
+        if not 0 < exponent < (1 << a.exp_bits):
+            raise OverflowError("float multiply exponent out of range")
+        mantissa = (product >> (top - man_bits)) & ((1 << man_bits) - 1)
+        return PimFloat(sign, exponent, mantissa, a.exp_bits, man_bits)
+
+    # ------------------------------------------------------------------
+
+    def _normalise(
+        self, total: int, exponent: int, man_bits: int, exp_bits: int
+    ):
+        """Locate the leading one (TR group scan) and renormalise."""
+        top = total.bit_length() - 1
+        # The leading-one search reads TR levels over successive track
+        # groups from the top; cost one TR per group inspected.
+        groups = max(1, -(-max(top, 1) // max(1, self.dbc.window_size)))
+        self.dbc.tick(groups, "leading_one_scan")
+        exponent = exponent + (top - man_bits)
+        if not 0 < exponent < (1 << exp_bits):
+            raise OverflowError("float add exponent out of range")
+        if top >= man_bits:
+            mantissa = (total >> (top - man_bits)) & ((1 << man_bits) - 1)
+        else:
+            mantissa = (total << (man_bits - top)) & ((1 << man_bits) - 1)
+        return exponent, mantissa
+
+    @staticmethod
+    def _check_compatible(a: PimFloat, b: PimFloat) -> None:
+        if (a.exp_bits, a.man_bits) != (b.exp_bits, b.man_bits):
+            raise ValueError("operands have different float formats")

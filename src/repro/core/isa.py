@@ -1,0 +1,148 @@
+"""The ``cpim`` instruction (Section III-E).
+
+CORUSCANT adds one instruction family that the core hands to the memory
+controller::
+
+    cpim op, blocksize, src, dest
+
+``src`` names the DBC and nanowire position to align with the leftmost
+access port; ``op`` and ``blocksize`` program the Fig. 4(a) multiplexer
+select bits and the bitline masks that segment the carry chain. This
+module provides the encoding the memory controller decodes, with a packed
+64-bit binary form as a memory-mapped store would carry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+BLOCK_SIZES = (8, 16, 32, 64, 128, 256, 512)
+
+
+class CpimOp(enum.Enum):
+    """Operations the cpim instruction can request."""
+
+    READ = 0
+    WRITE = 1
+    AND = 2
+    NAND = 3
+    OR = 4
+    NOR = 5
+    XOR = 6
+    XNOR = 7
+    NOT = 8
+    ADD = 9
+    REDUCE = 10
+    MULT = 11
+    MAX = 12
+    VOTE = 13
+    COPY = 14
+
+
+@dataclass(frozen=True)
+class Address:
+    """Physical coordinates of a DBC-aligned operand."""
+
+    bank: int
+    subarray: int
+    tile: int
+    dbc: int
+    row: int
+
+    _FIELD_BITS = (5, 6, 4, 4, 5)  # bank, subarray, tile, dbc, row
+
+    def __post_init__(self) -> None:
+        for value, bits, name in zip(
+            (self.bank, self.subarray, self.tile, self.dbc, self.row),
+            self._FIELD_BITS,
+            ("bank", "subarray", "tile", "dbc", "row"),
+        ):
+            if not 0 <= value < (1 << bits):
+                raise ValueError(
+                    f"{name}={value} outside [0, {1 << bits})"
+                )
+
+    def pack(self) -> int:
+        packed = 0
+        for value, bits in zip(
+            (self.bank, self.subarray, self.tile, self.dbc, self.row),
+            self._FIELD_BITS,
+        ):
+            packed = (packed << bits) | value
+        return packed
+
+    @classmethod
+    def unpack(cls, packed: int) -> "Address":
+        values = []
+        for bits in reversed(cls._FIELD_BITS):
+            values.append(packed & ((1 << bits) - 1))
+            packed >>= bits
+        row, dbc, tile, subarray, bank = values
+        return cls(bank=bank, subarray=subarray, tile=tile, dbc=dbc, row=row)
+
+    @classmethod
+    def bit_width(cls) -> int:
+        return sum(cls._FIELD_BITS)
+
+
+@dataclass(frozen=True)
+class CpimInstruction:
+    """One decoded cpim instruction.
+
+    Attributes:
+        op: requested operation.
+        blocksize: carry-chain segment width (8..512, power of two).
+        src: source address (aligned to the leftmost access port).
+        dest: destination address.
+        operands: operand-row count for multi-operand ops.
+    """
+
+    op: CpimOp
+    blocksize: int
+    src: Address
+    dest: Address
+    operands: int = 2
+
+    def __post_init__(self) -> None:
+        if self.blocksize not in BLOCK_SIZES:
+            raise ValueError(
+                f"blocksize {self.blocksize} not in {BLOCK_SIZES}"
+            )
+        if not 1 <= self.operands <= 7:
+            raise ValueError(
+                f"operands {self.operands} outside [1, 7]"
+            )
+
+
+def encode(instruction: CpimInstruction) -> int:
+    """Pack a cpim instruction into its 64-bit binary form."""
+    addr_bits = Address.bit_width()
+    word = instruction.op.value
+    word = (word << 3) | BLOCK_SIZES.index(instruction.blocksize)
+    word = (word << 3) | (instruction.operands - 1)
+    word = (word << addr_bits) | instruction.src.pack()
+    word = (word << addr_bits) | instruction.dest.pack()
+    if word >> 64:
+        raise AssertionError("cpim encoding exceeded 64 bits")
+    return word
+
+
+def decode(word: int) -> CpimInstruction:
+    """Inverse of :func:`encode`."""
+    addr_bits = Address.bit_width()
+    dest = Address.unpack(word & ((1 << addr_bits) - 1))
+    word >>= addr_bits
+    src = Address.unpack(word & ((1 << addr_bits) - 1))
+    word >>= addr_bits
+    operands = (word & 0b111) + 1
+    word >>= 3
+    blocksize = BLOCK_SIZES[word & 0b111]
+    word >>= 3
+    return CpimInstruction(
+        op=CpimOp(word),
+        blocksize=blocksize,
+        src=src,
+        dest=dest,
+        operands=operands,
+    )

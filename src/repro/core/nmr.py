@@ -1,0 +1,115 @@
+"""N-modular redundancy voting (Section III-F, Fig. 7c/d).
+
+ECC is not homomorphic under PIM, so CORUSCANT protects PIM results by
+computing them N times (N in {3, 5, 7}) and majority-voting. The vote
+itself reuses the super-carry (C') circuit: with the N result rows in the
+window padded by ``4 - ceil(N/2)`` rows of '1's (and '0's elsewhere), C'
+reports '1' exactly when a majority of the results carry a '1'. At
+TRD = 3 the carry (C) output plays the same role for N = 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.arch.dbc import DomainBlockCluster
+
+
+@dataclass(frozen=True)
+class VoteResult:
+    """Outcome of one majority vote.
+
+    Attributes:
+        bits: the voted row.
+        cycles: DBC cycles consumed by the vote.
+        n: the redundancy degree.
+    """
+
+    bits: List[int]
+    cycles: int
+    n: int
+
+
+class ModularRedundancy:
+    """N-modular redundancy executor bound to one PIM DBC."""
+
+    SUPPORTED = (3, 5, 7)
+
+    def __init__(self, dbc: DomainBlockCluster) -> None:
+        if not dbc.pim_enabled:
+            raise ValueError("NMR voting requires a PIM-enabled DBC")
+        self.dbc = dbc
+        self.trd = dbc.window_size
+
+    def max_redundancy(self) -> int:
+        """Largest supported N that fits this window."""
+        return max(n for n in self.SUPPORTED if self._fits(n))
+
+    def _fits(self, n: int) -> bool:
+        if n not in self.SUPPORTED:
+            return False
+        if self.trd == 3:
+            return n == 3
+        ones = self._padding_ones(n)
+        return n + ones <= self.trd
+
+    def _padding_ones(self, n: int) -> int:
+        """'1' rows needed so the C' threshold (>= 4) matches majority."""
+        if self.trd == 3:
+            return 0  # the C (>= 2) output votes directly for N = 3
+        return 4 - (n + 1) // 2
+
+    def vote(self, replicas: Sequence[Sequence[int]]) -> VoteResult:
+        """Majority-vote N replica rows through the C' (or C) circuit.
+
+        Costs the staging of the padding-aligned window (the replica rows
+        are assumed adjacent from the redundant computation, Fig. 7c/d)
+        plus one parallel TR.
+        """
+        n = len(replicas)
+        if n not in self.SUPPORTED:
+            raise ValueError(f"N must be one of {self.SUPPORTED}, got {n}")
+        if not self._fits(n):
+            raise ValueError(f"N={n} does not fit a TRD-{self.trd} window")
+        width = self.dbc.tracks
+        for i, row in enumerate(replicas):
+            if len(row) != width:
+                raise ValueError(
+                    f"replica {i} has {len(row)} bits, expected {width}"
+                )
+        before = self.dbc.stats.cycles
+        ones = self._padding_ones(n)
+        zeros = self.trd - n - ones
+        layout: List[List[int]] = []
+        # Fig. 7(c): half the '1'/'0' padding at each head, replicas in
+        # the middle, so a preset row bank needs no extra shifting.
+        layout.extend([[1] * width] * (ones - ones // 2))
+        layout.extend([[0] * width] * (zeros - zeros // 2))
+        layout.extend([list(r) for r in replicas])
+        layout.extend([[0] * width] * (zeros // 2))
+        layout.extend([[1] * width] * (ones // 2))
+        for slot, row in enumerate(layout):
+            self.dbc.poke_window_slot(slot, row)
+        levels = self.dbc.transverse_read_all()
+        threshold = 2 if self.trd == 3 else 4
+        bits = [1 if lvl >= threshold else 0 for lvl in levels]
+        return VoteResult(
+            bits=bits, cycles=self.dbc.stats.cycles - before, n=n
+        )
+
+    def run_redundant(
+        self,
+        n: int,
+        compute: Callable[[int], List[int]],
+    ) -> VoteResult:
+        """Run ``compute`` N times and vote the results.
+
+        ``compute(replica_index)`` must return a result row; faults in
+        individual replicas (up to ``(N-1)//2`` per bit position) are
+        corrected by the vote.
+        """
+        if n not in self.SUPPORTED:
+            raise ValueError(f"N must be one of {self.SUPPORTED}, got {n}")
+        replicas = [compute(i) for i in range(n)]
+        return self.vote(replicas)

@@ -1,0 +1,110 @@
+"""Population count via transverse reads.
+
+A TR already *is* a popcount of up to TRD domains, so counting the ones
+in a long row reduces to summing TR levels: read each TRD-domain group
+of the value (staged transposed across window slots), then accumulate
+the per-group counts with the multi-operand adder. Database queries use
+this to answer "how many" without shipping the result bitmap to the CPU
+(Section V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.addition import MultiOperandAdder
+from repro.utils.bitops import bits_from_int
+
+
+@dataclass(frozen=True)
+class PopcountResult:
+    """Outcome of one in-memory popcount.
+
+    Attributes:
+        count: number of '1's in the row.
+        cycles: DBC cycles consumed.
+        groups: how many TR groups were sensed.
+    """
+
+    count: int
+    cycles: int
+    groups: int
+
+
+class PopcountUnit:
+    """Counts ones in a row using the polymorphic gate."""
+
+    def __init__(self, dbc: DomainBlockCluster) -> None:
+        if not dbc.pim_enabled:
+            raise ValueError("popcount requires a PIM-enabled DBC")
+        self.dbc = dbc
+        self.trd = dbc.window_size
+        self.adder = MultiOperandAdder(dbc)
+
+    def count_row(self, bits: Sequence[int]) -> PopcountResult:
+        """Popcount of an arbitrary bit row.
+
+        The row is staged transposed: group g occupies window slots so
+        that one TR of track g senses the whole group. Group counts are
+        then summed via staged multi-operand additions.
+        """
+        bits = [int(b) for b in bits]
+        for i, bit in enumerate(bits):
+            if bit not in (0, 1):
+                raise ValueError(f"bit {i} is {bit!r}")
+        before = self.dbc.stats.cycles
+        groups = [
+            bits[i : i + self.trd] for i in range(0, len(bits), self.trd)
+        ]
+        counts: List[int] = []
+        # Sense groups in batches of `tracks` parallel TRs.
+        for start in range(0, len(groups), self.dbc.tracks):
+            batch = groups[start : start + self.dbc.tracks]
+            for slot in range(self.trd):
+                row = [
+                    group[slot] if slot < len(group) else 0
+                    for group in batch
+                ]
+                row += [0] * (self.dbc.tracks - len(row))
+                self.dbc.poke_window_slot(slot, row)
+            levels = self.dbc.transverse_read_all()
+            counts.extend(levels[: len(batch)])
+        total = self._sum_counts(counts)
+        return PopcountResult(
+            count=total,
+            cycles=self.dbc.stats.cycles - before,
+            groups=len(groups),
+        )
+
+    def _sum_counts(self, counts: List[int]) -> int:
+        """Accumulate group counts with chained multi-operand adds."""
+        width = max(8, (sum(counts)).bit_length() + 2)
+        if width > self.dbc.tracks:
+            raise ValueError(
+                f"popcount accumulator of {width} bits exceeds the "
+                f"{self.dbc.tracks}-track DBC"
+            )
+        budget = self.adder.max_operands
+        acc = 0
+        pending = list(counts)
+        first = True
+        while pending:
+            take = budget if first else budget - 1
+            group = pending[:take]
+            pending = pending[take:]
+            if not first:
+                group.insert(0, acc)
+            if len(group) == 1:
+                acc = group[0]
+            else:
+                rows = [
+                    bits_from_int(g, width)
+                    + [0] * (self.dbc.tracks - width)
+                    for g in group
+                ]
+                self.adder.stage_rows(rows)
+                acc = self.adder.run(len(rows), width).value
+            first = False
+        return acc

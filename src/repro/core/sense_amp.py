@@ -1,0 +1,49 @@
+"""Seven-level transverse-read sense amplifier (Fig. 4a, tan blocks).
+
+A TR across up to TRD domains produces one of TRD+1 resistance levels.
+The CORUSCANT sense amp thermometer-codes that level: output ``SA[j]`` is
+'1' iff the window contains at least ``j`` ones, for j in 1..TRD. The PIM
+logic block consumes this thermometer code.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class SenseAmplifier:
+    """Thermometer-coding multi-level sense amp for transverse reads."""
+
+    def __init__(self, trd: int = 7) -> None:
+        if trd < 2:
+            raise ValueError(f"trd must be >= 2, got {trd}")
+        self.trd = trd
+
+    def sense(self, level: int) -> List[int]:
+        """Thermometer code of a TR level.
+
+        >>> SenseAmplifier(7).sense(3)
+        [1, 1, 1, 0, 0, 0, 0]
+        """
+        if not 0 <= level <= self.trd:
+            raise ValueError(f"level {level} outside [0, {self.trd}]")
+        return [1 if level >= j else 0 for j in range(1, self.trd + 1)]
+
+    def level(self, thermometer: List[int]) -> int:
+        """Decode a thermometer code back to a level, validating monotonicity."""
+        if len(thermometer) != self.trd:
+            raise ValueError(
+                f"expected {self.trd} outputs, got {len(thermometer)}"
+            )
+        level = 0
+        seen_zero = False
+        for j, bit in enumerate(thermometer, start=1):
+            if bit not in (0, 1):
+                raise ValueError(f"SA output {j} is {bit!r}")
+            if bit and seen_zero:
+                raise ValueError(f"non-monotone thermometer code {thermometer}")
+            if bit:
+                level = j
+            else:
+                seen_zero = True
+        return level

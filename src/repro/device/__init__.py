@@ -1,0 +1,23 @@
+"""DWM (racetrack) device-level behavioral model.
+
+This package models a single ferromagnetic nanowire at the granularity the
+paper's evaluation needs: individual magnetic domains holding one bit each,
+access ports, lateral domain-wall shifting, conventional (orthogonal)
+reads/writes, and the transverse read/write operations that CORUSCANT
+builds its polymorphic gate on.
+"""
+
+from repro.device.parameters import DeviceParameters, TimingEnergy
+from repro.device.nanowire import AccessPort, Nanowire
+from repro.device.faults import FaultConfig, FaultInjector
+from repro.device.stats import DeviceStats
+
+__all__ = [
+    "AccessPort",
+    "DeviceParameters",
+    "DeviceStats",
+    "FaultConfig",
+    "FaultInjector",
+    "Nanowire",
+    "TimingEnergy",
+]

@@ -1,0 +1,83 @@
+"""Fault injection for the DWM device model.
+
+Two fault classes matter for CORUSCANT (Sections II-A and V-F):
+
+* **Shift faults** — a lateral current pulse over/under-shifts the domain
+  walls, misaligning the nanowire by one position. The paper assumes the
+  alignment-fault literature (TAPestry, Hi-Fi, PIETT, ...) handles these
+  with <1% overhead, so by default we inject none; they remain available
+  for failure-injection tests.
+* **TR level faults** — process variation makes a transverse read report
+  one level higher or lower than the true count of ones. The paper derives
+  an intrinsic rate of circa 1e-6 per TR; faults off by two or more levels
+  are negligible and we do not model them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Probabilities of the modeled fault mechanisms.
+
+    Attributes:
+        tr_fault_rate: chance one TR misreads by exactly one level.
+        shift_fault_rate: chance one shift over- or under-shifts by one.
+        seed: RNG seed so experiments are reproducible.
+    """
+
+    tr_fault_rate: float = 0.0
+    shift_fault_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("tr_fault_rate", "shift_fault_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {rate}")
+
+
+class FaultInjector:
+    """Draws fault events according to a :class:`FaultConfig`.
+
+    A single injector is shared by all nanowires of a DBC so one seed
+    controls the whole experiment.
+    """
+
+    def __init__(self, config: Optional[FaultConfig] = None) -> None:
+        self.config = config or FaultConfig()
+        self._rng = random.Random(self.config.seed)
+        self.tr_faults_injected = 0
+        self.shift_faults_injected = 0
+
+    def perturb_tr_level(self, level: int, max_level: int) -> int:
+        """Possibly misread a TR level by +/-1, clamped to [0, max_level]."""
+        if self.config.tr_fault_rate == 0.0:
+            return level
+        if self._rng.random() >= self.config.tr_fault_rate:
+            return level
+        self.tr_faults_injected += 1
+        if level == 0:
+            return 1
+        if level == max_level:
+            return max_level - 1
+        return level + self._rng.choice((-1, 1))
+
+    def perturb_shift(self, amount: int) -> int:
+        """Possibly over/under-shift a one-position shift by one.
+
+        ``amount`` is +1 or -1; a fault turns it into 0 (under-shift) or
+        +/-2 (over-shift) with equal probability.
+        """
+        if self.config.shift_fault_rate == 0.0:
+            return amount
+        if self._rng.random() >= self.config.shift_fault_rate:
+            return amount
+        self.shift_faults_injected += 1
+        if self._rng.random() < 0.5:
+            return 0
+        return amount * 2

@@ -1,0 +1,43 @@
+"""Per-device operation accounting (cycles + energy)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class DeviceStats:
+    """Accumulates operation counts, cycles, and energy for one device.
+
+    The simulator increments these on every shift / read / write / TR / TW,
+    so any higher-level routine (addition, multiplication, max, ...) gets
+    its cost roll-up for free.
+    """
+
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    cycles: int = 0
+    energy_pj: float = 0.0
+
+    def record(self, op: str, cycles: int, energy_pj: float, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``op``."""
+        self.op_counts[op] = self.op_counts.get(op, 0) + count
+        self.cycles += cycles * count
+        self.energy_pj += energy_pj * count
+
+    def merge(self, other: "DeviceStats") -> None:
+        """Fold another stats object into this one."""
+        for op, n in other.op_counts.items():
+            self.op_counts[op] = self.op_counts.get(op, 0) + n
+        self.cycles += other.cycles
+        self.energy_pj += other.energy_pj
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.op_counts.clear()
+        self.cycles = 0
+        self.energy_pj = 0.0
+
+    def count(self, op: str) -> int:
+        """Occurrences of ``op`` recorded so far."""
+        return self.op_counts.get(op, 0)

@@ -1,0 +1,26 @@
+"""Energy and area models (Section V-A, Tables I-III)."""
+
+from repro.energy.params import (
+    CPU_ADD32_PJ,
+    CPU_MULT32_PJ,
+    E_TRANS_PJ_PER_BYTE,
+    OperationCosts,
+    CORUSCANT_TABLE3,
+    DWNN_TABLE3,
+    SPIM_TABLE3,
+)
+from repro.energy.area import AreaModel, PimDesign
+from repro.energy.model import SystemEnergyModel
+
+__all__ = [
+    "AreaModel",
+    "CORUSCANT_TABLE3",
+    "CPU_ADD32_PJ",
+    "CPU_MULT32_PJ",
+    "DWNN_TABLE3",
+    "E_TRANS_PJ_PER_BYTE",
+    "OperationCosts",
+    "PimDesign",
+    "SPIM_TABLE3",
+    "SystemEnergyModel",
+]

@@ -1,0 +1,110 @@
+"""PIM area-overhead model (Table I).
+
+The overhead of PIM-enabling one DBC per tile is rolled up from
+per-bitline components: the extra access port, the additional overhead
+domains the TR-constrained port placement costs versus latency-optimal
+placement, the multi-level sense circuitry, and the synthesized PIM
+logic. Component areas are in F^2 per bitline; values are fitted to the
+paper's published totals (the FreePDK45 synthesis flow is not
+reproducible offline) and the roll-up lets the model extrapolate to
+other geometries and design points.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.arch.dbc import pim_port_positions
+from repro.device.nanowire import default_overhead
+
+
+class PimDesign(enum.Enum):
+    """The Table I design points."""
+
+    ADD2 = "ADD2"  # two-operand adder, TRD = 3
+    ADD5 = "ADD5"  # five-operand adder, TRD = 7
+    MUL_ADD5 = "MUL+ADD5"  # + logical-shift multiply support
+    FULL = "MUL+ADD5+BBO"  # + bulk-bitwise logic outputs
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Component-level area roll-up in F^2 per bitline.
+
+    Attributes:
+        cell_f2: area of one storage domain.
+        base_periphery_f2: per-bitline share of the baseline SA/driver.
+        access_port_f2: one additional read/write port.
+        sense_level_f2: one extra sensing level (reference + compare).
+        adder_sc_f2: the S/C logic of the two-operand adder.
+        adder_cprime_f2: the C' super-carry logic and wider decode.
+        mult_f2: the inter-bitline shift multiplexing for multiply.
+        bbo_f2: the NAND/NOR/XNOR outputs and result mux.
+        pim_fraction: fraction of DBCs that are PIM-enabled (1/16 for the
+            Table II "15 + 1-PIM" layout).
+    """
+
+    cell_f2: float = 2.0
+    base_periphery_f2: float = 16.0
+    access_port_f2: float = 12.0
+    sense_level_f2: float = 12.0
+    adder_sc_f2: float = 4.3
+    adder_cprime_f2: float = 58.6
+    mult_f2: float = 3.6
+    bbo_f2: float = 10.8
+    pim_fraction: float = 1.0 / 16.0
+    domains: int = 32
+
+    def trd_for(self, design: PimDesign) -> int:
+        return 3 if design is PimDesign.ADD2 else 7
+
+    def base_bitline_f2(self) -> float:
+        """Baseline area per bitline of one DBC (latency-optimal 2 ports)."""
+        left, right = self._latency_optimal_overhead()
+        storage = (self.domains + left + right) * self.cell_f2
+        return storage + self.base_periphery_f2
+
+    def extra_domains(self, trd: int) -> int:
+        """Overhead domains the TR port placement adds vs latency-optimal."""
+        lo, ro = default_overhead(
+            self.domains, pim_port_positions(self.domains, trd)
+        )
+        base_lo, base_ro = self._latency_optimal_overhead()
+        return max(0, (lo + ro) - (base_lo + base_ro))
+
+    def added_bitline_f2(self, design: PimDesign) -> float:
+        """PIM additions per bitline for a design point."""
+        trd = self.trd_for(design)
+        added = self.access_port_f2
+        added += self.extra_domains(trd) * self.cell_f2
+        added += (trd - 1) * self.sense_level_f2
+        added += self.adder_sc_f2
+        if trd > 3:
+            added += self.adder_cprime_f2
+        if design in (PimDesign.MUL_ADD5, PimDesign.FULL):
+            added += self.mult_f2
+        if design is PimDesign.FULL:
+            added += self.bbo_f2
+        return added
+
+    def overhead_fraction(self, design: PimDesign) -> float:
+        """Memory-wide area overhead of the design point (Table I)."""
+        return (
+            self.added_bitline_f2(design)
+            / self.base_bitline_f2()
+            * self.pim_fraction
+        )
+
+    def table1(self) -> dict:
+        """Overhead percentages for every Table I design point."""
+        return {
+            design.value: round(100 * self.overhead_fraction(design), 1)
+            for design in PimDesign
+        }
+
+    def _latency_optimal_overhead(self) -> tuple:
+        """Two ports at the shift-optimal 1/4 and 3/4 positions."""
+        q1 = self.domains // 4
+        q2 = 3 * self.domains // 4
+        return default_overhead(self.domains, (q1, q2))

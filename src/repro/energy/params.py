@@ -1,0 +1,78 @@
+"""Published per-operation cost anchors (Tables II and III).
+
+These scalars are the paper's device-level inputs: NVSim/LTSPICE-derived
+energies at 32 nm for the DWM PIM schemes and the Xeon X5670 measurements
+for the CPU baseline. Our simulator regenerates latencies from operation
+sequences; energies for whole-application experiments are computed from
+these anchors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class OperationCosts:
+    """Latency (cycles) and energy (pJ) of one 8-bit operation."""
+
+    cycles: int
+    energy_pj: float
+    area_um2: float
+
+
+# Table III: CORUSCANT columns. Keys: (operation, trd).
+CORUSCANT_TABLE3: Dict[str, OperationCosts] = {
+    "add2_trd3": OperationCosts(19, 10.15, 2.16),
+    "add2_trd7": OperationCosts(26, 22.14, 3.60),
+    "add5_trd7": OperationCosts(26, 22.14, 4.94),
+    "mult_trd3": OperationCosts(105, 92.01, 3.80),
+    "mult_trd7": OperationCosts(64, 57.39, 5.07),
+}
+
+# Table III: DW-NN columns.
+DWNN_TABLE3: Dict[str, OperationCosts] = {
+    "add2": OperationCosts(54, 40.0, 2.6),
+    "add5_area": OperationCosts(264, 169.6, 2.6),
+    "add5_latency": OperationCosts(194, 169.6, 5.2),
+    "mult": OperationCosts(163, 308.0, 18.9),
+}
+
+# Table III: SPIM columns.
+SPIM_TABLE3: Dict[str, OperationCosts] = {
+    "add2": OperationCosts(49, 28.0, 2.0),
+    "add5_area": OperationCosts(244, 121.6, 2.0),
+    "add5_latency": OperationCosts(179, 121.6, 4.0),
+    "mult": OperationCosts(149, 196.0, 16.8),
+}
+
+# Table II system constants (Intel Xeon X5670 / DDR3-1600 bus).
+CPU_ADD32_PJ = 111.0
+CPU_MULT32_PJ = 164.0
+E_TRANS_PJ_PER_BYTE = 1250.0
+MEMORY_CYCLE_NS = 1.25
+BUS_MHZ = 1000.0
+
+# Derived per-step energies for the CORUSCANT cycle->energy mapping:
+# one addition step is a TR plus up to three simultaneous port writes.
+# Solving the two Table III add anchors (8 steps each) for the TR and
+# write energies gives the per-step costs below.
+WRITE_PJ = 0.58
+TR_PJ_BY_TRD = {
+    3: 10.15 / 8 - 2 * WRITE_PJ,  # ~0.11 pJ
+    5: 0.57,  # interpolated
+    7: 22.14 / 8 - 3 * WRITE_PJ,  # ~1.03 pJ
+}
+
+
+def coruscant_add_energy_pj(n_bits: int, trd: int = 7) -> float:
+    """Energy of one n-bit multi-operand addition (compute steps only)."""
+    writes = 2 if trd == 3 else 3
+    return n_bits * (TR_PJ_BY_TRD[trd] + writes * WRITE_PJ)
+
+
+def coruscant_reduction_energy_pj(width_bits: int, trd: int = 7) -> float:
+    """Energy of one carry-save reduction round over ``width_bits`` tracks."""
+    writes = 2 if trd == 3 else 3
+    return width_bits * (TR_PJ_BY_TRD[trd] + writes * WRITE_PJ)

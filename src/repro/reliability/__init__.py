@@ -1,0 +1,23 @@
+"""Reliability models: TR fault analysis and NMR voting math (Table V)."""
+
+from repro.reliability.tr_faults import (
+    TR_FAULT_RATE,
+    boundary_error_probability,
+    op_error_probability,
+)
+from repro.reliability.op_error import (
+    add_error_probability,
+    multiply_error_probability,
+    OperationReliability,
+)
+from repro.reliability.nmr_analysis import nmr_error_probability
+
+__all__ = [
+    "OperationReliability",
+    "TR_FAULT_RATE",
+    "add_error_probability",
+    "boundary_error_probability",
+    "multiply_error_probability",
+    "nmr_error_probability",
+    "op_error_probability",
+]

@@ -1,0 +1,134 @@
+"""Monte Carlo fault-injection experiments.
+
+The analytic Table V models are validated by actually running the PIM
+operations with injected TR faults at inflated rates (so errors are
+observable in a reasonable trial count) and extrapolating linearly to
+the intrinsic 1e-6 rate — the same methodology the paper applies with
+its LLG-derived fault model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.addition import MultiOperandAdder
+from repro.core.multiplication import Multiplier
+from repro.core.nmr import ModularRedundancy
+from repro.device.faults import FaultConfig, FaultInjector
+from repro.device.parameters import DeviceParameters
+from repro.utils.bitops import bits_from_int, bits_to_int
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Outcome of one fault-injection campaign.
+
+    Attributes:
+        trials: operations executed.
+        errors: operations that produced a wrong result.
+        injected_rate: the per-TR fault rate used.
+    """
+
+    trials: int
+    errors: int
+    injected_rate: float
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.trials if self.trials else 0.0
+
+    def extrapolate(self, target_rate: float, trs_per_op: int) -> float:
+        """Linear extrapolation of the per-op error to ``target_rate``.
+
+        Valid while the per-op error is small (faults rarely co-occur):
+        error ~= trs_per_op * p, so scale by the rate ratio.
+        """
+        if self.injected_rate <= 0:
+            raise ValueError("cannot extrapolate from a zero fault rate")
+        return self.error_rate * (target_rate / self.injected_rate)
+
+
+class FaultCampaign:
+    """Runs PIM operations repeatedly under TR fault injection."""
+
+    def __init__(
+        self,
+        trd: int = 7,
+        fault_rate: float = 0.01,
+        seed: int = 0,
+        tracks: int = 32,
+    ) -> None:
+        if not 0.0 < fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in (0, 1]")
+        self.trd = trd
+        self.fault_rate = fault_rate
+        self.seed = seed
+        self.tracks = tracks
+        self._injector = FaultInjector(
+            FaultConfig(tr_fault_rate=fault_rate, seed=seed)
+        )
+
+    def _dbc(self) -> DomainBlockCluster:
+        return DomainBlockCluster(
+            tracks=self.tracks,
+            domains=32,
+            params=DeviceParameters(trd=self.trd),
+            injector=self._injector,
+        )
+
+    def run_additions(self, trials: int, n_bits: int = 8) -> MonteCarloResult:
+        """8-bit multi-operand additions with data-dependent operands."""
+        errors = 0
+        k = 2 if self.trd == 3 else 5
+        for t in range(trials):
+            words = [((t + 1) * 31 + i * 57) % (1 << n_bits) for i in range(k)]
+            adder = MultiOperandAdder(self._dbc())
+            got = adder.add_words(words, n_bits, result_bits=n_bits).value
+            if got != sum(words) % (1 << n_bits):
+                errors += 1
+        return MonteCarloResult(trials, errors, self.fault_rate)
+
+    def run_multiplies(self, trials: int, n_bits: int = 8) -> MonteCarloResult:
+        """8-bit optimized multiplications."""
+        errors = 0
+        mask = (1 << (2 * n_bits)) - 1
+        for t in range(trials):
+            a = ((t + 3) * 37) % (1 << n_bits)
+            b = ((t + 7) * 53) % (1 << n_bits)
+            mult = Multiplier(self._dbc())
+            if mult.multiply(a, b, n_bits).value != (a * b) & mask:
+                errors += 1
+        return MonteCarloResult(trials, errors, self.fault_rate)
+
+    def run_tmr_additions(
+        self, trials: int, n_bits: int = 8
+    ) -> MonteCarloResult:
+        """TMR-protected additions: replicate, vote, compare."""
+        errors = 0
+        k = 2 if self.trd == 3 else 5
+        voter = ModularRedundancy(
+            DomainBlockCluster(
+                tracks=self.tracks,
+                domains=32,
+                params=DeviceParameters(trd=self.trd),
+            )
+        )
+        for t in range(trials):
+            words = [((t + 1) * 29 + i * 43) % (1 << n_bits) for i in range(k)]
+            want = sum(words) % (1 << n_bits)
+            replicas = []
+            for _ in range(3):
+                adder = MultiOperandAdder(self._dbc())
+                value = adder.add_words(
+                    words, n_bits, result_bits=n_bits
+                ).value
+                replicas.append(
+                    bits_from_int(value, n_bits)
+                    + [0] * (self.tracks - n_bits)
+                )
+            voted = bits_to_int(voter.vote(replicas).bits[:n_bits])
+            if voted != want:
+                errors += 1
+        return MonteCarloResult(trials, errors, self.fault_rate)

@@ -1,0 +1,48 @@
+"""N-modular-redundancy error math (Table V bottom rows, Section III-F).
+
+The vote errs when a majority of replicas are wrong in the same bit
+position, or when enough replicas plus the voting TR itself fault. For
+per-bit replica error q and vote-circuit error v::
+
+    P_bit = C(N, t) * q**t  +  C(N, t-1) * q**(t-1) * v,   t = (N+1)/2
+
+and an n-bit result multiplies the bit probability by n (union bound).
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+from repro.reliability.tr_faults import TR_FAULT_RATE, op_error_probability
+
+
+def nmr_error_probability(
+    n: int,
+    per_bit_error: float,
+    vote_error: float = 0.0,
+    n_bits: int = 8,
+) -> float:
+    """Uncorrectable-error probability of an N-modular-redundant result.
+
+    Args:
+        n: redundancy degree (3, 5 or 7).
+        per_bit_error: per-bit error probability of one replica.
+        vote_error: per-bit error probability of the voting circuit
+            itself (the C'/C sense, Section III-F).
+        n_bits: result width.
+    """
+    if n not in (3, 5, 7):
+        raise ValueError(f"n must be 3, 5 or 7, got {n}")
+    if not 0.0 <= per_bit_error <= 1.0:
+        raise ValueError("per_bit_error must be a probability")
+    t = (n + 1) // 2
+    p_bit = comb(n, t) * per_bit_error**t
+    if vote_error:
+        p_bit += comb(n, t - 1) * per_bit_error ** (t - 1) * vote_error
+    return min(1.0, n_bits * p_bit)
+
+
+def vote_circuit_error(trd: int, p_fault: float = TR_FAULT_RATE) -> float:
+    """Per-bit error of the majority sense (C' for TRD > 3, C at TRD 3)."""
+    op = "carry" if trd == 3 else "cprime"
+    return op_error_probability(op, trd, p_fault)

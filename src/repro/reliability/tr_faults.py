@@ -1,0 +1,62 @@
+"""Transverse-read fault analysis (Section V-F).
+
+A TR fault reads the level one higher or lower than the true count; off-
+by-two faults are negligible. A function of the TR level therefore errs
+only when the fault crosses a level boundary where the function's output
+changes. With the fault equally likely to land on any of the TRD level
+boundaries, the per-bit error probability of a function f is::
+
+    p_fault * |{m in 1..TRD : f(m) != f(m-1)}| / TRD
+
+which reproduces every per-bit row of Table V exactly: AND/OR/C' have one
+sensitive boundary (p/TRD); XOR flips at every boundary (p); the carry C
+has 1, 2 and 3 sensitive boundaries at TRD 3, 5, 7.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+# Intrinsic TR fault probability from the LLG total-differential analysis.
+TR_FAULT_RATE = 1.0e-6
+
+
+def sensitive_boundaries(outputs: Sequence[int]) -> int:
+    """Level boundaries where the output changes.
+
+    ``outputs[m]`` is the function's value at TR level ``m``.
+    """
+    return sum(
+        1 for m in range(1, len(outputs)) if outputs[m] != outputs[m - 1]
+    )
+
+
+def boundary_error_probability(
+    outputs: Sequence[int], p_fault: float = TR_FAULT_RATE
+) -> float:
+    """Per-bit error probability of a TR-level function."""
+    trd = len(outputs) - 1
+    if trd < 1:
+        raise ValueError("outputs must cover levels 0..TRD")
+    return p_fault * sensitive_boundaries(outputs) / trd
+
+
+def op_error_probability(
+    op: str, trd: int, p_fault: float = TR_FAULT_RATE
+) -> float:
+    """Per-bit error probability for the named Table V function.
+
+    ``op`` is one of "and", "or", "cprime", "xor", "carry".
+    """
+    table: dict = {
+        "and": lambda m: 1 if m == trd else 0,
+        "or": lambda m: 1 if m >= 1 else 0,
+        "cprime": lambda m: (m >> 2) & 1,
+        "xor": lambda m: m & 1,
+        "carry": lambda m: (m >> 1) & 1,
+    }
+    if op not in table:
+        raise ValueError(f"unknown op {op!r}; expected one of {sorted(table)}")
+    fn: Callable[[int], int] = table[op]
+    outputs = [fn(m) for m in range(trd + 1)]
+    return boundary_error_probability(outputs, p_fault)

@@ -1,0 +1,23 @@
+"""High-level simulation: the system facade and experiment regenerators."""
+
+from repro.sim.system import CoruscantSystem
+from repro.sim.experiments import (
+    bitmap_experiment,
+    cnn_experiment,
+    cnn_nmr_experiment,
+    operation_comparison,
+    polybench_experiment,
+    reliability_table,
+    area_table,
+)
+
+__all__ = [
+    "CoruscantSystem",
+    "area_table",
+    "bitmap_experiment",
+    "cnn_experiment",
+    "cnn_nmr_experiment",
+    "operation_comparison",
+    "polybench_experiment",
+    "reliability_table",
+]

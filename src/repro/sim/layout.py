@@ -1,0 +1,192 @@
+"""PIM data-layout management (Section III-E).
+
+CORUSCANT reserves part of the physical address space for PIM; the OS
+maps user buffers into it aligned to tile and DBC boundaries. This
+module is that allocator plus the layout transforms the PIM operations
+need:
+
+* **operand transposition** — the multi-operand adder wants bit ``k``
+  of every operand on track ``k``, with operands stacked in adjacent
+  window slots;
+* **block packing** — many narrow words share one 512-bit row at a
+  chosen blocksize (8..512);
+* **window assignment** — which rows of which PIM DBC hold which
+  logical buffer, round-robin across the memory's PIM units so
+  independent operations can run in parallel (high-throughput mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.arch.memory import MainMemory
+from repro.core.isa import BLOCK_SIZES
+
+
+@dataclass(frozen=True)
+class PimRegion:
+    """One allocated stretch of PIM-enabled memory.
+
+    Attributes:
+        name: the logical buffer's name.
+        bank/subarray: coordinates of the PIM DBC serving the buffer.
+        rows: how many window rows the buffer occupies.
+        blocksize: word packing within each row.
+    """
+
+    name: str
+    bank: int
+    subarray: int
+    rows: int
+    blocksize: int
+
+    def __post_init__(self) -> None:
+        if self.blocksize not in BLOCK_SIZES:
+            raise ValueError(
+                f"blocksize {self.blocksize} not in {BLOCK_SIZES}"
+            )
+        if self.rows < 1:
+            raise ValueError("rows must be >= 1")
+
+
+class PimAllocator:
+    """Round-robin allocator over the memory's PIM DBCs."""
+
+    def __init__(self, memory: MainMemory) -> None:
+        self.memory = memory
+        self._cursor = 0
+        self._regions: Dict[str, PimRegion] = {}
+
+    @property
+    def units(self) -> int:
+        """PIM DBCs available for placement."""
+        return self.memory.total_pim_units
+
+    def allocate(
+        self, name: str, rows: int, blocksize: int = 32
+    ) -> PimRegion:
+        """Place a buffer on the next PIM unit in round-robin order."""
+        if name in self._regions:
+            raise ValueError(f"buffer {name!r} is already allocated")
+        geometry = self.memory.geometry
+        unit = self._cursor % self.units
+        self._cursor += 1
+        bank = unit // geometry.subarrays_per_bank
+        subarray = unit % geometry.subarrays_per_bank
+        region = PimRegion(
+            name=name,
+            bank=bank,
+            subarray=subarray,
+            rows=rows,
+            blocksize=blocksize,
+        )
+        self._regions[name] = region
+        return region
+
+    def region(self, name: str) -> PimRegion:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown buffer {name!r}; allocated: "
+                f"{sorted(self._regions)}"
+            ) from None
+
+    def free(self, name: str) -> None:
+        self._regions.pop(self.region(name).name)
+
+    def dbc_for(self, region: PimRegion):
+        """The simulated DBC backing a region."""
+        return self.memory.pim_dbc(bank=region.bank, subarray=region.subarray)
+
+    def next_target(self) -> Tuple[int, int]:
+        """Claim the next PIM unit in round-robin order."""
+        geometry = self.memory.geometry
+        unit = self._cursor % self.units
+        self._cursor += 1
+        return (
+            unit // geometry.subarrays_per_bank,
+            unit % geometry.subarrays_per_bank,
+        )
+
+    def spread(self, count: int) -> Iterator[Tuple[int, int]]:
+        """(bank, subarray) targets for ``count`` parallel operations."""
+        geometry = self.memory.geometry
+        for i in range(count):
+            unit = (self._cursor + i) % self.units
+            yield (
+                unit // geometry.subarrays_per_bank,
+                unit % geometry.subarrays_per_bank,
+            )
+
+
+# ----------------------------------------------------------------------
+# layout transforms
+
+
+def transpose_words(
+    words: Sequence[int], n_bits: int, tracks: int
+) -> List[List[int]]:
+    """Operand rows for the multi-operand adder.
+
+    Row ``i`` is operand ``i`` spread across tracks (bit k on track k),
+    zero-extended to the DBC width.
+
+    >>> transpose_words([3, 1], 2, 4)
+    [[1, 1, 0, 0], [1, 0, 0, 0]]
+    """
+    if n_bits > tracks:
+        raise ValueError(f"n_bits {n_bits} exceeds tracks {tracks}")
+    rows = []
+    for i, word in enumerate(words):
+        if word < 0 or word >> n_bits:
+            raise ValueError(
+                f"word {i} ({word}) does not fit in {n_bits} bits"
+            )
+        rows.append(
+            [(word >> k) & 1 for k in range(n_bits)]
+            + [0] * (tracks - n_bits)
+        )
+    return rows
+
+
+def pack_blocks(
+    words: Sequence[int], blocksize: int, tracks: int
+) -> List[int]:
+    """Pack words at ``blocksize`` bits each into one row."""
+    if blocksize not in BLOCK_SIZES:
+        raise ValueError(f"blocksize {blocksize} not in {BLOCK_SIZES}")
+    capacity = tracks // blocksize
+    if len(words) > capacity:
+        raise ValueError(
+            f"{len(words)} words exceed the {capacity}-block row"
+        )
+    row = []
+    for i, word in enumerate(words):
+        if word < 0 or word >> blocksize:
+            raise ValueError(
+                f"word {i} ({word}) does not fit blocksize {blocksize}"
+            )
+        row.extend((word >> k) & 1 for k in range(blocksize))
+    row.extend([0] * (tracks - len(row)))
+    return row
+
+
+def unpack_blocks(
+    row: Sequence[int], blocksize: int, count: Optional[int] = None
+) -> List[int]:
+    """Inverse of :func:`pack_blocks`."""
+    if blocksize not in BLOCK_SIZES:
+        raise ValueError(f"blocksize {blocksize} not in {BLOCK_SIZES}")
+    capacity = len(row) // blocksize
+    count = capacity if count is None else count
+    if count > capacity:
+        raise ValueError(f"cannot unpack {count} of {capacity} blocks")
+    words = []
+    for b in range(count):
+        value = 0
+        for k in range(blocksize):
+            value |= row[b * blocksize + k] << k
+        words.append(value)
+    return words

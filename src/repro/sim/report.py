@@ -1,0 +1,159 @@
+"""Markdown report generation for the full reproduction run.
+
+Collects every experiment regenerator's output into one document with
+measured-vs-paper columns — what a CI job would publish as the nightly
+reproduction record. Exposed through ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping, Sequence
+
+from repro.sim.experiments import (
+    area_table,
+    bitmap_experiment,
+    cnn_experiment,
+    cnn_nmr_experiment,
+    operation_comparison,
+    operation_speedups,
+    polybench_experiment,
+    polybench_summary,
+    reliability_table,
+)
+
+PAPER_AREA = {"ADD2": 3.7, "ADD5": 9.2, "MUL+ADD5": 9.4, "MUL+ADD5+BBO": 10.0}
+PAPER_BITMAP_RATIOS = {2: 1.6, 3: 2.2, 4: 3.4}
+PAPER_POLYBENCH = {
+    "avg_speedup_vs_dwm": 2.07,
+    "avg_speedup_vs_dram": 2.20,
+    "avg_energy_reduction": 25.2,
+}
+
+
+def _table(
+    out: io.StringIO,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+) -> None:
+    out.write("| " + " | ".join(str(h) for h in headers) + " |\n")
+    out.write("|" + "---|" * len(headers) + "\n")
+    for row in rows:
+        out.write("| " + " | ".join(str(c) for c in row) + " |\n")
+    out.write("\n")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.2e}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def generate_report() -> str:
+    """The full reproduction record as a markdown string."""
+    out = io.StringIO()
+    out.write("# CORUSCANT reproduction report\n\n")
+
+    out.write("## Table I — area overhead (%)\n\n")
+    _table(
+        out,
+        ["design", "measured", "paper"],
+        [
+            (k, _fmt(v), PAPER_AREA.get(k, "-"))
+            for k, v in area_table().items()
+        ],
+    )
+
+    out.write("## Table III — operation comparison\n\n")
+    _table(
+        out,
+        ["operation", "cycles", "paper cycles", "energy pJ", "paper pJ"],
+        [
+            (
+                name,
+                _fmt(row["cycles"]),
+                _fmt(row["paper_cycles"]),
+                _fmt(row["energy_pj"]),
+                _fmt(row["paper_energy_pj"]),
+            )
+            for name, row in sorted(operation_comparison().items())
+        ],
+    )
+    out.write("### Headline ratios vs SPIM\n\n")
+    _table(
+        out,
+        ["ratio", "measured"],
+        [(k, _fmt(v)) for k, v in operation_speedups().items()],
+    )
+
+    out.write("## Figs. 10–11 — Polybench\n\n")
+    _table(
+        out,
+        ["kernel", "DRAM-CPU", "PIM", "speedup vs DWM", "energy reduction"],
+        [
+            (
+                r.name,
+                _fmt(r.latency_dram_cpu),
+                _fmt(r.latency_pim),
+                _fmt(r.speedup_vs_dwm),
+                _fmt(r.energy_reduction),
+            )
+            for r in polybench_experiment()
+        ],
+    )
+    _table(
+        out,
+        ["summary", "measured", "paper"],
+        [
+            (k, _fmt(v), PAPER_POLYBENCH[k])
+            for k, v in polybench_summary().items()
+        ],
+    )
+
+    out.write("## Fig. 12 — bitmap indices\n\n")
+    _table(
+        out,
+        ["weeks", "Ambit", "ELP2IM", "CORUSCANT", "C/E ratio", "paper"],
+        [
+            (
+                r.weeks,
+                _fmt(r.speedup_ambit),
+                _fmt(r.speedup_elp2im),
+                _fmt(r.speedup_coruscant),
+                _fmt(r.coruscant_vs_elp2im),
+                PAPER_BITMAP_RATIOS[r.weeks],
+            )
+            for r in bitmap_experiment()
+        ],
+    )
+
+    out.write("## Table IV — CNN inference (FPS)\n\n")
+    for net, table in cnn_experiment().items():
+        out.write(f"### {net}\n\n")
+        _table(
+            out,
+            ["scheme", "FPS"],
+            [(k, _fmt(v)) for k, v in table.items()],
+        )
+
+    out.write("## Table V — reliability\n\n")
+    rows = []
+    for op, columns in reliability_table().items():
+        for col, value in sorted(columns.items()):
+            rows.append((op, col, _fmt(value)))
+    _table(out, ["operation", "TRD", "error probability"], rows)
+
+    out.write("## Table VI — CNN with N-modular redundancy (FPS)\n\n")
+    for net, table in cnn_nmr_experiment().items():
+        out.write(f"### {net}\n\n")
+        _table(
+            out,
+            ["config", "FPS"],
+            [(k, _fmt(v)) for k, v in sorted(table.items())],
+        )
+
+    return out.getvalue()

@@ -1,0 +1,89 @@
+"""The TRD sensitivity study, consolidated (TRD in {3, 5, 7}).
+
+The paper threads a TRD sensitivity analysis through its evaluation
+(Tables I, III, IV, V). This module gathers every TRD-dependent metric
+into one sweep so the tradeoff the conclusion describes — smaller TRD
+halves the area but costs multiply/CNN performance — is visible in a
+single structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.addition import MultiOperandAdder, max_addition_operands
+from repro.core.multiplication import Multiplier
+from repro.core.nmr import ModularRedundancy
+from repro.device.parameters import DeviceParameters
+from repro.energy.area import AreaModel, PimDesign
+from repro.reliability.op_error import multiply_error_probability
+from repro.reliability.tr_faults import op_error_probability
+from repro.workloads.cnn.mapping import CnnMapper, Precision, Scheme
+from repro.workloads.cnn.networks import ALEXNET
+
+
+@dataclass(frozen=True)
+class TrdPoint:
+    """Every TRD-dependent metric at one TRD value."""
+
+    trd: int
+    max_add_operands: int
+    max_redundancy: int
+    add_cycles_8bit: int
+    mult_cycles_8bit: int
+    area_overhead_pct: float
+    carry_error_per_bit: float
+    mult_error_8bit: float
+    alexnet_full_fps: float
+    alexnet_ternary_fps: float
+
+
+def _fresh_dbc(trd: int) -> DomainBlockCluster:
+    return DomainBlockCluster(
+        tracks=64, domains=32, params=DeviceParameters(trd=trd)
+    )
+
+
+def _area_overhead(trd: int) -> float:
+    model = AreaModel()
+    if trd == 3:
+        return 100 * model.overhead_fraction(PimDesign.ADD2)
+    if trd == 7:
+        return 100 * model.overhead_fraction(PimDesign.FULL)
+    # TRD 5: interpolate the sensing/domain components.
+    low = model.overhead_fraction(PimDesign.ADD2)
+    high = model.overhead_fraction(PimDesign.FULL)
+    return 100 * (low + high) / 2
+
+
+def trd_sweep() -> Dict[int, TrdPoint]:
+    """Measure/compute every TRD-dependent metric at 3, 5 and 7."""
+    points: Dict[int, TrdPoint] = {}
+    for trd in (3, 5, 7):
+        dbc = _fresh_dbc(trd)
+        adder = MultiOperandAdder(dbc)
+        k = adder.max_operands
+        add = adder.add_words(
+            list(range(1, k + 1)), 8, result_bits=8, costed_staging=True
+        )
+        mult = Multiplier(_fresh_dbc(trd)).multiply(173, 219, 8)
+        nmr = ModularRedundancy(_fresh_dbc(trd))
+        points[trd] = TrdPoint(
+            trd=trd,
+            max_add_operands=max_addition_operands(trd),
+            max_redundancy=nmr.max_redundancy(),
+            add_cycles_8bit=add.cycles,
+            mult_cycles_8bit=mult.cycles,
+            area_overhead_pct=round(_area_overhead(trd), 1),
+            carry_error_per_bit=op_error_probability("carry", trd),
+            mult_error_8bit=multiply_error_probability(8, trd),
+            alexnet_full_fps=CnnMapper(Scheme.CORUSCANT, trd=trd).fps(
+                ALEXNET
+            ),
+            alexnet_ternary_fps=CnnMapper(
+                Scheme.CORUSCANT, Precision.TWN, trd=trd
+            ).fps(ALEXNET),
+        )
+    return points

@@ -1,0 +1,168 @@
+"""The CORUSCANT system facade.
+
+One object tying the pieces together: a main memory with PIM-enabled
+DBCs, a memory controller, and convenience methods for the PIM
+operations so applications don't wire units by hand. This is the entry
+point `examples/` build on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.arch.controller import MemoryController
+from repro.arch.dbc import DomainBlockCluster
+from repro.arch.geometry import MemoryGeometry
+from repro.arch.memory import MainMemory
+from repro.core.addition import AdditionResult, MultiOperandAdder
+from repro.core.bulk_bitwise import BulkBitwiseUnit, BulkResult
+from repro.core.maxpool import MaxResult, MaxUnit
+from repro.core.multiplication import Multiplier, MultiplyResult
+from repro.core.nmr import ModularRedundancy, VoteResult
+from repro.core.pim_logic import BulkOp
+from repro.device.faults import FaultConfig, FaultInjector
+from repro.device.parameters import DeviceParameters
+
+
+class CoruscantSystem:
+    """A DWM main memory with CORUSCANT PIM, ready to compute.
+
+    Args:
+        trd: transverse-read distance (3, 5 or 7).
+        geometry: memory shape; defaults to the Table II configuration.
+        fault_config: optional fault injection for reliability studies.
+    """
+
+    def __init__(
+        self,
+        trd: int = 7,
+        geometry: Optional[MemoryGeometry] = None,
+        fault_config: Optional[FaultConfig] = None,
+    ) -> None:
+        if trd not in (3, 5, 7):
+            raise ValueError(f"trd must be 3, 5 or 7, got {trd}")
+        self.trd = trd
+        params = DeviceParameters(trd=trd)
+        injector = FaultInjector(fault_config)
+        self.memory = MainMemory(
+            geometry=geometry, params=params, injector=injector
+        )
+        self.controller = MemoryController(self.memory)
+
+    # ------------------------------------------------------------------
+
+    def pim_dbc(
+        self, bank: int = 0, subarray: int = 0
+    ) -> DomainBlockCluster:
+        """A PIM-enabled DBC to compute in."""
+        return self.memory.pim_dbc(bank=bank, subarray=subarray)
+
+    def bulk_op(
+        self,
+        op: BulkOp,
+        operands: Sequence[Sequence[int]],
+        bank: int = 0,
+        subarray: int = 0,
+    ) -> BulkResult:
+        """Multi-operand bulk-bitwise operation on full rows."""
+        dbc = self.pim_dbc(bank, subarray)
+        unit = BulkBitwiseUnit(dbc)
+        rows = [self._pad_row(dbc, r) for r in operands]
+        unit.stage_operands(op, rows)
+        return unit.execute(op, len(rows))
+
+    def add(
+        self,
+        words: Sequence[int],
+        n_bits: int,
+        bank: int = 0,
+        subarray: int = 0,
+        exact: bool = True,
+    ) -> AdditionResult:
+        """Multi-operand addition of up to TRD-2 words."""
+        dbc = self.pim_dbc(bank, subarray)
+        adder = MultiOperandAdder(dbc)
+        result_bits = None if exact else n_bits
+        return adder.add_words(words, n_bits, result_bits=result_bits)
+
+    def multiply(
+        self,
+        a: int,
+        b: int,
+        n_bits: int,
+        bank: int = 0,
+        subarray: int = 0,
+    ) -> MultiplyResult:
+        """Optimized (carry-save) multiplication."""
+        dbc = self.pim_dbc(bank, subarray)
+        return Multiplier(dbc).multiply(a, b, n_bits)
+
+    def multiply_constant(
+        self,
+        a: int,
+        constant: int,
+        n_bits: int,
+        result_bits: Optional[int] = None,
+        bank: int = 0,
+        subarray: int = 0,
+    ) -> MultiplyResult:
+        """Compile-time constant multiplication via CSD planning."""
+        dbc = self.pim_dbc(bank, subarray)
+        return Multiplier(dbc).multiply_constant(
+            a, constant, n_bits, result_bits=result_bits
+        )
+
+    def maximum(
+        self,
+        words: Sequence[int],
+        n_bits: int,
+        bank: int = 0,
+        subarray: int = 0,
+    ) -> MaxResult:
+        """Max of up to TRD words via the TW subroutine."""
+        dbc = self.pim_dbc(bank, subarray)
+        return MaxUnit(dbc).run(words, n_bits)
+
+    def vote(
+        self,
+        replicas: Sequence[Sequence[int]],
+        bank: int = 0,
+        subarray: int = 0,
+    ) -> VoteResult:
+        """N-modular-redundancy majority vote of result rows."""
+        dbc = self.pim_dbc(bank, subarray)
+        rows = [self._pad_row(dbc, r) for r in replicas]
+        return ModularRedundancy(dbc).vote(rows)
+
+    def popcount(
+        self, bits: Sequence[int], bank: int = 0, subarray: int = 0
+    ) -> int:
+        """Count the ones in a row using TR-group sensing."""
+        from repro.core.popcount import PopcountUnit
+
+        dbc = self.pim_dbc(bank, subarray)
+        return PopcountUnit(dbc).count_row(list(bits)).count
+
+    def minimum(
+        self,
+        words: Sequence[int],
+        n_bits: int,
+        bank: int = 0,
+        subarray: int = 0,
+    ):
+        """Min of up to TRD words (max over complements)."""
+        from repro.core.compare import CompareUnit
+
+        dbc = self.pim_dbc(bank, subarray)
+        return CompareUnit(dbc).minimum(words, n_bits)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _pad_row(dbc: DomainBlockCluster, row: Sequence[int]) -> List[int]:
+        bits = list(row)
+        if len(bits) > dbc.tracks:
+            raise ValueError(
+                f"row of {len(bits)} bits exceeds the {dbc.tracks}-track DBC"
+            )
+        return bits + [0] * (dbc.tracks - len(bits))

@@ -1,0 +1,22 @@
+"""Shared utilities: bit manipulation, fixed-point helpers, validation."""
+
+from repro.utils.bitops import (
+    bits_from_int,
+    bits_to_int,
+    csd_encode,
+    int_from_twos_complement,
+    popcount,
+    twos_complement,
+)
+from repro.utils.validation import check_positive, check_range
+
+__all__ = [
+    "bits_from_int",
+    "bits_to_int",
+    "csd_encode",
+    "int_from_twos_complement",
+    "popcount",
+    "twos_complement",
+    "check_positive",
+    "check_range",
+]

@@ -1,0 +1,90 @@
+"""Bit-level helpers used throughout the simulator.
+
+The device layer stores data as little-endian lists of 0/1 integers (bit 0
+first), mirroring the way operand bits are laid out along consecutive
+nanowires in a DBC (Section III-C of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def bits_from_int(value: int, width: int) -> List[int]:
+    """Little-endian bit decomposition of a non-negative integer.
+
+    >>> bits_from_int(6, 4)
+    [0, 1, 1, 0]
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    if value >> width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Inverse of :func:`bits_from_int`.
+
+    >>> bits_to_int([0, 1, 1, 0])
+    6
+    """
+    out = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit {i} is {bit!r}, expected 0 or 1")
+        out |= bit << i
+    return out
+
+
+def popcount(bits: Sequence[int]) -> int:
+    """Number of '1' bits — what a fault-free transverse read senses."""
+    return sum(1 for b in bits if b)
+
+
+def twos_complement(value: int, width: int) -> int:
+    """Encode a (possibly negative) integer into ``width``-bit two's complement."""
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    if not lo <= value <= (1 << width) - 1:
+        raise ValueError(f"value {value} not representable in {width} bits")
+    if value > hi and value >= 0:
+        # Caller passed an already-encoded unsigned pattern; keep it.
+        return value & ((1 << width) - 1)
+    return value & ((1 << width) - 1)
+
+
+def int_from_twos_complement(pattern: int, width: int) -> int:
+    """Decode a ``width``-bit two's-complement pattern into a signed integer."""
+    pattern &= (1 << width) - 1
+    if pattern >> (width - 1):
+        return pattern - (1 << width)
+    return pattern
+
+
+def csd_encode(value: int) -> List[int]:
+    """Canonical signed-digit (Booth/NAF) recoding of a non-negative integer.
+
+    Returns little-endian digits in {-1, 0, 1} such that
+    ``sum(d * 2**i) == value`` and no two adjacent digits are non-zero.
+    This is the "0, N, P" representation the paper uses for constant
+    multiplication (Section III-D1).
+
+    >>> csd_encode(7)
+    [-1, 0, 0, 1]
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    digits: List[int] = []
+    v = value
+    while v:
+        if v & 1:
+            # Choose digit so the remainder is divisible by 4 (NAF rule).
+            digit = 2 - (v & 3)  # 1 if v % 4 == 1, -1 if v % 4 == 3
+            digits.append(digit)
+            v -= digit
+        else:
+            digits.append(0)
+        v >>= 1
+    return digits or [0]

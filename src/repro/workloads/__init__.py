@@ -1,0 +1,20 @@
+"""Workloads the evaluation runs: Polybench kernels, bitmap-index
+queries, and CNN inference (LeNet-5, AlexNet)."""
+
+from repro.workloads.traces import AccessTrace, TraceEntry
+from repro.workloads.polybench import (
+    PolybenchKernel,
+    POLYBENCH_SUITE,
+    kernel_by_name,
+)
+from repro.workloads.bitmap import BitmapQuery, BitmapDatabase
+
+__all__ = [
+    "AccessTrace",
+    "BitmapDatabase",
+    "BitmapQuery",
+    "POLYBENCH_SUITE",
+    "PolybenchKernel",
+    "TraceEntry",
+    "kernel_by_name",
+]

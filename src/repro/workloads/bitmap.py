@@ -1,0 +1,98 @@
+"""Bitmap-index database queries (Section V-D, Fig. 12).
+
+The experiment from the DRAM PIM literature: 16 million users, one
+bitmap per attribute ("male", "active in week w", ...). A query such as
+"how many male users were active in each of the last w weeks" ANDs w+1
+bitmaps and popcounts the result. CORUSCANT answers with *one*
+multi-operand TR pass per row set (up to TRD operands), where the DRAM
+schemes chain two-operand ANDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class BitmapDatabase:
+    """A set of equal-length bitmaps addressed by attribute name."""
+
+    num_items: int
+    _bitmaps: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_items < 1:
+            raise ValueError("num_items must be >= 1")
+
+    def add_random(self, name: str, density: float, seed: int = 0) -> None:
+        """Create a bitmap with the given '1' density."""
+        if not 0.0 <= density <= 1.0:
+            raise ValueError("density must be a probability")
+        rng = np.random.default_rng(seed)
+        self._bitmaps[name] = (
+            rng.random(self.num_items) < density
+        ).astype(np.uint8)
+
+    def add(self, name: str, bits: np.ndarray) -> None:
+        if bits.shape != (self.num_items,):
+            raise ValueError(
+                f"bitmap must have shape ({self.num_items},), got {bits.shape}"
+            )
+        self._bitmaps[name] = bits.astype(np.uint8)
+
+    def bitmap(self, name: str) -> np.ndarray:
+        return self._bitmaps[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._bitmaps)
+
+
+@dataclass(frozen=True)
+class BitmapQuery:
+    """Conjunction query: popcount(AND of the named bitmaps)."""
+
+    criteria: Sequence[str]
+
+    def __post_init__(self) -> None:
+        if len(self.criteria) < 1:
+            raise ValueError("query needs at least one criterion")
+
+    @property
+    def num_operands(self) -> int:
+        return len(self.criteria)
+
+    def evaluate(self, db: BitmapDatabase) -> int:
+        """Reference answer: numpy AND + popcount."""
+        acc = np.ones(db.num_items, dtype=np.uint8)
+        for name in self.criteria:
+            acc &= db.bitmap(name)
+        return int(acc.sum())
+
+    def rows(self, db: BitmapDatabase, row_bits: int) -> int:
+        """Memory rows each bitmap spans at the given row width."""
+        if row_bits < 1:
+            raise ValueError("row_bits must be >= 1")
+        return -(-db.num_items // row_bits)
+
+
+def weekly_activity_database(
+    num_users: int = 16_000_000, weeks: int = 4, seed: int = 7
+) -> BitmapDatabase:
+    """The paper's query population: gender plus weekly-activity bitmaps."""
+    db = BitmapDatabase(num_users)
+    db.add_random("male", density=0.5, seed=seed)
+    for w in range(1, weeks + 1):
+        db.add_random(f"week{w}", density=0.3, seed=seed + w)
+    return db
+
+
+def weekly_query(weeks: int) -> BitmapQuery:
+    """'Male users active in each of the last ``weeks`` weeks'."""
+    if not 1 <= weeks <= 8:
+        raise ValueError("weeks must be in [1, 8]")
+    return BitmapQuery(
+        criteria=["male"] + [f"week{w}" for w in range(1, weeks + 1)]
+    )

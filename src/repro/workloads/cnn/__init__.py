@@ -1,0 +1,23 @@
+"""CNN inference workloads (Section IV, Tables IV and VI)."""
+
+from repro.workloads.cnn.layers import ConvLayer, FCLayer, PoolLayer
+from repro.workloads.cnn.networks import ALEXNET, LENET5, Network
+from repro.workloads.cnn.mapping import (
+    CnnMapper,
+    Precision,
+    Scheme,
+    table4,
+)
+
+__all__ = [
+    "ALEXNET",
+    "CnnMapper",
+    "ConvLayer",
+    "FCLayer",
+    "LENET5",
+    "Network",
+    "PoolLayer",
+    "Precision",
+    "Scheme",
+    "table4",
+]

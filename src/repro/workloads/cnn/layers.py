@@ -1,0 +1,127 @@
+"""CNN layer descriptors with exact operation counts (Section IV).
+
+Each layer type reports its output volume, the multiply-accumulates per
+inference, and the reduction-addition count the paper's Eq. 2 gives:
+
+    N_a = O_s * ((K^2 - 1) * I_c + (I_c - 1))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """A convolution layer.
+
+    Attributes:
+        in_channels/out_channels: feature-map depths.
+        kernel: square kernel size K.
+        in_size: square input spatial size.
+        stride: convolution stride.
+        padding: symmetric zero padding.
+    """
+
+    in_channels: int
+    out_channels: int
+    kernel: int
+    in_size: int
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("in_channels", "out_channels", "kernel", "in_size", "stride"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.padding < 0:
+            raise ValueError("padding must be >= 0")
+
+    @property
+    def out_size(self) -> int:
+        return (self.in_size + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def outputs(self) -> int:
+        """Output values O_s."""
+        return self.out_channels * self.out_size**2
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates per inference."""
+        return self.outputs * self.kernel**2 * self.in_channels
+
+    @property
+    def reduction_adds(self) -> int:
+        """Additions per Eq. 2 of the paper."""
+        k2 = self.kernel**2
+        return self.outputs * ((k2 - 1) * self.in_channels + (self.in_channels - 1))
+
+    @property
+    def adds_per_output(self) -> int:
+        """Reduction-tree fan-in of one output value."""
+        return (self.kernel**2 - 1) * self.in_channels + (self.in_channels - 1)
+
+
+@dataclass(frozen=True)
+class PoolLayer:
+    """A max/average pooling layer."""
+
+    channels: int
+    window: int
+    in_size: int
+    stride: int = 0  # defaults to window
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "window", "in_size"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def effective_stride(self) -> int:
+        return self.stride or self.window
+
+    @property
+    def out_size(self) -> int:
+        return (self.in_size - self.window) // self.effective_stride + 1
+
+    @property
+    def outputs(self) -> int:
+        return self.channels * self.out_size**2
+
+    @property
+    def comparisons(self) -> int:
+        """Candidate values each output reduces over."""
+        return self.window**2
+
+    @property
+    def macs(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class FCLayer:
+    """A fully connected layer computing ReLU(Wx + b)."""
+
+    in_features: int
+    out_features: int
+
+    def __post_init__(self) -> None:
+        if self.in_features < 1 or self.out_features < 1:
+            raise ValueError("feature counts must be >= 1")
+
+    @property
+    def outputs(self) -> int:
+        return self.out_features
+
+    @property
+    def macs(self) -> int:
+        return self.in_features * self.out_features
+
+    @property
+    def adds_per_output(self) -> int:
+        return self.in_features  # in_features-1 sums + 1 bias
+
+    @property
+    def reduction_adds(self) -> int:
+        return self.out_features * self.adds_per_output

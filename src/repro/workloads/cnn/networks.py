@@ -1,0 +1,75 @@
+"""LeNet-5 and AlexNet layer configurations (Section V-E).
+
+Standard published architectures: LeNet-5 (LeCun et al., 1998) on 32x32
+inputs and AlexNet (Krizhevsky et al., 2012) on 227x227x3 inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro.workloads.cnn.layers import ConvLayer, FCLayer, PoolLayer
+
+Layer = Union[ConvLayer, PoolLayer, FCLayer]
+
+
+@dataclass(frozen=True)
+class Network:
+    """A feed-forward CNN: an ordered list of layers."""
+
+    name: str
+    layers: Tuple[Layer, ...]
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def conv_layers(self) -> List[ConvLayer]:
+        return [l for l in self.layers if isinstance(l, ConvLayer)]
+
+    @property
+    def fc_layers(self) -> List[FCLayer]:
+        return [l for l in self.layers if isinstance(l, FCLayer)]
+
+    @property
+    def pool_layers(self) -> List[PoolLayer]:
+        return [l for l in self.layers if isinstance(l, PoolLayer)]
+
+    @property
+    def compute_layers(self) -> List[Layer]:
+        """Layers with arithmetic work (conv + fc)."""
+        return [l for l in self.layers if not isinstance(l, PoolLayer)]
+
+
+LENET5 = Network(
+    name="lenet5",
+    layers=(
+        ConvLayer(in_channels=1, out_channels=6, kernel=5, in_size=32),
+        PoolLayer(channels=6, window=2, in_size=28),
+        ConvLayer(in_channels=6, out_channels=16, kernel=5, in_size=14),
+        PoolLayer(channels=16, window=2, in_size=10),
+        ConvLayer(in_channels=16, out_channels=120, kernel=5, in_size=5),
+        FCLayer(in_features=120, out_features=84),
+        FCLayer(in_features=84, out_features=10),
+    ),
+)
+
+
+ALEXNET = Network(
+    name="alexnet",
+    layers=(
+        ConvLayer(in_channels=3, out_channels=96, kernel=11, in_size=227, stride=4),
+        PoolLayer(channels=96, window=3, in_size=55, stride=2),
+        ConvLayer(in_channels=96, out_channels=256, kernel=5, in_size=27, padding=2),
+        PoolLayer(channels=256, window=3, in_size=27, stride=2),
+        ConvLayer(in_channels=256, out_channels=384, kernel=3, in_size=13, padding=1),
+        ConvLayer(in_channels=384, out_channels=384, kernel=3, in_size=13, padding=1),
+        ConvLayer(in_channels=384, out_channels=256, kernel=3, in_size=13, padding=1),
+        PoolLayer(channels=256, window=3, in_size=13, stride=2),
+        FCLayer(in_features=256 * 6 * 6, out_features=4096),
+        FCLayer(in_features=4096, out_features=4096),
+        FCLayer(in_features=4096, out_features=1000),
+    ),
+)

@@ -1,0 +1,72 @@
+"""Weight quantization for the BWN/TWN mappings (Section V-E).
+
+The DRAM PIM comparisons run binary-weight (NID) and ternary-weight
+(DrAcc) networks; CORUSCANT's ternary rows do the same. This module
+provides the quantizers that turn full-precision kernels into those
+forms, with the standard threshold/scale recipes:
+
+* **binary** (BWN): w -> sign-ish {0, 1} mask times a per-kernel scale
+  (the mean absolute weight), following the XNOR-style formulation the
+  NID mapping assumes;
+* **ternary** (TWN): w -> {-1, 0, 1} with threshold 0.7 * mean|w| and a
+  per-kernel scale over the surviving weights (the trained-ternary
+  recipe the paper cites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantizedKernel:
+    """A quantized kernel plus its reconstruction scale.
+
+    ``approx()`` returns scale * levels, the dequantized kernel the
+    mapping's arithmetic effectively computes with.
+    """
+
+    levels: np.ndarray
+    scale: float
+
+    def approx(self) -> np.ndarray:
+        return self.scale * self.levels
+
+
+def binarize(kernel: np.ndarray) -> QuantizedKernel:
+    """Binary-weight quantization: {0, 1} levels, mean-|w| scale."""
+    kernel = np.asarray(kernel, dtype=np.float64)
+    if kernel.size == 0:
+        raise ValueError("kernel is empty")
+    scale = float(np.abs(kernel).mean())
+    levels = (kernel >= 0).astype(np.int8)
+    return QuantizedKernel(levels=levels, scale=scale)
+
+
+def ternarize(
+    kernel: np.ndarray, threshold_factor: float = 0.7
+) -> QuantizedKernel:
+    """Ternary-weight quantization: {-1, 0, 1} with 0.7*mean|w| threshold."""
+    kernel = np.asarray(kernel, dtype=np.float64)
+    if kernel.size == 0:
+        raise ValueError("kernel is empty")
+    if threshold_factor <= 0:
+        raise ValueError("threshold_factor must be positive")
+    delta = threshold_factor * float(np.abs(kernel).mean())
+    levels = np.zeros_like(kernel, dtype=np.int8)
+    levels[kernel > delta] = 1
+    levels[kernel < -delta] = -1
+    surviving = np.abs(kernel)[levels != 0]
+    scale = float(surviving.mean()) if surviving.size else 0.0
+    return QuantizedKernel(levels=levels, scale=scale)
+
+
+def quantization_error(kernel: np.ndarray, quantized: QuantizedKernel) -> float:
+    """Relative L2 reconstruction error of a quantization."""
+    kernel = np.asarray(kernel, dtype=np.float64)
+    norm = float(np.linalg.norm(kernel))
+    if norm == 0:
+        return 0.0
+    return float(np.linalg.norm(kernel - quantized.approx())) / norm

@@ -1,0 +1,315 @@
+"""Polybench kernel models (Section V-C, Figs. 10-11).
+
+The paper runs the linear-algebra subset of Polybench (2mm through gemm)
+through a pintool, classifies which accesses are PIM-mappable additions
+and multiplications, and replays them. Here each kernel is an analytic
+model of the same computation: exact add/mult counts from the loop-nest
+structure, an access-stream size, plus a numpy reference implementation
+so examples and tests can check functional equivalence.
+
+Problem sizes default to the Polybench "SMALL"-ish dataset so reference
+runs stay fast; counts scale analytically for any size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.workloads.traces import AccessKind, AccessTrace, TraceEntry
+
+
+@dataclass(frozen=True)
+class OpProfile:
+    """Operation counts of one kernel instance."""
+
+    adds: int
+    mults: int
+    loads: int
+    stores: int
+
+    def __post_init__(self) -> None:
+        for name in ("adds", "mults", "loads", "stores"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def arithmetic(self) -> int:
+        return self.adds + self.mults
+
+    @property
+    def accesses(self) -> int:
+        return self.loads + self.stores
+
+
+@dataclass(frozen=True)
+class PolybenchKernel:
+    """One kernel: dimensions, op-count model, reference implementation.
+
+    Attributes:
+        name: Polybench benchmark name.
+        dims: symbolic problem dimensions.
+        profile_fn: dims -> :class:`OpProfile`.
+        reference_fn: dict of numpy inputs -> numpy output (optional).
+    """
+
+    name: str
+    dims: Mapping[str, int]
+    profile_fn: Callable[[Mapping[str, int]], OpProfile] = field(repr=False)
+    reference_fn: Optional[Callable[[Mapping[str, int], np.random.Generator], np.ndarray]] = field(
+        default=None, repr=False
+    )
+
+    def profile(self) -> OpProfile:
+        return self.profile_fn(self.dims)
+
+    def reference(self, seed: int = 0) -> np.ndarray:
+        if self.reference_fn is None:
+            raise NotImplementedError(f"{self.name} has no reference")
+        return self.reference_fn(self.dims, np.random.default_rng(seed))
+
+    def with_dims(self, **dims: int) -> "PolybenchKernel":
+        merged = dict(self.dims)
+        merged.update(dims)
+        return PolybenchKernel(
+            name=self.name,
+            dims=merged,
+            profile_fn=self.profile_fn,
+            reference_fn=self.reference_fn,
+        )
+
+    def synthesize_trace(self, max_entries: int = 100_000) -> AccessTrace:
+        """A representative access trace with the kernel's op mix.
+
+        The full stream can be billions of entries; the trace is a
+        proportional sample capped at ``max_entries`` with the counts
+        preserved as ratios.
+        """
+        p = self.profile()
+        total = p.adds + p.mults + p.loads + p.stores
+        if total == 0:
+            return AccessTrace()
+        scale = min(1.0, max_entries / total)
+        trace = AccessTrace()
+        address = 0
+        plan = [
+            (AccessKind.PIM_ADD, round(p.adds * scale)),
+            (AccessKind.PIM_MULT, round(p.mults * scale)),
+            (AccessKind.LOAD, round(p.loads * scale)),
+            (AccessKind.STORE, round(p.stores * scale)),
+        ]
+        for kind, count in plan:
+            for _ in range(count):
+                trace.append(TraceEntry(kind=kind, address=address))
+                address += 4
+        return trace
+
+
+# ----------------------------------------------------------------------
+# profile models (counts from the canonical loop nests)
+
+
+def _gemm_profile(d: Mapping[str, int]) -> OpProfile:
+    ni, nj, nk = d["ni"], d["nj"], d["nk"]
+    # Canonical nest: C[i][j] *= beta, then C[i][j] += alpha*A[i][k]*B[k][j]
+    mults = 2 * ni * nj * nk + ni * nj
+    adds = ni * nj * nk
+    loads = ni * nj * nk * 2 + ni * nj
+    stores = ni * nj
+    return OpProfile(adds, mults, loads, stores)
+
+
+def _2mm_profile(d: Mapping[str, int]) -> OpProfile:
+    ni, nj, nk, nl = d["ni"], d["nj"], d["nk"], d["nl"]
+    # tmp[i][j] += alpha*A[i][k]*B[k][j] ; D[i][j] *= beta, += tmp*C
+    mults = 2 * ni * nj * nk + ni * nl * nj + ni * nl
+    adds = ni * nj * nk + ni * nl * nj
+    loads = 2 * (ni * nj * nk + ni * nl * nj) + ni * nl
+    stores = ni * nj + ni * nl
+    return OpProfile(adds, mults, loads, stores)
+
+
+def _3mm_profile(d: Mapping[str, int]) -> OpProfile:
+    ni, nj, nk, nl, nm = d["ni"], d["nj"], d["nk"], d["nl"], d["nm"]
+    mults = ni * nj * nk + nj * nl * nm + ni * nl * nj
+    adds = mults
+    loads = 2 * mults
+    stores = ni * nj + nj * nl + ni * nl
+    return OpProfile(adds, mults, loads, stores)
+
+
+def _atax_profile(d: Mapping[str, int]) -> OpProfile:
+    m, n = d["m"], d["n"]
+    # y = A^T (A x)
+    mults = 2 * m * n
+    adds = 2 * m * n
+    loads = 2 * (2 * m * n)
+    stores = m + n
+    return OpProfile(adds, mults, loads, stores)
+
+
+def _bicg_profile(d: Mapping[str, int]) -> OpProfile:
+    m, n = d["m"], d["n"]
+    mults = 2 * m * n
+    adds = 2 * m * n
+    loads = 2 * (2 * m * n)
+    stores = m + n
+    return OpProfile(adds, mults, loads, stores)
+
+
+def _mvt_profile(d: Mapping[str, int]) -> OpProfile:
+    n = d["n"]
+    mults = 2 * n * n
+    adds = 2 * n * n
+    loads = 4 * n * n
+    stores = 2 * n
+    return OpProfile(adds, mults, loads, stores)
+
+
+def _gemver_profile(d: Mapping[str, int]) -> OpProfile:
+    n = d["n"]
+    # A-hat = A + u1 v1^T + u2 v2^T ; x = beta A^T y + z ; w = alpha A x
+    mults = 2 * n * n + n * n + n * n + 2 * n
+    adds = 2 * n * n + n * n + n + n * n
+    loads = 8 * n * n
+    stores = n * n + 2 * n
+    return OpProfile(adds, mults, loads, stores)
+
+
+def _gesummv_profile(d: Mapping[str, int]) -> OpProfile:
+    n = d["n"]
+    mults = 2 * n * n + 2 * n
+    adds = 2 * n * n + n
+    loads = 4 * n * n
+    stores = n
+    return OpProfile(adds, mults, loads, stores)
+
+
+def _syrk_profile(d: Mapping[str, int]) -> OpProfile:
+    n, m = d["n"], d["m"]
+    # Canonical nest: C[i][j] *= beta, then C[i][j] += alpha*A[i][k]*A[j][k]
+    mults = 2 * n * n * m + n * n
+    adds = n * n * m
+    loads = 2 * n * n * m
+    stores = n * n
+    return OpProfile(adds, mults, loads, stores)
+
+
+def _syr2k_profile(d: Mapping[str, int]) -> OpProfile:
+    n, m = d["n"], d["m"]
+    mults = 2 * n * n * m + 2 * n * n
+    adds = 2 * n * n * m + n * n
+    loads = 4 * n * n * m
+    stores = n * n
+    return OpProfile(adds, mults, loads, stores)
+
+
+def _trmm_profile(d: Mapping[str, int]) -> OpProfile:
+    m, n = d["m"], d["n"]
+    mults = m * m * n // 2 + m * n
+    adds = m * m * n // 2
+    loads = m * m * n
+    stores = m * n
+    return OpProfile(adds, mults, loads, stores)
+
+
+def _symm_profile(d: Mapping[str, int]) -> OpProfile:
+    m, n = d["m"], d["n"]
+    mults = 2 * m * m * n // 2 + 2 * m * n
+    adds = 2 * m * m * n // 2 + m * n
+    loads = 2 * m * m * n
+    stores = m * n
+    return OpProfile(adds, mults, loads, stores)
+
+
+def _doitgen_profile(d: Mapping[str, int]) -> OpProfile:
+    nr, nq, np_ = d["nr"], d["nq"], d["np"]
+    mults = nr * nq * np_ * np_
+    adds = nr * nq * np_ * np_
+    loads = 2 * nr * nq * np_ * np_
+    stores = nr * nq * np_
+    return OpProfile(adds, mults, loads, stores)
+
+
+# ----------------------------------------------------------------------
+# reference implementations (numpy) for the matrix kernels
+
+
+def _gemm_reference(d: Mapping[str, int], rng: np.random.Generator) -> np.ndarray:
+    a = rng.random((d["ni"], d["nk"]))
+    b = rng.random((d["nk"], d["nj"]))
+    c = rng.random((d["ni"], d["nj"]))
+    return 1.5 * (a @ b) + 1.2 * c
+
+
+def _2mm_reference(d: Mapping[str, int], rng: np.random.Generator) -> np.ndarray:
+    a = rng.random((d["ni"], d["nk"]))
+    b = rng.random((d["nk"], d["nj"]))
+    c = rng.random((d["nj"], d["nl"]))
+    dd = rng.random((d["ni"], d["nl"]))
+    return (1.5 * (a @ b)) @ c + 1.2 * dd
+
+
+def _3mm_reference(d: Mapping[str, int], rng: np.random.Generator) -> np.ndarray:
+    a = rng.random((d["ni"], d["nk"]))
+    b = rng.random((d["nk"], d["nj"]))
+    c = rng.random((d["nj"], d["nm"]))
+    dd = rng.random((d["nm"], d["nl"]))
+    return (a @ b) @ (c @ dd)
+
+
+def _atax_reference(d: Mapping[str, int], rng: np.random.Generator) -> np.ndarray:
+    a = rng.random((d["m"], d["n"]))
+    x = rng.random(d["n"])
+    return a.T @ (a @ x)
+
+
+def _mvt_reference(d: Mapping[str, int], rng: np.random.Generator) -> np.ndarray:
+    a = rng.random((d["n"], d["n"]))
+    y1 = rng.random(d["n"])
+    y2 = rng.random(d["n"])
+    x1 = rng.random(d["n"]) + a @ y1
+    x2 = rng.random(d["n"]) + a.T @ y2
+    return np.stack([x1, x2])
+
+
+# ----------------------------------------------------------------------
+# the suite
+
+
+def _k(name, dims, profile, reference=None) -> PolybenchKernel:
+    return PolybenchKernel(
+        name=name, dims=dims, profile_fn=profile, reference_fn=reference
+    )
+
+
+POLYBENCH_SUITE: List[PolybenchKernel] = [
+    _k("2mm", dict(ni=40, nj=50, nk=70, nl=80), _2mm_profile, _2mm_reference),
+    _k("3mm", dict(ni=40, nj=50, nk=60, nl=70, nm=80), _3mm_profile, _3mm_reference),
+    _k("atax", dict(m=116, n=124), _atax_profile, _atax_reference),
+    _k("bicg", dict(m=116, n=124), _bicg_profile),
+    _k("doitgen", dict(nr=10, nq=8, np=12), _doitgen_profile),
+    _k("gemver", dict(n=120), _gemver_profile),
+    _k("gesummv", dict(n=90), _gesummv_profile),
+    _k("mvt", dict(n=120), _mvt_profile, _mvt_reference),
+    _k("symm", dict(m=60, n=80), _symm_profile),
+    _k("syr2k", dict(n=80, m=60), _syr2k_profile),
+    _k("syrk", dict(n=80, m=60), _syrk_profile),
+    _k("trmm", dict(m=60, n=80), _trmm_profile),
+    _k("gemm", dict(ni=60, nj=70, nk=80), _gemm_profile, _gemm_reference),
+]
+
+
+_BY_NAME: Dict[str, PolybenchKernel] = {k.name: k for k in POLYBENCH_SUITE}
+
+
+def kernel_by_name(name: str) -> PolybenchKernel:
+    """Look up a suite kernel; raises KeyError with the known names."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

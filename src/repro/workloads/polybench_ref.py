@@ -1,0 +1,212 @@
+"""Instrumented Polybench loop nests.
+
+These execute the canonical loop nests at small problem sizes while
+*counting* every arithmetic operation, giving ground truth for the
+analytic profile formulas in :mod:`repro.workloads.polybench` (the
+substitution for the paper's pintool instrumentation). They also return
+the numerical results so functional equivalence with numpy can be
+checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+
+@dataclass
+class OpCounter:
+    """Counts the arithmetic a loop nest performs."""
+
+    adds: int = 0
+    mults: int = 0
+
+    def mul(self, a, b):
+        self.mults += 1
+        return a * b
+
+    def add(self, a, b):
+        self.adds += 1
+        return a + b
+
+
+@dataclass
+class InstrumentedRun:
+    """Output + counts of one instrumented kernel execution."""
+
+    result: np.ndarray
+    counter: OpCounter
+
+
+def gemm(d: Mapping[str, int], rng: np.random.Generator) -> InstrumentedRun:
+    """C = alpha*A*B + beta*C with explicit loops."""
+    ni, nj, nk = d["ni"], d["nj"], d["nk"]
+    alpha, beta = 1.5, 1.2
+    a = rng.random((ni, nk))
+    b = rng.random((nk, nj))
+    c = rng.random((ni, nj)).copy()
+    ops = OpCounter()
+    for i in range(ni):
+        for j in range(nj):
+            c[i, j] = ops.mul(beta, c[i, j])
+            for k in range(nk):
+                c[i, j] = ops.add(
+                    c[i, j], ops.mul(ops.mul(alpha, a[i, k]), b[k, j])
+                )
+    return InstrumentedRun(result=c, counter=ops)
+
+
+def atax(d: Mapping[str, int], rng: np.random.Generator) -> InstrumentedRun:
+    """y = A^T (A x) with explicit loops."""
+    m, n = d["m"], d["n"]
+    a = rng.random((m, n))
+    x = rng.random(n)
+    ops = OpCounter()
+    tmp = np.zeros(m)
+    for i in range(m):
+        for j in range(n):
+            tmp[i] = ops.add(tmp[i], ops.mul(a[i, j], x[j]))
+    y = np.zeros(n)
+    for i in range(m):
+        for j in range(n):
+            y[j] = ops.add(y[j], ops.mul(a[i, j], tmp[i]))
+    return InstrumentedRun(result=y, counter=ops)
+
+
+def mvt(d: Mapping[str, int], rng: np.random.Generator) -> InstrumentedRun:
+    """x1 += A y1 ; x2 += A^T y2."""
+    n = d["n"]
+    a = rng.random((n, n))
+    y1 = rng.random(n)
+    y2 = rng.random(n)
+    x1 = rng.random(n).copy()
+    x2 = rng.random(n).copy()
+    ops = OpCounter()
+    for i in range(n):
+        for j in range(n):
+            x1[i] = ops.add(x1[i], ops.mul(a[i, j], y1[j]))
+    for i in range(n):
+        for j in range(n):
+            x2[i] = ops.add(x2[i], ops.mul(a[j, i], y2[j]))
+    return InstrumentedRun(result=np.stack([x1, x2]), counter=ops)
+
+
+def gesummv(d: Mapping[str, int], rng: np.random.Generator) -> InstrumentedRun:
+    """y = alpha*A*x + beta*B*x."""
+    n = d["n"]
+    alpha, beta = 1.5, 1.2
+    a = rng.random((n, n))
+    b = rng.random((n, n))
+    x = rng.random(n)
+    ops = OpCounter()
+    y = np.zeros(n)
+    for i in range(n):
+        tmp_a = 0.0
+        tmp_b = 0.0
+        for j in range(n):
+            tmp_a = ops.add(tmp_a, ops.mul(a[i, j], x[j]))
+            tmp_b = ops.add(tmp_b, ops.mul(b[i, j], x[j]))
+        y[i] = ops.add(ops.mul(alpha, tmp_a), ops.mul(beta, tmp_b))
+    return InstrumentedRun(result=y, counter=ops)
+
+
+def syrk(d: Mapping[str, int], rng: np.random.Generator) -> InstrumentedRun:
+    """C = alpha*A*A^T + beta*C (full matrix form)."""
+    n, m = d["n"], d["m"]
+    alpha, beta = 1.5, 1.2
+    a = rng.random((n, m))
+    c = rng.random((n, n)).copy()
+    ops = OpCounter()
+    for i in range(n):
+        for j in range(n):
+            c[i, j] = ops.mul(beta, c[i, j])
+            for k in range(m):
+                c[i, j] = ops.add(
+                    c[i, j], ops.mul(ops.mul(alpha, a[i, k]), a[j, k])
+                )
+    return InstrumentedRun(result=c, counter=ops)
+
+
+def doitgen(d: Mapping[str, int], rng: np.random.Generator) -> InstrumentedRun:
+    """sum[r,q,p] = sum_s A[r,q,s] * C4[s,p]."""
+    nr, nq, np_ = d["nr"], d["nq"], d["np"]
+    a = rng.random((nr, nq, np_))
+    c4 = rng.random((np_, np_))
+    ops = OpCounter()
+    out = np.zeros((nr, nq, np_))
+    for r in range(nr):
+        for q in range(nq):
+            for p in range(np_):
+                for s in range(np_):
+                    out[r, q, p] = ops.add(
+                        out[r, q, p], ops.mul(a[r, q, s], c4[s, p])
+                    )
+    return InstrumentedRun(result=out, counter=ops)
+
+
+def bicg(d: Mapping[str, int], rng: np.random.Generator) -> InstrumentedRun:
+    """s = A^T r ; q = A p."""
+    m, n = d["m"], d["n"]
+    a = rng.random((m, n))
+    r = rng.random(m)
+    p = rng.random(n)
+    ops = OpCounter()
+    s = np.zeros(n)
+    q = np.zeros(m)
+    for i in range(m):
+        for j in range(n):
+            s[j] = ops.add(s[j], ops.mul(r[i], a[i, j]))
+            q[i] = ops.add(q[i], ops.mul(a[i, j], p[j]))
+    return InstrumentedRun(result=np.concatenate([s, q]), counter=ops)
+
+
+def two_mm(d: Mapping[str, int], rng: np.random.Generator) -> InstrumentedRun:
+    """tmp = alpha*A*B ; D = beta*D + tmp*C."""
+    ni, nj, nk, nl = d["ni"], d["nj"], d["nk"], d["nl"]
+    alpha, beta = 1.5, 1.2
+    a = rng.random((ni, nk))
+    b = rng.random((nk, nj))
+    c = rng.random((nj, nl))
+    dd = rng.random((ni, nl)).copy()
+    ops = OpCounter()
+    tmp = np.zeros((ni, nj))
+    for i in range(ni):
+        for j in range(nj):
+            for k in range(nk):
+                tmp[i, j] = ops.add(
+                    tmp[i, j], ops.mul(ops.mul(alpha, a[i, k]), b[k, j])
+                )
+    for i in range(ni):
+        for l in range(nl):
+            dd[i, l] = ops.mul(beta, dd[i, l])
+            for j in range(nj):
+                dd[i, l] = ops.add(dd[i, l], ops.mul(tmp[i, j], c[j, l]))
+    return InstrumentedRun(result=dd, counter=ops)
+
+
+INSTRUMENTED = {
+    "gemm": gemm,
+    "atax": atax,
+    "mvt": mvt,
+    "gesummv": gesummv,
+    "syrk": syrk,
+    "doitgen": doitgen,
+    "bicg": bicg,
+    "2mm": two_mm,
+}
+
+
+def run_instrumented(
+    name: str, dims: Mapping[str, int], seed: int = 0
+) -> InstrumentedRun:
+    """Execute an instrumented kernel at the given dimensions."""
+    try:
+        fn = INSTRUMENTED[name]
+    except KeyError:
+        raise KeyError(
+            f"no instrumented version of {name!r}; available: "
+            f"{sorted(INSTRUMENTED)}"
+        ) from None
+    return fn(dims, np.random.default_rng(seed))

@@ -1,0 +1,183 @@
+"""A small bitmap-query engine over CORUSCANT (Section V-D generalised).
+
+The Fig. 12 experiment runs one conjunction; real bitmap-index engines
+evaluate predicate *trees* (AND/OR/NOT over attribute bitmaps). This
+module compiles such trees onto the multi-operand polymorphic gate:
+
+* a fused node evaluates up to TRD same-operator children in ONE TR
+  pass (the CORUSCANT advantage over two-operand DRAM PIM);
+* deeper trees chain passes through intermediate rows;
+* counts come from the in-memory popcount unit.
+
+Example::
+
+    q = And(Attr("male"), Or(Attr("week1"), Attr("week2")))
+    engine = QueryEngine(system, db)
+    result = engine.run(q)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.core.bulk_bitwise import BulkBitwiseUnit
+from repro.core.pim_logic import BulkOp
+from repro.core.popcount import PopcountUnit
+from repro.sim.system import CoruscantSystem
+from repro.workloads.bitmap import BitmapDatabase
+
+
+# ----------------------------------------------------------------------
+# predicate tree
+
+
+@dataclass(frozen=True)
+class Attr:
+    """A leaf predicate: the named attribute's bitmap."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Not:
+    """Negation of a sub-predicate."""
+
+    child: "Node"
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of two or more sub-predicates."""
+
+    children: tuple
+
+    def __init__(self, *children: "Node") -> None:
+        if len(children) < 2:
+            raise ValueError("And needs at least two children")
+        object.__setattr__(self, "children", tuple(children))
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction of two or more sub-predicates."""
+
+    children: tuple
+
+    def __init__(self, *children: "Node") -> None:
+        if len(children) < 2:
+            raise ValueError("Or needs at least two children")
+        object.__setattr__(self, "children", tuple(children))
+
+
+Node = Union[Attr, Not, And, Or]
+
+
+def reference_evaluate(node: Node, db: BitmapDatabase) -> np.ndarray:
+    """Numpy ground truth for a predicate tree."""
+    if isinstance(node, Attr):
+        return db.bitmap(node.name).copy()
+    if isinstance(node, Not):
+        return (1 - reference_evaluate(node.child, db)).astype(np.uint8)
+    if isinstance(node, And):
+        acc = reference_evaluate(node.children[0], db)
+        for child in node.children[1:]:
+            acc &= reference_evaluate(child, db)
+        return acc
+    if isinstance(node, Or):
+        acc = reference_evaluate(node.children[0], db)
+        for child in node.children[1:]:
+            acc |= reference_evaluate(child, db)
+        return acc
+    raise TypeError(f"unknown node type {type(node).__name__}")
+
+
+# ----------------------------------------------------------------------
+# engine
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one query execution.
+
+    Attributes:
+        count: matching items.
+        bits: the result bitmap.
+        tr_passes: multi-operand TR passes executed.
+        cycles: DBC cycles consumed (logic + popcount).
+    """
+
+    count: int
+    bits: List[int]
+    tr_passes: int
+    cycles: int
+
+
+class QueryEngine:
+    """Evaluates predicate trees on a PIM DBC, fusing wide nodes."""
+
+    def __init__(self, system: CoruscantSystem, db: BitmapDatabase) -> None:
+        self.system = system
+        self.db = db
+        self.dbc = system.pim_dbc()
+        if db.num_items > self.dbc.tracks:
+            raise ValueError(
+                f"database of {db.num_items} items exceeds the "
+                f"{self.dbc.tracks}-track DBC; shard the bitmaps"
+            )
+        self.unit = BulkBitwiseUnit(self.dbc)
+        self.popcount = PopcountUnit(self.dbc)
+        self._tr_passes = 0
+
+    def run(self, query: Node) -> QueryResult:
+        """Execute the query and popcount the result in memory."""
+        before = self.dbc.stats.cycles
+        self._tr_passes = 0
+        bits = self._evaluate(query)
+        count = self.popcount.count_row(bits).count
+        return QueryResult(
+            count=count,
+            bits=bits,
+            tr_passes=self._tr_passes,
+            cycles=self.dbc.stats.cycles - before,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, node: Node) -> List[int]:
+        if isinstance(node, Attr):
+            bits = list(self.db.bitmap(node.name))
+            return bits + [0] * (self.dbc.tracks - len(bits))
+        if isinstance(node, Not):
+            child = self._evaluate(node.child)
+            # NOT through the polymorphic gate's single-operand NOR.
+            self.unit.stage_operands(BulkOp.NOT, [child])
+            result = self.unit.execute(BulkOp.NOT, 1)
+            self._tr_passes += 1
+            out = result.bits
+            # Items beyond the database stay zero.
+            for i in range(self.db.num_items, self.dbc.tracks):
+                out[i] = 0
+            return out
+        if isinstance(node, (And, Or)):
+            op = BulkOp.AND if isinstance(node, And) else BulkOp.OR
+            rows = [self._evaluate(child) for child in node.children]
+            return self._fused_op(op, rows)
+        raise TypeError(f"unknown node type {type(node).__name__}")
+
+    def _fused_op(self, op: BulkOp, rows: List[List[int]]) -> List[int]:
+        """Apply ``op`` over any operand count, TRD rows per TR pass."""
+        limit = self.dbc.window_size
+        pending = rows
+        while len(pending) > 1:
+            batch, pending = pending[:limit], pending[limit:]
+            if len(batch) == 1:
+                pending = pending + batch
+                continue
+            self.unit.stage_operands(op, batch)
+            result = self.unit.execute(op, len(batch))
+            self._tr_passes += 1
+            pending = [result.bits] + pending
+        return pending[0]

@@ -1,0 +1,75 @@
+"""Memory access traces.
+
+The paper extracts Polybench traces with a pintool and classifies
+accesses into PIM-mappable additions/multiplications versus plain
+loads/stores. Our kernel models synthesise the equivalent streams; this
+module provides the trace containers both paths share.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List
+
+
+class AccessKind(enum.Enum):
+    """What one trace entry does."""
+
+    LOAD = "load"
+    STORE = "store"
+    PIM_ADD = "pim_add"
+    PIM_MULT = "pim_mult"
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One synthesised access: an address and its classification."""
+
+    kind: AccessKind
+    address: int
+    size_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("address must be >= 0")
+        if self.size_bytes < 1:
+            raise ValueError("size_bytes must be >= 1")
+
+
+@dataclass
+class AccessTrace:
+    """A stream of accesses with summary counters."""
+
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def append(self, entry: TraceEntry) -> None:
+        self.entries.append(entry)
+
+    def extend(self, entries: Iterable[TraceEntry]) -> None:
+        self.entries.extend(entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def count(self, kind: AccessKind) -> int:
+        return sum(1 for e in self.entries if e.kind is kind)
+
+    @property
+    def loads(self) -> int:
+        return self.count(AccessKind.LOAD)
+
+    @property
+    def stores(self) -> int:
+        return self.count(AccessKind.STORE)
+
+    @property
+    def pim_adds(self) -> int:
+        return self.count(AccessKind.PIM_ADD)
+
+    @property
+    def pim_mults(self) -> int:
+        return self.count(AccessKind.PIM_MULT)

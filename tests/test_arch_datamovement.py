@@ -1,0 +1,102 @@
+"""Unit tests for inter-DBC data movement."""
+
+import pytest
+
+from repro.arch.datamovement import CopyScope, DataMover
+from repro.arch.dbc import DomainBlockCluster
+from repro.device.parameters import DeviceParameters
+
+
+def make_dbc(tracks=16, pim=True):
+    return DomainBlockCluster(
+        tracks=tracks,
+        domains=32,
+        params=DeviceParameters(trd=7),
+        pim_enabled=pim,
+    )
+
+
+class TestCopyRow:
+    def test_contents_move_exactly(self):
+        src = make_dbc()
+        dst = make_dbc()
+        pattern = [1, 0, 1, 1, 0, 0, 1, 0] * 2
+        src.poke_row(5, pattern)
+        mover = DataMover(row_buffer_width=16)
+        mover.copy_row(src, 5, dst, 9)
+        assert dst.peek_row(9) == pattern
+
+    def test_scope_costs_ordered(self):
+        costs = {}
+        for scope in CopyScope:
+            src = make_dbc()
+            dst = make_dbc()
+            src.poke_row(5, [1] * 16)
+            mover = DataMover(row_buffer_width=16)
+            costs[scope] = mover.copy_row(src, 5, dst, 5, scope=scope).cycles
+        assert (
+            costs[CopyScope.INTRA_TILE]
+            < costs[CopyScope.INTRA_SUBARRAY]
+            < costs[CopyScope.INTER_BANK]
+        )
+
+    def test_alignment_shifts_counted(self):
+        src = make_dbc()
+        dst = make_dbc()
+        mover = DataMover(row_buffer_width=16)
+        result = mover.copy_row(src, 2, dst, 20)
+        assert result.shifts > 0
+
+    def test_width_mismatch_rejected(self):
+        mover = DataMover(row_buffer_width=32)
+        with pytest.raises(ValueError):
+            mover.copy_row(make_dbc(tracks=16), 0, make_dbc(tracks=8), 0)
+
+    def test_buffer_too_narrow(self):
+        mover = DataMover(row_buffer_width=8)
+        with pytest.raises(ValueError):
+            mover.copy_row(make_dbc(tracks=16), 0, make_dbc(tracks=16), 0)
+
+    def test_copy_between_pim_and_plain(self):
+        """The Section III-A flow: stage data from a plain DBC into PIM."""
+        plain = make_dbc(pim=False)
+        pim = make_dbc(pim=True)
+        plain.poke_row(3, [0, 1] * 8)
+        mover = DataMover(row_buffer_width=16)
+        mover.copy_row(plain, 3, pim, 15)
+        assert pim.peek_row(15) == [0, 1] * 8
+
+
+class TestBroadcast:
+    def test_broadcast_to_many(self):
+        src = make_dbc()
+        targets = [make_dbc() for _ in range(3)]
+        src.poke_row(7, [1, 1, 0, 0] * 4)
+        mover = DataMover(row_buffer_width=16)
+        mover.broadcast_row(src, 7, targets, 2)
+        for dst in targets:
+            assert dst.peek_row(2) == [1, 1, 0, 0] * 4
+
+    def test_broadcast_cheaper_than_copies(self):
+        src1 = make_dbc()
+        src1.poke_row(7, [1] * 16)
+        targets = [make_dbc() for _ in range(4)]
+        m_bcast = DataMover(row_buffer_width=16)
+        bcast = m_bcast.broadcast_row(src1, 7, targets, 7)
+
+        src2 = make_dbc()
+        src2.poke_row(7, [1] * 16)
+        m_copy = DataMover(row_buffer_width=16)
+        copies = 0
+        for dst in [make_dbc() for _ in range(4)]:
+            copies += m_copy.copy_row(src2, 7, dst, 7).cycles
+        assert bcast < copies
+
+    def test_stats_accumulate(self):
+        src = make_dbc()
+        dst = make_dbc()
+        mover = DataMover(row_buffer_width=16)
+        mover.copy_row(src, 1, dst, 1)
+        mover.copy_row(src, 2, dst, 2)
+        assert mover.copies == 2
+        assert mover.total_cycles > 0

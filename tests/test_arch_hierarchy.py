@@ -1,0 +1,127 @@
+"""Unit tests for tile/subarray/bank/memory and the row buffer."""
+
+import pytest
+
+from repro.arch.bank import Bank
+from repro.arch.geometry import MemoryGeometry
+from repro.arch.memory import MainMemory
+from repro.arch.rowbuffer import RowBuffer
+from repro.arch.subarray import Subarray
+from repro.arch.tile import Tile
+
+
+class TestGeometry:
+    def test_table2_capacity(self):
+        # Table II: 1 GB part.
+        g = MemoryGeometry()
+        assert g.capacity_bytes == 1 << 30
+
+    def test_pim_parallelism(self):
+        g = MemoryGeometry()
+        assert g.banks * g.subarrays_per_bank == 2048
+
+    def test_row_bits(self):
+        assert MemoryGeometry().row_bits == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryGeometry(banks=0)
+        with pytest.raises(ValueError):
+            MemoryGeometry(pim_dbcs_per_tile=99)
+
+
+class TestLazyMaterialisation:
+    def test_tile_lazy(self):
+        tile = Tile(tracks=8, domains=32)
+        assert tile.materialized_dbcs == 0
+        tile.dbc(3)
+        assert tile.materialized_dbcs == 1
+
+    def test_subarray_lazy(self):
+        sub = Subarray(tracks=8)
+        assert sub.materialized_tiles == 0
+        sub.pim_tile()
+        assert sub.materialized_tiles == 1
+
+    def test_bank_lazy(self):
+        bank = Bank(tracks=8)
+        bank.subarray(5)
+        assert bank.materialized_subarrays == 1
+
+    def test_memory_lazy(self):
+        memory = MainMemory(geometry=MemoryGeometry(tracks_per_dbc=8))
+        memory.pim_dbc(bank=2, subarray=10)
+        assert memory.materialized_banks == 1
+
+
+class TestPimPlacement:
+    def test_first_dbc_is_pim(self):
+        tile = Tile(tracks=8, pim_dbcs=1)
+        assert tile.dbc(0).pim_enabled
+        assert not tile.dbc(1).pim_enabled
+
+    def test_tile_without_pim(self):
+        tile = Tile(tracks=8, pim_dbcs=0)
+        with pytest.raises(ValueError):
+            tile.pim_dbc()
+
+    def test_pim_tile_per_subarray(self):
+        sub = Subarray(tracks=8, pim_tiles=1)
+        assert sub.pim_tile().num_pim_dbcs == 1
+        assert sub.tile(1).num_pim_dbcs == 0
+
+    def test_index_bounds(self):
+        tile = Tile(tracks=8)
+        with pytest.raises(IndexError):
+            tile.dbc(16)
+        memory = MainMemory()
+        with pytest.raises(IndexError):
+            memory.bank(32)
+
+    def test_total_pim_units(self):
+        assert MainMemory().total_pim_units == 2048
+
+
+class TestCostRollup:
+    def test_cycles_roll_up(self):
+        memory = MainMemory(geometry=MemoryGeometry(tracks_per_dbc=8))
+        dbc = memory.pim_dbc()
+        dbc.shift(1, 4)
+        assert memory.total_cycles() == 4
+        assert memory.total_energy_pj() > 0
+
+
+class TestRowBuffer:
+    def test_latch_and_read(self):
+        rb = RowBuffer(4)
+        rb.latch([1, 0, 1, 1], row=7)
+        assert rb.data() == [1, 0, 1, 1]
+        assert rb.open_row == 7
+
+    def test_reset(self):
+        rb = RowBuffer(4)
+        rb.latch([1, 1, 1, 1])
+        rb.reset()
+        assert rb.data() == [0, 0, 0, 0]
+
+    def test_close(self):
+        rb = RowBuffer(4)
+        rb.latch([1, 0, 0, 0], row=1)
+        rb.close()
+        assert not rb.is_open
+        with pytest.raises(RuntimeError):
+            rb.data()
+
+    def test_hit_miss_tracking(self):
+        rb = RowBuffer(4)
+        rb.latch([0, 0, 0, 0], row=3)
+        assert rb.access(3)
+        assert not rb.access(4)
+        assert rb.hits == 1 and rb.misses == 1
+
+    def test_width_checked(self):
+        rb = RowBuffer(4)
+        with pytest.raises(ValueError):
+            rb.latch([1, 0])
+        with pytest.raises(ValueError):
+            RowBuffer(0)

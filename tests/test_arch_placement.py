@@ -1,0 +1,75 @@
+"""Tests for shift-aware data placement."""
+
+import pytest
+
+from repro.arch.placement import (
+    expected_shifts,
+    identity_placement,
+    optimize_placement,
+    overhead_for_ports,
+    placement_improvement,
+    shift_distance,
+)
+
+
+class TestShiftDistance:
+    def test_nearest_port(self):
+        assert shift_distance(10, (14, 20)) == 4
+        assert shift_distance(17, (14, 20)) == 3
+        assert shift_distance(14, (14, 20)) == 0
+
+
+class TestOptimizer:
+    def test_hottest_row_at_port(self):
+        freq = [1.0] * 32
+        freq[5] = 100.0
+        placement = optimize_placement(freq, (14, 20))
+        assert shift_distance(placement.physical(5), (14, 20)) == 0
+
+    def test_never_worse_than_identity(self):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(20):
+            freq = [rng.random() for _ in range(32)]
+            assert placement_improvement(freq, (14, 20)) >= 1.0
+
+    def test_skewed_access_improves_a_lot(self):
+        # Zipf-ish: a few rows take most accesses.
+        freq = [1.0 / (r + 1) for r in range(32)]
+        assert placement_improvement(freq, (14, 20)) > 1.3
+
+    def test_uniform_access_no_gain(self):
+        freq = [1.0] * 32
+        assert placement_improvement(freq, (14, 20)) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_mapping_is_permutation(self):
+        freq = [float(r) for r in range(32)]
+        placement = optimize_placement(freq, (14, 20))
+        assert sorted(placement.mapping.values()) == list(range(32))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimize_placement([], (0,))
+        with pytest.raises(ValueError):
+            optimize_placement([1.0] * 8, (10,))
+        placement = identity_placement(4, (0,))
+        with pytest.raises(ValueError):
+            expected_shifts(placement, [0.0] * 4)
+        with pytest.raises(KeyError):
+            placement.physical(7)
+
+
+class TestOverheadAccounting:
+    def test_paper_numbers(self):
+        # Section III-A: TR-constrained ports cost 25 overhead domains;
+        # a single central port costs 2Y-1 - Y = 31.
+        assert overhead_for_ports(32, (14, 20)) == 25
+        assert overhead_for_ports(32, (31,)) == 31
+
+    def test_latency_optimal_two_ports_cheaper(self):
+        assert overhead_for_ports(32, (8, 24)) < overhead_for_ports(
+            32, (14, 20)
+        )

@@ -1,0 +1,81 @@
+"""Unit tests for the bank-state command scheduler."""
+
+import pytest
+
+from repro.arch.scheduler import (
+    CommandScheduler,
+    Request,
+    stream_from_counts,
+)
+from repro.arch.timing import DRAM_DDR3_1600, DWM_DDR3_1600
+
+
+class TestBankStateMachine:
+    def test_row_hit_cheaper(self):
+        sched = CommandScheduler(DRAM_DDR3_1600, banks=1)
+        stats = sched.run(
+            [Request(bank=0, row=5), Request(bank=0, row=5)]
+        )
+        assert stats.row_hits == 1
+        # The hit costs only t_CAS.
+        first = DRAM_DDR3_1600.t_rcd + DRAM_DDR3_1600.t_cas + DRAM_DDR3_1600.t_rp
+        assert stats.service_cycles == first + DRAM_DDR3_1600.t_cas
+
+    def test_dwm_pays_shift_distance(self):
+        sched = CommandScheduler(DWM_DDR3_1600, banks=1)
+        stats = sched.run(
+            [Request(bank=0, row=0), Request(bank=0, row=10)]
+        )
+        # The second access shifts |10 - 0| positions.
+        assert stats.service_cycles >= 10
+
+    def test_bank_parallelism_reduces_makespan(self):
+        requests = [Request(bank=i % 8, row=i % 4, arrival=0) for i in range(64)]
+        wide = CommandScheduler(DRAM_DDR3_1600, banks=8).run(requests)
+        narrow_requests = [
+            Request(bank=0, row=r.row, arrival=0) for r in requests
+        ]
+        narrow = CommandScheduler(DRAM_DDR3_1600, banks=8).run(
+            narrow_requests
+        )
+        assert wide.total_cycles < narrow.total_cycles
+
+    def test_queue_fraction_grows_with_load(self):
+        light = stream_from_counts(500, arrival_rate=0.05, seed=3)
+        heavy = stream_from_counts(500, arrival_rate=5.0, seed=3)
+        sched_l = CommandScheduler(DWM_DDR3_1600).run(light)
+        sched_h = CommandScheduler(DWM_DDR3_1600).run(heavy)
+        assert sched_h.queue_fraction > sched_l.queue_fraction
+
+    def test_saturated_memory_is_queue_dominated(self):
+        """Reproduces the paper's ~80%-queueing Fig. 10 breakdown."""
+        stream = stream_from_counts(2000, arrival_rate=8.0, seed=1)
+        stats = CommandScheduler(DWM_DDR3_1600).run(stream)
+        assert stats.queue_fraction > 0.6
+
+    def test_bad_bank_rejected(self):
+        sched = CommandScheduler(DRAM_DDR3_1600, banks=2)
+        with pytest.raises(ValueError):
+            sched.run([Request(bank=5, row=0)])
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            Request(bank=-1, row=0)
+
+
+class TestStreamSynthesis:
+    def test_locality_controls_hit_rate(self):
+        high = stream_from_counts(2000, locality=0.9, seed=2)
+        low = stream_from_counts(2000, locality=0.1, seed=2)
+        hit_high = CommandScheduler(DWM_DDR3_1600).run(high).hit_rate
+        hit_low = CommandScheduler(DWM_DDR3_1600).run(low).hit_rate
+        assert hit_high > hit_low
+
+    def test_stream_length(self):
+        assert len(stream_from_counts(123)) == 123
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stream_from_counts(10, locality=2.0)
+        with pytest.raises(ValueError):
+            stream_from_counts(10, arrival_rate=0)

@@ -1,0 +1,46 @@
+"""Unit tests for the DDR timing models."""
+
+import pytest
+
+from repro.arch.timing import DDRTimings, DRAM_DDR3_1600, DWM_DDR3_1600
+
+
+class TestTableII:
+    def test_dram_parameters(self):
+        # Table II: DRAM tRAS-tRCD-tRP-tCAS-tWR = 20-8-8-8-8.
+        t = DRAM_DDR3_1600
+        assert (t.t_ras, t.t_rcd, t.t_rp, t.t_cas, t.t_wr) == (20, 8, 8, 8, 8)
+
+    def test_dwm_parameters(self):
+        # Table II: DWM 9-4-S-4-4 with shifting replacing precharge.
+        t = DWM_DDR3_1600
+        assert (t.t_ras, t.t_rcd, t.t_cas, t.t_wr) == (9, 4, 4, 4)
+        assert t.t_rp == 0
+        assert t.shift_per_position == 1
+
+    def test_memory_cycle(self):
+        assert DRAM_DDR3_1600.cycle_ns == 1.25
+
+
+class TestLatencies:
+    def test_row_hit_is_cas(self):
+        assert DRAM_DDR3_1600.row_hit_read_cycles() == 8
+
+    def test_dram_miss(self):
+        assert DRAM_DDR3_1600.row_miss_read_cycles() == 8 + 8 + 8
+
+    def test_dwm_miss_includes_shifts(self):
+        assert DWM_DDR3_1600.row_miss_read_cycles(shifts=5) == 4 + 4 + 5
+
+    def test_shift_cycles_validation(self):
+        with pytest.raises(ValueError):
+            DWM_DDR3_1600.shift_cycles(-1)
+
+    def test_ns_conversion(self):
+        assert DRAM_DDR3_1600.ns(8) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DDRTimings(t_ras=-1, t_rcd=0, t_rp=0, t_cas=0, t_wr=0)
+        with pytest.raises(ValueError):
+            DDRTimings(t_ras=1, t_rcd=1, t_rp=1, t_cas=1, t_wr=1, cycle_ns=0)

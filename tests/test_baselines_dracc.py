@@ -1,0 +1,87 @@
+"""Unit tests for the DrAcc-style in-DRAM CLA adder."""
+
+import pytest
+
+from repro.baselines.ambit import Ambit
+from repro.baselines.dracc import DrAccAdder
+from repro.baselines.elp2im import ELP2IM
+
+
+class TestClaCorrectness:
+    @pytest.mark.parametrize("backend_cls", [Ambit, ELP2IM])
+    @pytest.mark.parametrize(
+        "a,b", [(0, 0), (255, 1), (173, 219), (128, 128), (255, 255)]
+    )
+    def test_single_pair(self, backend_cls, a, b):
+        adder = DrAccAdder(backend_cls())
+        result = adder.add_packed([a], [b], 9)
+        assert result.values == [a + b]
+
+    def test_packed_blocks(self):
+        adder = DrAccAdder(ELP2IM())
+        lhs = [3, 100, 255, 0]
+        rhs = [4, 27, 1, 0]
+        result = adder.add_packed(lhs, rhs, 9)
+        assert result.values == [a + b for a, b in zip(lhs, rhs)]
+
+    def test_mod_semantics(self):
+        adder = DrAccAdder(ELP2IM())
+        result = adder.add_packed([255], [255], 8)
+        assert result.values == [(255 + 255) % 256]
+
+    def test_tree_sum(self):
+        adder = DrAccAdder(ELP2IM())
+        words = [13, 200, 7, 99, 55, 1, 0, 250]
+        total, steps = adder.add_many(words, 8)
+        assert total == sum(words)
+        assert steps == 3  # log2(8) levels
+
+    def test_validation(self):
+        adder = DrAccAdder(ELP2IM())
+        with pytest.raises(ValueError):
+            adder.add_packed([1], [1, 2], 8)
+        with pytest.raises(ValueError):
+            adder.add_packed([256], [0], 8)
+        with pytest.raises(ValueError):
+            adder.add_many([], 8)
+
+
+class TestClaCost:
+    def test_bitwise_pass_structure(self):
+        """Eq. 3 needs five bulk passes per bit (AND, XOR, XOR, AND, OR)."""
+        adder = DrAccAdder(ELP2IM())
+        result = adder.add_packed([7], [9], 8)
+        # XOR costs 3 primitive ops on ELP2IM, AND/OR one each.
+        # Per bit: AND(1) + XOR(3) + XOR(3) + AND(1) + OR(1) = 9.
+        assert result.bitwise_ops == 8 * 9
+
+    def test_ambit_slower_than_elp2im(self):
+        ambit = DrAccAdder(Ambit()).add_packed([7], [9], 8)
+        elp = DrAccAdder(ELP2IM()).add_packed([7], [9], 8)
+        assert ambit.cycles > elp.cycles
+
+    def test_coruscant_add_far_cheaper(self):
+        """The Section IV-A comparison: 40-cycle CLA steps vs one TR walk."""
+        elp = DrAccAdder(ELP2IM()).add_packed([173], [219], 8)
+        # CORUSCANT's measured 8-bit add is 26 cycles (Table III); the
+        # in-DRAM CLA pays an order of magnitude more per step.
+        assert elp.cycles > 5 * 26
+
+
+class TestClaProperty:
+    def test_random_packed_adds(self):
+        from hypothesis import given, settings, strategies as st
+
+        @given(
+            st.lists(st.integers(0, 255), min_size=1, max_size=6),
+            st.lists(st.integers(0, 255), min_size=1, max_size=6),
+        )
+        @settings(max_examples=30, deadline=None)
+        def check(lhs, rhs):
+            n = min(len(lhs), len(rhs))
+            lhs, rhs = lhs[:n], rhs[:n]
+            adder = DrAccAdder(ELP2IM())
+            result = adder.add_packed(lhs, rhs, 9)
+            assert result.values == [a + b for a, b in zip(lhs, rhs)]
+
+        check()

@@ -1,0 +1,77 @@
+"""Unit tests for the Ambit and ELP2IM baseline models."""
+
+import pytest
+
+from repro.baselines.ambit import Ambit
+from repro.baselines.elp2im import ELP2IM
+
+
+def row(*bits):
+    return list(bits)
+
+
+class TestAmbitFunctional:
+    def test_tra_majority(self):
+        ambit = Ambit()
+        out = ambit.tra_majority(
+            row(1, 1, 0, 0), row(1, 0, 1, 0), row(1, 0, 0, 0)
+        )
+        assert out == [1, 0, 0, 0]
+
+    def test_and_or(self):
+        ambit = Ambit()
+        a, b = row(1, 1, 0, 0), row(1, 0, 1, 0)
+        assert ambit.bitwise_and(a, b) == [1, 0, 0, 0]
+        assert ambit.bitwise_or(a, b) == [1, 1, 1, 0]
+
+    def test_xor_via_dcc_recipe(self):
+        ambit = Ambit()
+        a, b = row(1, 1, 0, 0), row(1, 0, 1, 0)
+        assert ambit.bitwise_xor(a, b) == [0, 1, 1, 0]
+
+    def test_not(self):
+        assert Ambit().bitwise_not(row(1, 0, 1, 1)) == [0, 1, 0, 0]
+
+    def test_multi_and_chains(self):
+        ambit = Ambit()
+        rows_in = [row(1, 1, 1, 0), row(1, 1, 0, 0), row(1, 0, 1, 0)]
+        assert ambit.multi_and(rows_in) == [1, 0, 0, 0]
+
+    def test_and_charges_clones_plus_tra(self):
+        ambit = Ambit()
+        ambit.bitwise_and(row(1, 0), row(1, 1))
+        assert ambit.stats.aaps == 3  # two operands + control row
+        assert ambit.stats.tras == 1
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            Ambit().bitwise_and(row(1), row(1, 0))
+
+
+class TestElp2imFunctional:
+    def test_ops(self):
+        elp = ELP2IM()
+        a, b = row(1, 1, 0, 0), row(1, 0, 1, 0)
+        assert elp.bitwise_and(a, b) == [1, 0, 0, 0]
+        assert elp.bitwise_or(a, b) == [1, 1, 1, 0]
+        assert elp.bitwise_xor(a, b) == [0, 1, 1, 0]
+        assert elp.bitwise_not(a) == [0, 0, 1, 1]
+
+    def test_no_row_cloning(self):
+        elp = ELP2IM()
+        elp.bitwise_and(row(1, 0), row(1, 1))
+        assert elp.stats.ops == 1
+
+    def test_faster_than_ambit_per_op(self):
+        # ELP2IM reports ~3.2x over Ambit on bulk-bitwise ops.
+        ambit = Ambit()
+        elp = ELP2IM()
+        ambit.bitwise_and(row(1, 0), row(1, 1))
+        elp.bitwise_and(row(1, 0), row(1, 1))
+        ratio = ambit.stats.cycles / elp.stats.cycles
+        assert 2.5 <= ratio <= 5.0
+
+    def test_addition_step_40_cycles(self):
+        # Section IV-A: one in-DRAM CLA step takes 40 cycles.
+        assert ELP2IM().addition_step_cycles() == 40
+        assert Ambit().addition_step_cycles() > 40

@@ -1,0 +1,90 @@
+"""Unit tests for the DW-NN and SPIM baseline models."""
+
+import pytest
+
+from repro.baselines.dwnn import DWNN
+from repro.baselines.spim import SPIM
+
+
+class TestDwnnFunctional:
+    def test_gmr_xor(self):
+        assert DWNN.gmr_xor(0, 0) == 0
+        assert DWNN.gmr_xor(1, 0) == 1
+        assert DWNN.gmr_xor(1, 1) == 0
+
+    def test_gmr_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            DWNN.gmr_xor(2, 0)
+
+    def test_pcsa_full_add_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    s, cout = DWNN.pcsa_full_add(a, b, c)
+                    assert s + 2 * cout == a + b + c
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (255, 1), (173, 219), (128, 128)])
+    def test_add_correct(self, a, b):
+        total, _ = DWNN().add(a, b, 8)
+        assert total == a + b
+
+    def test_add_cycles_match_table3(self):
+        _, cycles = DWNN().add(173, 58, 8)
+        assert cycles == 54
+
+    def test_multiply_correct(self):
+        product, cycles = DWNN().multiply(173, 219, 8)
+        assert product == 173 * 219
+        assert cycles == 163  # published characterisation
+
+    def test_add_multi_serial(self):
+        total, cycles = DWNN().add_multi([1, 2, 3, 4, 5], 8)
+        assert total == 15
+        assert cycles > 4 * 54  # strictly serial chaining
+
+    def test_add_multi_latency_optimized_faster(self):
+        _, serial = DWNN().add_multi([1, 2, 3, 4, 5], 8)
+        _, tree = DWNN().add_multi([1, 2, 3, 4, 5], 8, latency_optimized=True)
+        assert tree < serial
+
+
+class TestSpimFunctional:
+    def test_gate_primitives(self):
+        assert SPIM.sky_or(0, 0) == 0
+        assert SPIM.sky_or(1, 0) == 1
+        assert SPIM.sky_and(1, 0) == 0
+        assert SPIM.sky_and(1, 1) == 1
+
+    def test_full_add_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    s, cout = SPIM.full_add(a, b, c)
+                    assert s + 2 * cout == a + b + c
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (255, 255), (173, 219)])
+    def test_add_correct(self, a, b):
+        total, _ = SPIM().add(a, b, 8)
+        assert total == a + b
+
+    def test_add_cycles_match_table3(self):
+        _, cycles = SPIM().add(173, 58, 8)
+        assert cycles == 49
+
+    def test_multiply_correct(self):
+        product, cycles = SPIM().multiply(99, 201, 8)
+        assert product == 99 * 201
+        assert cycles == 149
+
+
+class TestPublishedOrdering:
+    def test_spim_faster_than_dwnn(self):
+        # Table III: SPIM beats DW-NN on every operation.
+        for op in ("add2", "add5_area", "add5_latency", "mult"):
+            assert SPIM.table3_cycles(op) < DWNN.table3_cycles(op)
+            assert SPIM.table3_energy_pj(op) < DWNN.table3_energy_pj(op)
+
+    def test_costs_table_complete(self):
+        assert set(DWNN().costs_table()) == {
+            "add2", "add5_area", "add5_latency", "mult",
+        }

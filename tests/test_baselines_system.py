@@ -1,0 +1,59 @@
+"""Unit tests for the ISAAC and CPU baseline models."""
+
+import pytest
+
+from repro.baselines.cpu import CpuSystem, CpuSystemConfig
+from repro.baselines.isaac import IsaacModel
+from repro.energy.model import OpCounts
+from repro.workloads.cnn.networks import ALEXNET, LENET5
+
+
+class TestIsaac:
+    def test_published_anchors(self):
+        model = IsaacModel()
+        assert model.fps(ALEXNET.total_macs) == pytest.approx(34.0, rel=0.05)
+        assert model.fps(LENET5.total_macs) == pytest.approx(2581, rel=0.05)
+
+    def test_latency_monotone_in_macs(self):
+        model = IsaacModel()
+        assert model.latency_s(10**9) > model.latency_s(10**6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IsaacModel().latency_s(-1)
+
+
+class TestCpuSystem:
+    def test_dram_slower_than_dwm(self):
+        # Section V-C: DRAM is slightly slower than DWM under load.
+        dram = CpuSystem.with_dram()
+        dwm = CpuSystem.with_dwm()
+        ratio = dram.latency_cycles(10000) / dwm.latency_cycles(10000)
+        assert 1.0 < ratio < 1.2
+
+    def test_occupancy_components(self):
+        dram = CpuSystem.with_dram()
+        assert dram.bank_occupancy_cycles() == 20 + 8  # tRAS + tRP
+        dwm = CpuSystem.with_dwm()
+        assert dwm.bank_occupancy_cycles() == 9 + 17  # tRAS + shifts
+
+    def test_latency_linear_in_accesses(self):
+        cpu = CpuSystem.with_dwm()
+        assert cpu.latency_cycles(2000) == pytest.approx(
+            2 * cpu.latency_cycles(1000)
+        )
+
+    def test_queue_factor_applies(self):
+        base = CpuSystem.with_dwm(CpuSystemConfig(queue_factor=1.0))
+        queued = CpuSystem.with_dwm(CpuSystemConfig(queue_factor=5.0))
+        assert queued.latency_cycles(100) == pytest.approx(
+            5 * base.latency_cycles(100)
+        )
+
+    def test_negative_accesses_rejected(self):
+        with pytest.raises(ValueError):
+            CpuSystem.with_dram().latency_cycles(-1)
+
+    def test_energy_delegates_to_table2_model(self):
+        energy = CpuSystem.energy_pj(OpCounts(adds=10))
+        assert energy > 10 * 111.0  # compute + movement

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExperiments:
+    @pytest.mark.parametrize(
+        "command", ["table1", "fig11", "fig12"]
+    )
+    def test_experiment_commands_run(self, command, capsys):
+        assert main([command]) == 0
+        out = capsys.readouterr().out
+        assert "==" in out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+
+class TestOperations:
+    def test_add(self, capsys):
+        assert main(["add", "13", "200", "7"]) == 0
+        assert "= 220" in capsys.readouterr().out
+
+    def test_mult(self, capsys):
+        assert main(["mult", "173", "219"]) == 0
+        assert str(173 * 219) in capsys.readouterr().out
+
+    def test_mult_trd3(self, capsys):
+        assert main(["mult", "12", "10", "--trd", "3"]) == 0
+        assert "TRD=3" in capsys.readouterr().out
+
+    def test_add_needs_operands(self):
+        with pytest.raises(SystemExit):
+            main(["add", "5"])
+
+    def test_mult_needs_two(self):
+        with pytest.raises(SystemExit):
+            main(["mult", "5", "6", "7"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+
+class TestTableCommands:
+    @pytest.mark.parametrize("command", ["table3", "table4", "table5", "table6"])
+    def test_tables_run(self, command, capsys):
+        assert main([command]) == 0
+        assert "==" in capsys.readouterr().out

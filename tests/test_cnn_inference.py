@@ -1,0 +1,228 @@
+"""Tests for bit-exact CNN inference on the simulated PIM."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.cnn.inference import (
+    PimCnnEngine,
+    reference_pipeline,
+    run_tiny_cnn,
+)
+
+
+@pytest.fixture(scope="module")
+def tensors():
+    rng = np.random.default_rng(4)
+    return (
+        rng.integers(0, 16, (8, 8)),
+        rng.integers(0, 16, (3, 3)),
+        rng.integers(0, 16, (4, 9)),
+    )
+
+
+class TestLayers:
+    def test_conv2d_matches_numpy(self, tensors):
+        image, kernel, _ = tensors
+        engine = PimCnnEngine()
+        got = engine.conv2d(image, kernel)
+        want = np.zeros((6, 6), dtype=np.int64)
+        for i in range(6):
+            for j in range(6):
+                want[i, j] = int((image[i : i + 3, j : j + 3] * kernel).sum())
+        assert np.array_equal(got, want)
+
+    def test_conv_kernel_too_big(self):
+        engine = PimCnnEngine()
+        with pytest.raises(ValueError):
+            engine.conv2d(np.zeros((2, 2)), np.ones((3, 3)))
+
+    def test_max_pool(self):
+        engine = PimCnnEngine()
+        feature = np.array([[1, 5, 2, 0], [3, 4, 9, 1],
+                            [0, 0, 7, 7], [2, 1, 8, 3]])
+        got = engine.max_pool(feature, window=2, n_bits=8)
+        assert np.array_equal(got, np.array([[5, 9], [2, 8]]))
+
+    def test_relu_identity_for_unsigned(self):
+        engine = PimCnnEngine()
+        feature = np.array([[3, 0], [17, 255]])
+        assert np.array_equal(engine.relu(feature), feature)
+
+    def test_relu_clears_negative_patterns(self):
+        engine = PimCnnEngine()
+        width = 8
+        feature = np.array([[0x80, 5]])
+        got = engine.relu(feature, width=width)
+        assert got.tolist() == [[0, 5]]
+
+    def test_dense(self, tensors):
+        _, _, fc = tensors
+        engine = PimCnnEngine()
+        inputs = list(range(1, 10))
+        got = engine.dense(inputs, fc, n_bits=4)
+        want = (fc @ np.array(inputs)).tolist()
+        assert got == want
+
+
+class TestEndToEnd:
+    def test_pipeline_bit_exact(self, tensors):
+        image, kernel, fc = tensors
+        logits, engine = run_tiny_cnn(image, kernel, fc)
+        want = reference_pipeline(image, kernel, fc)
+        assert np.array_equal(logits, want)
+        assert engine.stats.multiplies > 0
+        assert engine.stats.reductions > 0
+        assert engine.stats.max_ops > 0
+
+    def test_all_trds_agree(self, tensors):
+        image, kernel, fc = tensors
+        want = reference_pipeline(image, kernel, fc)
+        for trd in (3, 5, 7):
+            logits, _ = run_tiny_cnn(image, kernel, fc, trd=trd)
+            assert np.array_equal(logits, want)
+
+    def test_trd7_cheapest(self, tensors):
+        image, kernel, fc = tensors
+        cycles = {}
+        for trd in (3, 5, 7):
+            _, engine = run_tiny_cnn(image, kernel, fc, trd=trd)
+            cycles[trd] = engine.cycles
+        assert cycles[7] < cycles[5] < cycles[3]
+
+    def test_zero_image(self):
+        image = np.zeros((8, 8), dtype=np.int64)
+        kernel = np.ones((3, 3), dtype=np.int64)
+        fc = np.ones((2, 9), dtype=np.int64)
+        logits, _ = run_tiny_cnn(image, kernel, fc)
+        assert logits.tolist() == [0, 0]
+
+    def test_pool_candidates_beyond_trd(self):
+        engine = PimCnnEngine(trd=3)
+        feature = np.arange(16).reshape(4, 4)
+        got = engine.max_pool(feature, window=4, n_bits=8)
+        assert got.tolist() == [[15]]
+
+
+class TestTernaryConv:
+    def test_matches_numpy(self):
+        import numpy as np
+        from repro.workloads.cnn.inference import PimCnnEngine
+
+        rng = np.random.default_rng(8)
+        image = rng.integers(0, 200, (6, 6))
+        kernel = rng.integers(-1, 2, (3, 3))
+        engine = PimCnnEngine()
+        got = engine.ternary_conv2d(image, kernel)
+        want = np.zeros((4, 4), dtype=np.int64)
+        for i in range(4):
+            for j in range(4):
+                want[i, j] = int((image[i:i+3, j:j+3] * kernel).sum())
+        assert np.array_equal(got, want)
+
+    def test_no_multiplies_used(self):
+        import numpy as np
+        from repro.workloads.cnn.inference import PimCnnEngine
+
+        engine = PimCnnEngine()
+        image = np.ones((5, 5), dtype=np.int64) * 7
+        kernel = np.array([[1, -1, 0], [0, 1, 0], [-1, 0, 1]])
+        engine.ternary_conv2d(image, kernel)
+        assert engine.stats.multiplies == 0
+
+    def test_negative_outputs(self):
+        import numpy as np
+        from repro.workloads.cnn.inference import PimCnnEngine
+
+        engine = PimCnnEngine()
+        image = np.full((3, 3), 9, dtype=np.int64)
+        kernel = np.full((3, 3), -1, dtype=np.int64)
+        got = engine.ternary_conv2d(image, kernel)
+        assert got.tolist() == [[-81]]
+
+    def test_non_ternary_rejected(self):
+        import numpy as np
+        import pytest
+        from repro.workloads.cnn.inference import PimCnnEngine
+
+        engine = PimCnnEngine()
+        with pytest.raises(ValueError):
+            engine.ternary_conv2d(np.ones((4, 4)), np.full((2, 2), 2))
+
+    def test_cheaper_than_full_precision(self):
+        import numpy as np
+        from repro.workloads.cnn.inference import PimCnnEngine
+
+        rng = np.random.default_rng(9)
+        image = rng.integers(1, 16, (6, 6))
+        full_kernel = rng.integers(1, 8, (3, 3))
+        ternary_kernel = np.sign(full_kernel - 4)
+        full_engine = PimCnnEngine()
+        full_engine.conv2d(image, full_kernel)
+        ternary_engine = PimCnnEngine()
+        ternary_engine.ternary_conv2d(image, ternary_kernel)
+        assert ternary_engine.cycles < full_engine.cycles
+
+
+class TestMultiChannelConv:
+    def test_matches_numpy(self):
+        import numpy as np
+        from repro.workloads.cnn.inference import PimCnnEngine
+
+        rng = np.random.default_rng(12)
+        image = rng.integers(0, 8, (2, 5, 5))
+        kernels = rng.integers(0, 8, (3, 2, 3, 3))
+        engine = PimCnnEngine()
+        got = engine.conv2d_multichannel(image, kernels)
+        want = np.zeros((3, 3, 3), dtype=np.int64)
+        for f in range(3):
+            for i in range(3):
+                for j in range(3):
+                    want[f, i, j] = int(
+                        (image[:, i:i+3, j:j+3] * kernels[f]).sum()
+                    )
+        assert np.array_equal(got, want)
+
+    def test_channel_mismatch_rejected(self):
+        import numpy as np
+        import pytest
+        from repro.workloads.cnn.inference import PimCnnEngine
+
+        engine = PimCnnEngine()
+        with pytest.raises(ValueError):
+            engine.conv2d_multichannel(
+                np.zeros((2, 4, 4)), np.zeros((1, 3, 2, 2))
+            )
+
+    def test_shape_validation(self):
+        import numpy as np
+        import pytest
+        from repro.workloads.cnn.inference import PimCnnEngine
+
+        engine = PimCnnEngine()
+        with pytest.raises(ValueError):
+            engine.conv2d_multichannel(np.zeros((4, 4)), np.zeros((1, 1, 2, 2)))
+
+
+class TestPeakThroughput:
+    def test_paper_claim(self):
+        import pytest
+        from repro.workloads.cnn.mapping import peak_throughput
+
+        p = peak_throughput()
+        assert p.tops == pytest.approx(26, rel=0.05)
+        assert p.gopj == pytest.approx(108, rel=0.05)
+
+    def test_scales_with_units(self):
+        from repro.workloads.cnn.mapping import peak_throughput
+
+        half = peak_throughput(pim_units=1024)
+        full = peak_throughput(pim_units=2048)
+        assert full.tops == 2 * half.tops
+        assert full.gopj == half.gopj  # efficiency is per-op
+
+    def test_utilization_validated(self):
+        import pytest
+        from repro.workloads.cnn.mapping import peak_throughput
+
+        with pytest.raises(ValueError):
+            peak_throughput(utilization=0)

@@ -1,0 +1,75 @@
+"""Tests for BWN/TWN weight quantization."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.cnn.quantize import (
+    binarize,
+    quantization_error,
+    ternarize,
+)
+
+
+class TestTernarize:
+    def test_levels_are_ternary(self):
+        rng = np.random.default_rng(5)
+        q = ternarize(rng.normal(size=(3, 3)))
+        assert set(np.unique(q.levels)) <= {-1, 0, 1}
+
+    def test_large_weights_survive(self):
+        kernel = np.array([[5.0, 0.01], [-5.0, 0.02]])
+        q = ternarize(kernel)
+        assert q.levels[0, 0] == 1
+        assert q.levels[1, 0] == -1
+        assert q.levels[0, 1] == 0
+
+    def test_error_smaller_than_binary_for_sparse_kernels(self):
+        rng = np.random.default_rng(7)
+        # Kernels with many near-zero weights favour the ternary form.
+        kernel = rng.normal(size=(5, 5)) * (rng.random((5, 5)) > 0.6)
+        t_err = quantization_error(kernel, ternarize(kernel))
+        b_err = quantization_error(kernel, binarize(kernel))
+        assert t_err < b_err
+
+    def test_pim_ternary_conv_consumes_levels(self):
+        from repro.workloads.cnn.inference import PimCnnEngine
+
+        rng = np.random.default_rng(9)
+        kernel = rng.normal(size=(3, 3))
+        q = ternarize(kernel)
+        image = rng.integers(0, 50, (5, 5))
+        engine = PimCnnEngine()
+        got = engine.ternary_conv2d(image, q.levels.astype(np.int64))
+        want = np.zeros((3, 3), dtype=np.int64)
+        for i in range(3):
+            for j in range(3):
+                want[i, j] = int(
+                    (image[i : i + 3, j : j + 3] * q.levels).sum()
+                )
+        assert np.array_equal(got, want)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ternarize(np.array([]))
+        with pytest.raises(ValueError):
+            ternarize(np.ones((2, 2)), threshold_factor=0)
+
+
+class TestBinarize:
+    def test_levels_are_binary(self):
+        rng = np.random.default_rng(6)
+        q = binarize(rng.normal(size=(4, 4)))
+        assert set(np.unique(q.levels)) <= {0, 1}
+
+    def test_scale_is_mean_magnitude(self):
+        kernel = np.array([[2.0, -4.0]])
+        assert binarize(kernel).scale == pytest.approx(3.0)
+
+    def test_error_bounded_for_positive_kernels(self):
+        rng = np.random.default_rng(8)
+        kernel = np.abs(rng.normal(size=(4, 4))) + 0.5
+        assert quantization_error(kernel, binarize(kernel)) < 0.6
+
+    def test_zero_kernel_error(self):
+        kernel = np.zeros((2, 2))
+        assert quantization_error(kernel, binarize(kernel)) == 0.0

@@ -1,0 +1,104 @@
+"""Tests for average pooling and parallel segmented TRs."""
+
+import pytest
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.avgpool import AverageUnit
+from repro.device.nanowire import AccessPort, Nanowire
+from repro.device.parameters import DeviceParameters
+
+
+def make_dbc(tracks=32, trd=7):
+    return DomainBlockCluster(
+        tracks=tracks, domains=32, params=DeviceParameters(trd=trd)
+    )
+
+
+class TestAveragePooling:
+    @pytest.mark.parametrize(
+        "words", [[4, 8], [1, 3, 5, 7], [10, 20, 30, 40, 50, 60, 70, 80]]
+    )
+    def test_mean(self, words):
+        unit = AverageUnit(make_dbc())
+        assert unit.average(words, 8).value == sum(words) // len(words)
+
+    def test_rounds_toward_zero(self):
+        unit = AverageUnit(make_dbc())
+        assert unit.average([1, 2], 8).value == 1
+
+    def test_single_word(self):
+        unit = AverageUnit(make_dbc())
+        assert unit.average([99], 8).value == 99
+
+    def test_large_window_uses_reduction(self):
+        unit = AverageUnit(make_dbc())
+        words = [255] * 16
+        assert unit.average(words, 8).value == 255
+
+    def test_non_power_of_two_rejected(self):
+        unit = AverageUnit(make_dbc())
+        with pytest.raises(ValueError):
+            unit.average([1, 2, 3], 8)
+
+    def test_word_width_checked(self):
+        unit = AverageUnit(make_dbc())
+        with pytest.raises(ValueError):
+            unit.average([256, 0], 8)
+
+    def test_cycles_positive(self):
+        unit = AverageUnit(make_dbc())
+        assert unit.average([2, 4, 6, 8], 8).cycles > 0
+
+    def test_requires_pim(self):
+        plain = DomainBlockCluster(tracks=8, domains=32, pim_enabled=False)
+        with pytest.raises(ValueError):
+            AverageUnit(plain)
+
+
+class TestSegmentedParallelTr:
+    def make_wire(self):
+        return Nanowire(
+            32,
+            [AccessPort(14), AccessPort(20)],
+            params=DeviceParameters(trd=7),
+        )
+
+    def test_disjoint_segments_counted(self):
+        wire = self.make_wire()
+        for row in (2, 3, 10, 11, 12):
+            wire.poke_row(row, 1)
+        lo = wire.row_physical_position(2)
+        hi = wire.row_physical_position(10)
+        levels = wire.transverse_read_segments(
+            [(lo, lo + 3), (hi, hi + 4)]
+        )
+        assert levels == [2, 3]
+
+    def test_single_tr_cost_for_batch(self):
+        wire = self.make_wire()
+        before = wire.stats.count("transverse_read")
+        lo = wire.row_physical_position(0)
+        wire.transverse_read_segments([(lo, lo + 2), (lo + 5, lo + 8)])
+        assert wire.stats.count("transverse_read") == before + 1
+
+    def test_adjacent_segments_rejected(self):
+        wire = self.make_wire()
+        lo = wire.row_physical_position(0)
+        with pytest.raises(ValueError):
+            wire.transverse_read_segments([(lo, lo + 3), (lo + 4, lo + 6)])
+
+    def test_overlapping_segments_rejected(self):
+        wire = self.make_wire()
+        lo = wire.row_physical_position(0)
+        with pytest.raises(ValueError):
+            wire.transverse_read_segments([(lo, lo + 4), (lo + 2, lo + 6)])
+
+    def test_segment_size_limited_by_trd(self):
+        wire = self.make_wire()
+        lo = wire.row_physical_position(0)
+        with pytest.raises(ValueError):
+            wire.transverse_read_segments([(lo, lo + 10)])
+
+    def test_empty_batch(self):
+        wire = self.make_wire()
+        assert wire.transverse_read_segments([]) == []

@@ -1,0 +1,62 @@
+"""Unit tests for constant-multiplication planning."""
+
+import pytest
+
+from repro.core.booth import Term, plan_constant_multiply
+
+
+class TestPlanCorrectness:
+    @pytest.mark.parametrize(
+        "constant",
+        [0, 1, 2, 3, 5, 7, 9, 15, 16, 17, 100, 255, 515, 1000, 20061, 65535],
+    )
+    def test_plan_evaluates_to_constant(self, constant):
+        plan = plan_constant_multiply(constant, trd=7)
+        assert plan.evaluate(1) == constant
+        assert plan.evaluate(37) == 37 * constant
+
+    @pytest.mark.parametrize("trd", [3, 5, 7])
+    def test_all_trds(self, trd):
+        for constant in (9, 255, 20061):
+            plan = plan_constant_multiply(constant, trd=trd)
+            assert plan.evaluate(11) == 11 * constant
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            plan_constant_multiply(-1)
+
+
+class TestPlanQuality:
+    def test_paper_example_two_steps(self):
+        # Section III-D1: 20061*A takes two addition steps at TRD 7.
+        plan = plan_constant_multiply(20061, trd=7)
+        assert plan.num_additions == 2
+
+    def test_power_of_two_is_shift_only(self):
+        plan = plan_constant_multiply(64, trd=7)
+        assert plan.num_additions <= 1
+
+    def test_step_budget_respected(self):
+        for constant in (20061, 65535, 123456789):
+            for trd in (3, 5, 7):
+                plan = plan_constant_multiply(constant, trd=trd)
+                budget = 5 if trd == 7 else (3 if trd == 5 else 2)
+                for step in plan.steps:
+                    assert len(step.terms) <= budget
+
+    def test_better_than_naive_binary(self):
+        # 0xFFFF has 16 ones; CSD + factoring should need far fewer
+        # than ceil(16/5) + chaining.
+        plan = plan_constant_multiply(0xFFFF, trd=7)
+        assert plan.num_additions <= 2
+
+    def test_describe(self):
+        plan = plan_constant_multiply(9, trd=7)
+        text = plan.steps[0].describe()
+        assert "A<<" in text
+
+
+class TestTerm:
+    def test_describe_sign(self):
+        assert Term("A", 3).describe() == "+A<<3"
+        assert Term("A", 0, negate=True).describe() == "-A<<0"

@@ -1,0 +1,109 @@
+"""Unit tests for multi-operand bulk-bitwise operations on a DBC."""
+
+import pytest
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.bulk_bitwise import BulkBitwiseUnit
+from repro.core.pim_logic import BulkOp
+from repro.device.parameters import DeviceParameters
+
+
+def make_unit(tracks=8, trd=7):
+    dbc = DomainBlockCluster(
+        tracks=tracks, domains=32, params=DeviceParameters(trd=trd)
+    )
+    return BulkBitwiseUnit(dbc), dbc
+
+
+def rows(*patterns):
+    return [list(p) for p in patterns]
+
+
+class TestBulkOps:
+    def test_three_operand_and(self):
+        unit, _ = make_unit(tracks=4)
+        ops = rows([1, 1, 1, 0], [1, 1, 0, 0], [1, 0, 1, 0])
+        unit.stage_operands(BulkOp.AND, ops)
+        assert unit.execute(BulkOp.AND, 3).bits == [1, 0, 0, 0]
+
+    def test_seven_operand_or(self):
+        unit, _ = make_unit(tracks=4)
+        ops = [[0, 0, 0, 0] for _ in range(7)]
+        ops[4][2] = 1
+        unit.stage_operands(BulkOp.OR, ops)
+        assert unit.execute(BulkOp.OR, 7).bits == [0, 0, 1, 0]
+
+    def test_xor_parity(self):
+        unit, _ = make_unit(tracks=4)
+        ops = rows([1, 1, 0, 0], [1, 0, 1, 0], [1, 0, 0, 0])
+        unit.stage_operands(BulkOp.XOR, ops)
+        assert unit.execute(BulkOp.XOR, 3).bits == [1, 1, 1, 0]
+
+    def test_not(self):
+        unit, _ = make_unit(tracks=4)
+        unit.stage_operands(BulkOp.NOT, rows([1, 0, 1, 0]))
+        assert unit.execute(BulkOp.NOT, 1).bits == [0, 1, 0, 1]
+
+    def test_nand_padding(self):
+        unit, _ = make_unit(tracks=2)
+        unit.stage_operands(BulkOp.NAND, rows([1, 1], [1, 0]))
+        assert unit.execute(BulkOp.NAND, 2).bits == [0, 1]
+
+    def test_execute_costs_one_tr_cycle(self):
+        unit, dbc = make_unit(tracks=4)
+        unit.stage_operands(BulkOp.OR, rows([1, 0, 0, 0], [0, 1, 0, 0]))
+        result = unit.execute(BulkOp.OR, 2)
+        assert result.cycles == 1
+
+    def test_writeback_costs_extra_cycle(self):
+        unit, dbc = make_unit(tracks=4)
+        unit.stage_operands(BulkOp.OR, rows([1, 0, 0, 0], [0, 1, 0, 0]))
+        result = unit.execute(BulkOp.OR, 2, writeback_slot=0)
+        assert result.cycles == 2
+        assert dbc.peek_window_slot(0) == [1, 1, 0, 0]
+
+    def test_levels_reported(self):
+        unit, _ = make_unit(tracks=4)
+        unit.stage_operands(BulkOp.OR, rows([1, 1, 0, 0], [1, 0, 0, 0]))
+        assert unit.execute(BulkOp.OR, 2).levels == [2, 1, 0, 0]
+
+
+class TestStaging:
+    def test_costed_staging_cycles(self):
+        unit, dbc = make_unit(tracks=4)
+        cycles = unit.write_operands(
+            BulkOp.OR, rows([1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 1, 0])
+        )
+        # k writes + k-1 shifts.
+        assert cycles == 5
+        assert unit.execute(BulkOp.OR, 3).bits == [1, 1, 1, 0]
+
+    def test_operand_validation(self):
+        unit, _ = make_unit(tracks=4)
+        with pytest.raises(ValueError):
+            unit.stage_operands(BulkOp.OR, [])
+        with pytest.raises(ValueError):
+            unit.stage_operands(BulkOp.OR, rows([1, 0]))  # wrong width
+
+    def test_too_many_operands(self):
+        unit, _ = make_unit(tracks=4)
+        with pytest.raises(ValueError):
+            unit.stage_operands(BulkOp.OR, [[0, 0, 0, 0]] * 8)
+
+    def test_requires_pim_dbc(self):
+        plain = DomainBlockCluster(tracks=4, domains=32, pim_enabled=False)
+        with pytest.raises(ValueError):
+            BulkBitwiseUnit(plain)
+
+
+class TestSmallTrd:
+    def test_trd3_two_operand_and(self):
+        unit, _ = make_unit(tracks=4, trd=3)
+        unit.stage_operands(BulkOp.AND, rows([1, 1, 0, 0], [1, 0, 1, 0]))
+        assert unit.execute(BulkOp.AND, 2).bits == [1, 0, 0, 0]
+
+    def test_trd3_three_operand_xor(self):
+        unit, _ = make_unit(tracks=4, trd=3)
+        ops = rows([1, 1, 0, 0], [1, 0, 1, 0], [1, 1, 1, 0])
+        unit.stage_operands(BulkOp.XOR, ops)
+        assert unit.execute(BulkOp.XOR, 3).bits == [1, 0, 0, 0]

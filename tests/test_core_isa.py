@@ -1,0 +1,71 @@
+"""Unit tests for the cpim instruction encoding."""
+
+import pytest
+
+from repro.core.isa import (
+    Address,
+    BLOCK_SIZES,
+    CpimInstruction,
+    CpimOp,
+    decode,
+    encode,
+)
+
+
+def make_instruction(**kwargs):
+    defaults = dict(
+        op=CpimOp.ADD,
+        blocksize=32,
+        src=Address(bank=3, subarray=17, tile=2, dbc=0, row=14),
+        dest=Address(bank=3, subarray=17, tile=2, dbc=1, row=0),
+        operands=5,
+    )
+    defaults.update(kwargs)
+    return CpimInstruction(**defaults)
+
+
+class TestAddress:
+    def test_pack_unpack_roundtrip(self):
+        addr = Address(bank=31, subarray=63, tile=15, dbc=15, row=31)
+        assert Address.unpack(addr.pack()) == addr
+
+    def test_field_bounds(self):
+        with pytest.raises(ValueError):
+            Address(bank=32, subarray=0, tile=0, dbc=0, row=0)
+        with pytest.raises(ValueError):
+            Address(bank=0, subarray=0, tile=0, dbc=0, row=32)
+
+    def test_bit_width_fits_instruction(self):
+        assert 2 * Address.bit_width() + 10 <= 64
+
+
+class TestInstruction:
+    def test_encode_decode_roundtrip(self):
+        for op in CpimOp:
+            for blocksize in BLOCK_SIZES:
+                instr = make_instruction(op=op, blocksize=blocksize)
+                assert decode(encode(instr)) == instr
+
+    def test_encoding_fits_64_bits(self):
+        instr = make_instruction(
+            op=CpimOp.COPY,
+            blocksize=512,
+            operands=7,
+            src=Address(31, 63, 15, 15, 31),
+            dest=Address(31, 63, 15, 15, 31),
+        )
+        assert encode(instr) < (1 << 64)
+
+    def test_blocksize_validation(self):
+        with pytest.raises(ValueError):
+            make_instruction(blocksize=48)
+
+    def test_operand_validation(self):
+        with pytest.raises(ValueError):
+            make_instruction(operands=0)
+        with pytest.raises(ValueError):
+            make_instruction(operands=8)
+
+    def test_paper_blocksizes(self):
+        # Section III-E: blocksize in {8,...,512}.
+        assert BLOCK_SIZES == (8, 16, 32, 64, 128, 256, 512)

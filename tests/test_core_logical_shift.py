@@ -1,0 +1,87 @@
+"""Unit tests for the inter-bitline logical shifter."""
+
+import pytest
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.logical_shift import LogicalShifter
+from repro.device.parameters import DeviceParameters
+from repro.utils.bitops import bits_from_int, bits_to_int
+
+
+def make_shifter(tracks=16):
+    dbc = DomainBlockCluster(
+        tracks=tracks, domains=32, params=DeviceParameters(trd=7)
+    )
+    return LogicalShifter(dbc), dbc
+
+
+class TestShiftRow:
+    def test_doubles_value(self):
+        shifter, _ = make_shifter()
+        row = bits_from_int(5, 16)
+        assert bits_to_int(shifter.shift_row(row, 1)) == 10
+
+    def test_multi_position(self):
+        shifter, _ = make_shifter()
+        row = bits_from_int(3, 16)
+        assert bits_to_int(shifter.shift_row(row, 4)) == 48
+
+    def test_zero_shift_free(self):
+        shifter, dbc = make_shifter()
+        before = dbc.stats.cycles
+        shifter.shift_row(bits_from_int(7, 16), 0)
+        assert dbc.stats.cycles == before
+
+    def test_two_cycles_per_position(self):
+        shifter, dbc = make_shifter()
+        before = dbc.stats.cycles
+        shifter.shift_row(bits_from_int(1, 16), 3)
+        assert dbc.stats.cycles - before == 6
+
+    def test_overflow_detected(self):
+        shifter, _ = make_shifter(tracks=4)
+        with pytest.raises(OverflowError):
+            shifter.shift_row(bits_from_int(8, 4), 1)
+
+    def test_negative_rejected(self):
+        shifter, _ = make_shifter()
+        with pytest.raises(ValueError):
+            shifter.shift_row([0] * 16, -1)
+
+
+class TestShiftedCopies:
+    def test_copies_are_doublings(self):
+        shifter, _ = make_shifter()
+        result = shifter.shifted_copies(bits_from_int(3, 16), 4)
+        assert [bits_to_int(r) for r in result.rows] == [3, 6, 12, 24]
+
+    def test_predicate_zeroes_copies(self):
+        shifter, _ = make_shifter()
+        result = shifter.shifted_copies(
+            bits_from_int(1, 16), 4, predicate=[1, 0, 1, 0]
+        )
+        assert [bits_to_int(r) for r in result.rows] == [1, 0, 4, 0]
+
+    def test_paper_cost_model(self):
+        # 8 copies: stage-in 2 + 7 shifted r/w pairs (14) + 8 DW shifts
+        # + predication 2 = 26 cycles, the multiply breakdown value.
+        shifter, _ = make_shifter()
+        result = shifter.shifted_copies(
+            bits_from_int(1, 16), 8, predicate=[1] * 8
+        )
+        assert result.cycles == 26
+
+    def test_predicate_length_checked(self):
+        shifter, _ = make_shifter()
+        with pytest.raises(ValueError):
+            shifter.shifted_copies(bits_from_int(1, 16), 4, predicate=[1])
+
+    def test_count_validated(self):
+        shifter, _ = make_shifter()
+        with pytest.raises(ValueError):
+            shifter.shifted_copies(bits_from_int(1, 16), 0)
+
+    def test_requires_pim(self):
+        plain = DomainBlockCluster(tracks=8, domains=32, pim_enabled=False)
+        with pytest.raises(ValueError):
+            LogicalShifter(plain)

@@ -1,0 +1,105 @@
+"""Unit tests for the max() subroutine with transverse writes."""
+
+import pytest
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.maxpool import MaxUnit
+from repro.device.parameters import DeviceParameters
+
+
+def make_unit(tracks=16, trd=7, overhead=None):
+    dbc = DomainBlockCluster(
+        tracks=tracks,
+        domains=32,
+        params=DeviceParameters(trd=trd),
+        overhead=overhead,
+    )
+    return MaxUnit(dbc), dbc
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "words",
+        [
+            [12, 250, 99, 250, 3],
+            [0, 0, 0],
+            [255],
+            [1, 2, 3, 4, 5, 6, 7],
+            [128, 127],
+            [200, 200, 200],
+        ],
+    )
+    def test_finds_maximum(self, words):
+        unit, _ = make_unit()
+        assert unit.run(words, 8).value == max(words)
+
+    def test_ties_are_fine(self):
+        unit, _ = make_unit()
+        result = unit.run([77, 77, 3], 8)
+        assert result.value == 77
+        assert result.survivors >= 2
+
+    def test_trd4_paper_figure_example(self):
+        # Fig. 8 runs the subroutine for TRD = 4.
+        unit, _ = make_unit(trd=5)
+        assert unit.run([0b0110, 0b1010, 0b1011, 0b0111], 4).value == 0b1011
+
+    def test_wider_words(self):
+        unit, _ = make_unit(tracks=16)
+        assert unit.run([40000, 39999, 65535], 16).value == 65535
+
+    def test_losers_are_zeroed(self):
+        unit, dbc = make_unit()
+        unit.run([5, 200, 9], 8)
+        nonzero_slots = [
+            slot
+            for slot in range(7)
+            if any(dbc.peek_window_slot(slot))
+        ]
+        assert len(nonzero_slots) == 1
+
+
+class TestCycleModel:
+    def test_tw_cycles(self):
+        unit, _ = make_unit()
+        result = unit.run([1, 2, 3], 8)
+        # Per bit: 1 TR + TRD x (read + TW); plus the final TR readout.
+        assert result.cycles == 8 * (1 + 2 * 7) + 8
+
+    def test_tw_saves_cycles(self):
+        unit_tw, _ = make_unit(overhead=(11, 80))
+        with_tw = unit_tw.run([9, 200, 41], 8).cycles
+        unit_no, _ = make_unit(overhead=(11, 80))
+        without = unit_no.run(
+            [9, 200, 41], 8, use_transverse_write=False
+        ).cycles
+        saving = 1 - with_tw / without
+        # The paper reports a 28.5% reduction for TRD = 7.
+        assert 0.25 <= saving <= 0.35
+
+    def test_no_tw_needs_overhead(self):
+        unit, _ = make_unit()  # default overhead too small
+        with pytest.raises(ValueError):
+            unit.run([1, 2], 8, use_transverse_write=False)
+
+    def test_cycles_data_independent(self):
+        a, _ = make_unit()
+        b, _ = make_unit()
+        assert a.run([0, 0, 0], 8).cycles == b.run([255, 254, 1], 8).cycles
+
+
+class TestValidation:
+    def test_too_many_words(self):
+        unit, _ = make_unit()
+        with pytest.raises(ValueError):
+            unit.stage_words(list(range(8)), 8)
+
+    def test_word_too_wide(self):
+        unit, _ = make_unit()
+        with pytest.raises(ValueError):
+            unit.stage_words([256], 8)
+
+    def test_requires_pim_dbc(self):
+        plain = DomainBlockCluster(tracks=4, domains=32, pim_enabled=False)
+        with pytest.raises(ValueError):
+            MaxUnit(plain)

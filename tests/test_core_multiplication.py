@@ -1,0 +1,138 @@
+"""Unit tests for CORUSCANT multiplication strategies."""
+
+import pytest
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.multiplication import Multiplier
+from repro.device.parameters import DeviceParameters
+
+
+def make_multiplier(tracks=64, trd=7):
+    dbc = DomainBlockCluster(
+        tracks=tracks, domains=32, params=DeviceParameters(trd=trd)
+    )
+    return Multiplier(dbc), dbc
+
+
+CASES_8BIT = [
+    (0, 0),
+    (0, 255),
+    (1, 1),
+    (255, 255),
+    (173, 219),
+    (2, 128),
+    (99, 1),
+    (17, 15),
+]
+
+
+class TestOptimized:
+    @pytest.mark.parametrize("a,b", CASES_8BIT)
+    def test_correct_product(self, a, b):
+        mult, _ = make_multiplier()
+        assert mult.multiply(a, b, 8).value == a * b
+
+    @pytest.mark.parametrize("trd", [3, 5, 7])
+    def test_all_trds(self, trd):
+        mult, _ = make_multiplier(trd=trd)
+        assert mult.multiply(173, 219, 8).value == 173 * 219
+
+    def test_paper_cycle_count_trd7(self):
+        mult, _ = make_multiplier()
+        result = mult.multiply(173, 219, 8)
+        # Table III reports 64 cycles for the 8-bit TRD-7 multiply.
+        assert result.cycles == 64
+
+    def test_trd3_slower_than_trd7(self):
+        m3, _ = make_multiplier(trd=3)
+        m7, _ = make_multiplier(trd=7)
+        c3 = m3.multiply(173, 219, 8).cycles
+        c7 = m7.multiply(173, 219, 8).cycles
+        assert c3 > c7
+
+    def test_breakdown_phases(self):
+        mult, _ = make_multiplier()
+        breakdown = mult.multiply(173, 219, 8).breakdown
+        assert set(breakdown) >= {"partial_products", "final_add"}
+
+    def test_16bit(self):
+        mult, _ = make_multiplier(tracks=64)
+        assert mult.multiply(40000, 65535, 16).value == 40000 * 65535
+
+    def test_operand_validation(self):
+        mult, _ = make_multiplier()
+        with pytest.raises(ValueError):
+            mult.multiply(256, 1, 8)
+        with pytest.raises(ValueError):
+            mult.multiply(-1, 1, 8)
+
+    def test_width_exceeding_tracks_rejected(self):
+        mult, _ = make_multiplier(tracks=8)
+        with pytest.raises(ValueError):
+            mult.multiply(255, 255, 8)  # needs 16 result tracks
+
+
+class TestArbitrary:
+    @pytest.mark.parametrize("a,b", CASES_8BIT)
+    def test_correct_product(self, a, b):
+        mult, _ = make_multiplier()
+        assert mult.multiply_arbitrary(a, b, 8).value == a * b
+
+    def test_sparse_multiplier_cheaper(self):
+        mult, _ = make_multiplier()
+        dense = mult.multiply_arbitrary(173, 0xFF, 8).cycles
+        mult2, _ = make_multiplier()
+        sparse = mult2.multiply_arbitrary(173, 0x11, 8).cycles
+        assert sparse < dense
+
+
+class TestConstant:
+    @pytest.mark.parametrize("constant", [0, 1, 9, 20061, 255, 515])
+    def test_correct_product(self, constant):
+        mult, _ = make_multiplier()
+        got = mult.multiply_constant(173, constant, 8, result_bits=24)
+        assert got.value == (173 * constant) & ((1 << 24) - 1)
+
+    def test_paper_example_two_addition_steps(self):
+        mult, _ = make_multiplier()
+        result = mult.multiply_constant(7, 20061, 8, result_bits=24)
+        assert result.breakdown["addition_steps"] == 2
+
+    def test_constant_beats_naive_repeated_addition(self):
+        # "This is a significant improvement over adding 20061 copies
+        # of A" (Section III-D1).
+        m1, _ = make_multiplier(tracks=64)
+        const_cycles = m1.multiply_constant(
+            173, 20061, 8, result_bits=24
+        ).cycles
+        m2, _ = make_multiplier(tracks=64)
+        naive_cycles = m2.multiply_naive(
+            173, 2006, 8, result_bits=24  # even 10x fewer copies...
+        ).cycles
+        assert const_cycles < naive_cycles / 10
+
+    def test_plan_mismatch_rejected(self):
+        from repro.core.booth import plan_constant_multiply
+
+        mult, _ = make_multiplier()
+        plan = plan_constant_multiply(9, trd=7)
+        with pytest.raises(ValueError):
+            mult.multiply_constant(5, 10, 8, plan=plan)
+
+
+class TestNaive:
+    def test_correct_product(self):
+        mult, _ = make_multiplier()
+        assert mult.multiply_naive(37, 9, 8).value == 37 * 9
+
+    def test_zero(self):
+        mult, _ = make_multiplier()
+        assert mult.multiply_naive(37, 0, 8).value == 0
+
+    def test_optimized_beats_naive(self):
+        # The ablation the paper motivates with "consider 9A..."
+        m1, _ = make_multiplier()
+        opt = m1.multiply(200, 217, 8).cycles
+        m2, _ = make_multiplier()
+        naive = m2.multiply_naive(200, 217, 8).cycles
+        assert opt < naive / 5

@@ -1,0 +1,110 @@
+"""Unit tests for N-modular redundancy voting."""
+
+import pytest
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.nmr import ModularRedundancy
+from repro.device.parameters import DeviceParameters
+
+
+def make_nmr(tracks=8, trd=7):
+    dbc = DomainBlockCluster(
+        tracks=tracks, domains=32, params=DeviceParameters(trd=trd)
+    )
+    return ModularRedundancy(dbc), dbc
+
+
+def replicas_with_faults(good, n, fault_positions):
+    """n copies of `good`, flipping one distinct replica per fault pos."""
+    reps = [list(good) for _ in range(n)]
+    for replica, pos in fault_positions:
+        reps[replica][pos] ^= 1
+    return reps
+
+
+class TestVote:
+    def test_tmr_corrects_single_fault(self):
+        nmr, _ = make_nmr()
+        good = [1, 0, 1, 1, 0, 0, 1, 0]
+        reps = replicas_with_faults(good, 3, [(1, 2)])
+        assert nmr.vote(reps).bits == good
+
+    def test_tmr_fails_on_two_colocated_faults(self):
+        nmr, _ = make_nmr()
+        good = [1, 0, 0, 0, 0, 0, 0, 0]
+        reps = replicas_with_faults(good, 3, [(0, 0), (1, 0)])
+        assert nmr.vote(reps).bits[0] == 0  # uncorrectable, as Section III-F says
+
+    def test_5mr_corrects_two_faults(self):
+        nmr, _ = make_nmr()
+        good = [0, 1, 0, 1, 0, 1, 0, 1]
+        reps = replicas_with_faults(good, 5, [(0, 1), (3, 1)])
+        assert nmr.vote(reps).bits == good
+
+    def test_7mr_corrects_three_faults(self):
+        nmr, _ = make_nmr()
+        good = [1] * 8
+        reps = replicas_with_faults(good, 7, [(0, 4), (2, 4), (5, 4)])
+        assert nmr.vote(reps).bits == good
+
+    def test_trd3_supports_tmr_only(self):
+        nmr, _ = make_nmr(trd=3)
+        assert nmr.max_redundancy() == 3
+        good = [1, 0, 1, 0, 1, 0, 1, 0]
+        reps = replicas_with_faults(good, 3, [(2, 6)])
+        assert nmr.vote(reps).bits == good
+
+    def test_trd5_supports_up_to_n3(self):
+        # N = 5 needs one '1' pad + replicas = 6 slots > 5.
+        nmr, _ = make_nmr(trd=5)
+        assert nmr.max_redundancy() == 3
+
+    def test_trd7_supports_n7(self):
+        nmr, _ = make_nmr(trd=7)
+        assert nmr.max_redundancy() == 7
+
+    def test_invalid_n(self):
+        nmr, _ = make_nmr()
+        with pytest.raises(ValueError):
+            nmr.vote([[0] * 8] * 4)
+
+    def test_replica_width_checked(self):
+        nmr, _ = make_nmr()
+        with pytest.raises(ValueError):
+            nmr.vote([[0, 1]] * 3)
+
+    def test_vote_costs_one_tr(self):
+        nmr, dbc = make_nmr()
+        before = dbc.stats.cycles
+        nmr.vote([[1] * 8] * 3)
+        assert dbc.stats.cycles - before == 1
+
+
+class TestRunRedundant:
+    def test_executes_n_times(self):
+        nmr, _ = make_nmr()
+        calls = []
+
+        def compute(i):
+            calls.append(i)
+            return [1, 0] * 4
+
+        result = nmr.run_redundant(3, compute)
+        assert calls == [0, 1, 2]
+        assert result.bits == [1, 0] * 4
+
+    def test_faulty_minority_corrected(self):
+        nmr, _ = make_nmr()
+
+        def compute(i):
+            row = [0] * 8
+            if i == 1:  # one faulty replica
+                row[3] = 1
+            return row
+
+        assert nmr.run_redundant(3, compute).bits == [0] * 8
+
+    def test_requires_pim_dbc(self):
+        plain = DomainBlockCluster(tracks=4, domains=32, pim_enabled=False)
+        with pytest.raises(ValueError):
+            ModularRedundancy(plain)

@@ -1,0 +1,102 @@
+"""Unit tests for the carry-save 7->3 reduction."""
+
+import pytest
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.reduction import CarrySaveReducer
+from repro.device.parameters import DeviceParameters
+from repro.utils.bitops import bits_from_int
+
+
+def make_reducer(tracks=32, trd=7):
+    dbc = DomainBlockCluster(
+        tracks=tracks, domains=32, params=DeviceParameters(trd=trd)
+    )
+    return CarrySaveReducer(dbc), dbc
+
+
+def word_rows(values, width):
+    return [bits_from_int(v, width) for v in values]
+
+
+class TestReduceOnce:
+    def test_sum_preserved_7_rows(self):
+        reducer, _ = make_reducer()
+        values = [100, 200, 50, 75, 3, 255, 128]
+        rows = word_rows(values, 32)
+        result = reducer.reduce_once(rows)
+        assert len(result.rows) == 3
+        assert reducer.rows_sum(result.rows) == sum(values)
+
+    def test_sum_preserved_fewer_rows(self):
+        reducer, _ = make_reducer()
+        for k in (2, 3, 4, 5, 6):
+            values = list(range(1, k + 1))
+            result = reducer.reduce_once(word_rows(values, 32))
+            assert reducer.rows_sum(result.rows) == sum(values)
+
+    def test_trd3_produces_two_rows(self):
+        reducer, _ = make_reducer(trd=3)
+        values = [5, 9, 3]
+        result = reducer.reduce_once(word_rows(values, 32))
+        assert len(result.rows) == 2
+        assert reducer.rows_sum(result.rows) == sum(values)
+
+    def test_cycle_cost_is_tr_plus_writes(self):
+        reducer, dbc = make_reducer()
+        before = dbc.stats.cycles
+        reducer.reduce_once(word_rows([1, 2, 3], 32))
+        # 1 TR + 3 row writes = the paper's 4-cycle reduction step.
+        assert dbc.stats.cycles - before == 4
+
+    def test_trd3_cycle_cost(self):
+        reducer, dbc = make_reducer(trd=3)
+        before = dbc.stats.cycles
+        reducer.reduce_once(word_rows([1, 2, 3], 32))
+        assert dbc.stats.cycles - before == 3
+
+    def test_overflow_detected(self):
+        reducer, _ = make_reducer(tracks=4)
+        rows = word_rows([15, 15, 15], 4)  # carries fall off track 3
+        with pytest.raises(OverflowError):
+            reducer.reduce_once(rows)
+
+    def test_row_count_validation(self):
+        reducer, _ = make_reducer()
+        with pytest.raises(ValueError):
+            reducer.reduce_once(word_rows([1], 32))
+        with pytest.raises(ValueError):
+            reducer.reduce_once(word_rows(list(range(8)), 32))
+
+
+class TestReduceTo:
+    def test_converges_to_adder_limit(self):
+        reducer, _ = make_reducer()
+        values = list(range(1, 17))  # 16 rows
+        result = reducer.reduce_to(word_rows(values, 32))
+        assert len(result.rows) <= 5
+        assert reducer.rows_sum(result.rows) == sum(values)
+
+    def test_trd3_converges(self):
+        reducer, _ = make_reducer(trd=3)
+        values = list(range(1, 9))
+        result = reducer.reduce_to(word_rows(values, 32))
+        assert len(result.rows) <= 2
+        assert reducer.rows_sum(result.rows) == sum(values)
+
+    def test_rounds_counted(self):
+        reducer, _ = make_reducer()
+        result = reducer.reduce_to(word_rows(list(range(1, 8)), 32))
+        assert result.rounds == 1
+
+    def test_already_small_enough(self):
+        reducer, _ = make_reducer()
+        rows = word_rows([1, 2, 3], 32)
+        result = reducer.reduce_to(rows)
+        assert result.rounds == 0
+        assert reducer.rows_sum(result.rows) == 6
+
+    def test_impossible_target_rejected(self):
+        reducer, _ = make_reducer()
+        with pytest.raises(ValueError):
+            reducer.reduce_to(word_rows([1, 2, 3, 4], 32), target=1)

@@ -1,0 +1,78 @@
+"""Tests for the per-step vs per-result TMR voting tradeoff."""
+
+import pytest
+
+from repro.core.redundant_add import (
+    RedundantAdder,
+    RedundantAddResult,
+    VotingMode,
+)
+from repro.device.faults import FaultConfig
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("mode", list(VotingMode))
+    def test_correct_sum(self, mode):
+        adder = RedundantAdder(n=3)
+        result = adder.add_words([13, 200, 7, 99, 55], 8, mode=mode)
+        assert result.value == (13 + 200 + 7 + 99 + 55) % 256
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_all_redundancy_degrees(self, n):
+        adder = RedundantAdder(n=n)
+        result = adder.add_words([100, 50], 8)
+        assert result.value == 150
+
+    def test_per_step_costs_more_cycles(self):
+        per_result = RedundantAdder(n=3).add_words(
+            [1, 2, 3], 8, mode=VotingMode.PER_RESULT
+        )
+        per_step = RedundantAdder(n=3).add_words(
+            [1, 2, 3], 8, mode=VotingMode.PER_STEP
+        )
+        assert per_step.cycles > per_result.cycles
+        assert per_step.votes == 8
+        assert per_result.votes == 1
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            RedundantAdder(n=4)
+
+
+class TestUnderFaults:
+    def _error_rate(self, mode: VotingMode, rate: float, trials: int) -> float:
+        errors = 0
+        for t in range(trials):
+            adder = RedundantAdder(
+                n=3,
+                fault_config=FaultConfig(tr_fault_rate=rate, seed=t),
+            )
+            words = [(t * 17 + i * 29) % 256 for i in range(5)]
+            got = adder.add_words(words, 8, mode=mode).value
+            if got != sum(words) % 256:
+                errors += 1
+        return errors / trials
+
+    def test_per_step_scrubs_better(self):
+        """Per-step voting stops carry-poisoning fault accumulation.
+
+        At a heavy injected rate the per-result mode lets a corrupted
+        carry propagate through a replica's remaining bits, so two
+        replicas disagreeing anywhere downstream becomes likely;
+        per-step scrubbing keeps replicas synchronized.
+        """
+        rate = 0.08
+        per_result = self._error_rate(VotingMode.PER_RESULT, rate, 150)
+        per_step = self._error_rate(VotingMode.PER_STEP, rate, 150)
+        assert per_step <= per_result
+
+    def test_both_correct_under_light_faults(self):
+        for mode in VotingMode:
+            assert self._error_rate(mode, 0.001, 60) <= 0.05
+
+
+class TestResultType:
+    def test_fields(self):
+        result = RedundantAdder(n=3).add_words([1, 2], 8)
+        assert isinstance(result, RedundantAddResult)
+        assert result.cycles > 0

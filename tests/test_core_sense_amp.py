@@ -1,0 +1,42 @@
+"""Unit tests for the seven-level sense amplifier."""
+
+import pytest
+
+from repro.core.sense_amp import SenseAmplifier
+
+
+class TestSense:
+    def test_thermometer_code(self):
+        sa = SenseAmplifier(7)
+        assert sa.sense(0) == [0] * 7
+        assert sa.sense(3) == [1, 1, 1, 0, 0, 0, 0]
+        assert sa.sense(7) == [1] * 7
+
+    def test_roundtrip(self):
+        sa = SenseAmplifier(7)
+        for level in range(8):
+            assert sa.level(sa.sense(level)) == level
+
+    def test_smaller_trd(self):
+        sa = SenseAmplifier(3)
+        assert sa.sense(2) == [1, 1, 0]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SenseAmplifier(7).sense(8)
+        with pytest.raises(ValueError):
+            SenseAmplifier(7).sense(-1)
+
+
+class TestLevelDecode:
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            SenseAmplifier(7).level([1, 0])
+
+    def test_rejects_non_monotone(self):
+        with pytest.raises(ValueError):
+            SenseAmplifier(3).level([1, 0, 1])
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            SenseAmplifier(3).level([1, 2, 0])

@@ -1,0 +1,173 @@
+"""Unit tests for signed arithmetic and the floating-point extension."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.floatpoint import FloatUnit, PimFloat
+from repro.core.signed import SignedUnit
+from repro.device.parameters import DeviceParameters
+
+
+def make_dbc(tracks=64):
+    return DomainBlockCluster(
+        tracks=tracks, domains=32, params=DeviceParameters(trd=7)
+    )
+
+
+class TestSignedAdd:
+    @pytest.mark.parametrize(
+        "values",
+        [[5, -3], [-100, -27], [127, -128], [0, 0], [-1, 1], [40, -3, -7]],
+    )
+    def test_signed_sum(self, values):
+        unit = SignedUnit(make_dbc())
+        assert unit.add(values, 9).value == sum(values)
+
+    def test_single_value(self):
+        unit = SignedUnit(make_dbc())
+        assert unit.add([-42], 8).value == -42
+
+    def test_out_of_range_rejected(self):
+        unit = SignedUnit(make_dbc())
+        with pytest.raises(ValueError):
+            unit.add([128], 8)
+        with pytest.raises(ValueError):
+            unit.add([-129], 8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SignedUnit(make_dbc()).add([], 8)
+
+
+class TestSignedSubtract:
+    @pytest.mark.parametrize(
+        "a,b", [(5, 3), (3, 5), (-10, -20), (100, -27), (-50, 77), (0, 0)]
+    )
+    def test_difference(self, a, b):
+        unit = SignedUnit(make_dbc())
+        assert unit.subtract(a, b, 9).value == a - b
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_property(self, a, b):
+        unit = SignedUnit(make_dbc())
+        assert unit.subtract(a, b, 10).value == a - b
+
+
+class TestSignedMultiply:
+    @pytest.mark.parametrize(
+        "a,b",
+        [(5, 3), (-5, 3), (5, -3), (-5, -3), (0, -7), (-128, 1), (127, -127)],
+    )
+    def test_product(self, a, b):
+        unit = SignedUnit(make_dbc())
+        assert unit.multiply(a, b, 8).value == a * b
+
+    @given(st.integers(-127, 127), st.integers(-127, 127))
+    @settings(max_examples=30, deadline=None)
+    def test_property(self, a, b):
+        unit = SignedUnit(make_dbc())
+        assert unit.multiply(a, b, 8).value == a * b
+
+
+class TestPimFloatFormat:
+    def test_roundtrip_exact_values(self):
+        for value in (1.0, -2.5, 0.375, 1536.0, -0.0078125):
+            f = PimFloat.from_float(value)
+            assert f.to_float() == value
+
+    def test_zero(self):
+        f = PimFloat.from_float(0.0)
+        assert f.is_zero and f.to_float() == 0.0
+
+    def test_rounding_error_bounded(self):
+        value = math.pi
+        f = PimFloat.from_float(value)
+        assert abs(f.to_float() - value) / value < 2 ** -10
+
+    def test_overflow_detected(self):
+        with pytest.raises(OverflowError):
+            PimFloat.from_float(1e30)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PimFloat(2, 0, 0)
+        with pytest.raises(ValueError):
+            PimFloat(0, 64, 0)
+
+
+class TestFloatAdd:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (1.5, 2.25),
+            (100.0, 0.125),
+            (3.0, -1.5),
+            (-4.0, -8.0),
+            (2.0, -2.0),
+            (0.0, 5.5),
+        ],
+    )
+    def test_add_exact_cases(self, a, b):
+        unit = FloatUnit(make_dbc())
+        fa, fb = PimFloat.from_float(a), PimFloat.from_float(b)
+        got = unit.add(fa, fb).to_float()
+        assert got == a + b
+
+    def test_tiny_operand_vanishes(self):
+        unit = FloatUnit(make_dbc())
+        big = PimFloat.from_float(1024.0)
+        tiny = PimFloat.from_float(2 ** -20)
+        assert unit.add(big, tiny).to_float() == 1024.0
+
+    @given(
+        st.floats(min_value=-1000, max_value=1000).filter(
+            lambda x: x == 0 or abs(x) > 1e-3
+        ),
+        st.floats(min_value=-1000, max_value=1000).filter(
+            lambda x: x == 0 or abs(x) > 1e-3
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_add_relative_error(self, a, b):
+        unit = FloatUnit(make_dbc())
+        fa, fb = PimFloat.from_float(a), PimFloat.from_float(b)
+        got = unit.add(fa, fb).to_float()
+        want = fa.to_float() + fb.to_float()
+        if want == 0:
+            assert abs(got) < 1e-3
+        else:
+            assert abs(got - want) / abs(want) < 2 ** -8
+
+
+class TestFloatMultiply:
+    @pytest.mark.parametrize(
+        "a,b",
+        [(1.5, 2.0), (0.5, -0.25), (-3.0, -4.0), (7.0, 0.0), (1.0, 1.0)],
+    )
+    def test_multiply_exact_cases(self, a, b):
+        unit = FloatUnit(make_dbc())
+        fa, fb = PimFloat.from_float(a), PimFloat.from_float(b)
+        assert unit.multiply(fa, fb).to_float() == a * b
+
+    @given(
+        st.floats(min_value=0.01, max_value=100),
+        st.floats(min_value=0.01, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_multiply_relative_error(self, a, b):
+        unit = FloatUnit(make_dbc())
+        fa, fb = PimFloat.from_float(a), PimFloat.from_float(b)
+        got = unit.multiply(fa, fb).to_float()
+        want = fa.to_float() * fb.to_float()
+        assert abs(got - want) / want < 2 ** -9
+
+    def test_format_mismatch_rejected(self):
+        unit = FloatUnit(make_dbc())
+        a = PimFloat.from_float(1.0, exp_bits=6, man_bits=10)
+        b = PimFloat.from_float(1.0, exp_bits=8, man_bits=10)
+        with pytest.raises(ValueError):
+            unit.multiply(a, b)

@@ -1,0 +1,70 @@
+"""Unit tests for fault injection."""
+
+import pytest
+
+from repro.device.faults import FaultConfig, FaultInjector
+
+
+class TestFaultConfig:
+    def test_defaults_fault_free(self):
+        config = FaultConfig()
+        assert config.tr_fault_rate == 0.0
+        assert config.shift_fault_rate == 0.0
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            FaultConfig(tr_fault_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(shift_fault_rate=-0.1)
+
+
+class TestTrPerturbation:
+    def test_fault_free_identity(self):
+        injector = FaultInjector()
+        for level in range(8):
+            assert injector.perturb_tr_level(level, 7) == level
+
+    def test_always_faulting_moves_one_level(self):
+        injector = FaultInjector(FaultConfig(tr_fault_rate=1.0, seed=3))
+        for level in range(8):
+            got = injector.perturb_tr_level(level, 7)
+            assert abs(got - level) == 1
+            assert 0 <= got <= 7
+
+    def test_clamps_at_bounds(self):
+        injector = FaultInjector(FaultConfig(tr_fault_rate=1.0, seed=1))
+        for _ in range(20):
+            assert injector.perturb_tr_level(0, 7) == 1
+            assert injector.perturb_tr_level(7, 7) == 6
+
+    def test_fault_rate_statistics(self):
+        injector = FaultInjector(FaultConfig(tr_fault_rate=0.25, seed=42))
+        faults = sum(
+            1 for _ in range(4000) if injector.perturb_tr_level(3, 7) != 3
+        )
+        assert 800 <= faults <= 1200  # ~1000 expected
+
+    def test_counter_increments(self):
+        injector = FaultInjector(FaultConfig(tr_fault_rate=1.0))
+        injector.perturb_tr_level(3, 7)
+        assert injector.tr_faults_injected == 1
+
+    def test_reproducible_with_seed(self):
+        a = FaultInjector(FaultConfig(tr_fault_rate=0.5, seed=9))
+        b = FaultInjector(FaultConfig(tr_fault_rate=0.5, seed=9))
+        seq_a = [a.perturb_tr_level(3, 7) for _ in range(50)]
+        seq_b = [b.perturb_tr_level(3, 7) for _ in range(50)]
+        assert seq_a == seq_b
+
+
+class TestShiftPerturbation:
+    def test_fault_free_identity(self):
+        injector = FaultInjector()
+        assert injector.perturb_shift(1) == 1
+        assert injector.perturb_shift(-1) == -1
+
+    def test_faults_are_over_or_under(self):
+        injector = FaultInjector(FaultConfig(shift_fault_rate=1.0, seed=5))
+        outcomes = {injector.perturb_shift(1) for _ in range(100)}
+        assert outcomes <= {0, 2}
+        assert injector.shift_faults_injected == 100

@@ -1,0 +1,59 @@
+"""Unit tests for device statistics accounting."""
+
+from repro.device.stats import DeviceStats
+from repro.device.parameters import DeviceParameters, TimingEnergy
+
+import pytest
+
+
+class TestDeviceStats:
+    def test_record_accumulates(self):
+        stats = DeviceStats()
+        stats.record("shift", 1, 0.5)
+        stats.record("shift", 1, 0.5, count=3)
+        assert stats.count("shift") == 4
+        assert stats.cycles == 4
+        assert stats.energy_pj == pytest.approx(2.0)
+
+    def test_merge(self):
+        a = DeviceStats()
+        b = DeviceStats()
+        a.record("read", 1, 0.4)
+        b.record("read", 1, 0.4)
+        b.record("write", 1, 0.6)
+        a.merge(b)
+        assert a.count("read") == 2
+        assert a.count("write") == 1
+        assert a.cycles == 3
+
+    def test_reset(self):
+        stats = DeviceStats()
+        stats.record("tr", 1, 1.0)
+        stats.reset()
+        assert stats.cycles == 0
+        assert stats.energy_pj == 0.0
+        assert stats.count("tr") == 0
+
+    def test_unknown_op_counts_zero(self):
+        assert DeviceStats().count("nope") == 0
+
+
+class TestParameters:
+    def test_defaults(self):
+        p = DeviceParameters()
+        assert p.trd == 7
+        assert p.sense_levels == 8
+
+    def test_rejects_small_trd(self):
+        with pytest.raises(ValueError):
+            DeviceParameters(trd=1)
+
+    def test_rejects_bad_fault_rate(self):
+        with pytest.raises(ValueError):
+            DeviceParameters(tr_fault_rate=2.0)
+
+    def test_timing_energy_validation(self):
+        with pytest.raises(ValueError):
+            TimingEnergy(-1, 0.5)
+        with pytest.raises(ValueError):
+            TimingEnergy(1, -0.5)

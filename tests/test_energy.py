@@ -1,0 +1,95 @@
+"""Unit tests for the energy and area models."""
+
+import pytest
+
+from repro.energy.area import AreaModel, PimDesign
+from repro.energy.model import OpCounts, SystemEnergyModel
+from repro.energy.params import (
+    CORUSCANT_TABLE3,
+    coruscant_add_energy_pj,
+    coruscant_reduction_energy_pj,
+)
+
+
+class TestAreaModel:
+    def test_table1_reproduced(self):
+        # Table I: 3.7 / 9.2 / 9.4 / 10.0 percent.
+        table = AreaModel().table1()
+        assert table["ADD2"] == pytest.approx(3.7, abs=0.2)
+        assert table["ADD5"] == pytest.approx(9.2, abs=0.2)
+        assert table["MUL+ADD5"] == pytest.approx(9.4, abs=0.2)
+        assert table["MUL+ADD5+BBO"] == pytest.approx(10.0, abs=0.2)
+
+    def test_monotone_in_features(self):
+        m = AreaModel()
+        values = [m.overhead_fraction(d) for d in PimDesign]
+        assert values == sorted(values)
+
+    def test_scales_with_pim_fraction(self):
+        full = AreaModel(pim_fraction=2.0 / 16.0)
+        half = AreaModel(pim_fraction=1.0 / 16.0)
+        assert full.overhead_fraction(PimDesign.FULL) == pytest.approx(
+            2 * half.overhead_fraction(PimDesign.FULL)
+        )
+
+    def test_extra_domains_follow_port_placement(self):
+        m = AreaModel()
+        # TR-constrained placement costs more overhead at smaller TRD.
+        assert m.extra_domains(3) > m.extra_domains(7)
+
+
+class TestEnergyModel:
+    def test_paper_energy_reduction(self):
+        # Fig. 11: about 25.2x average reduction.
+        model = SystemEnergyModel()
+        counts = OpCounts(adds=1000, mults=1000)
+        assert model.energy_reduction(counts) == pytest.approx(25.2, rel=0.1)
+
+    def test_movement_dominates_cpu_energy(self):
+        # Section V-C: data movement ~30x the compute energy.
+        model = SystemEnergyModel()
+        counts = OpCounts(adds=1000, mults=0)
+        movement = model.cpu_energy_pj(counts) - 1000 * 111.0
+        assert movement / (1000 * 111.0) == pytest.approx(30, rel=0.3)
+
+    def test_add_cheaper_than_mult_on_pim(self):
+        model = SystemEnergyModel()
+        adds = model.pim_energy_pj(OpCounts(adds=100))
+        mults = model.pim_energy_pj(OpCounts(mults=100))
+        assert adds < mults
+
+    def test_trd_energy_tradeoff_matches_table3(self):
+        # Table III: TRD 3 is cheaper for adds (10.15 vs 22.14 pJ) but
+        # costlier for multiplies (92.01 vs 57.39 pJ).
+        adds = OpCounts(adds=100)
+        mults = OpCounts(mults=100)
+        assert SystemEnergyModel(trd=3).pim_energy_pj(
+            adds
+        ) < SystemEnergyModel(trd=7).pim_energy_pj(adds)
+        assert SystemEnergyModel(trd=3).pim_energy_pj(
+            mults
+        ) > SystemEnergyModel(trd=7).pim_energy_pj(mults)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpCounts(adds=-1)
+        with pytest.raises(ValueError):
+            SystemEnergyModel(trd=4)
+        with pytest.raises(ValueError):
+            SystemEnergyModel().energy_reduction(OpCounts())
+
+
+class TestPerStepEnergies:
+    def test_add_energy_matches_table3(self):
+        # The per-step model reproduces the published 8-bit anchors.
+        assert coruscant_add_energy_pj(8, trd=7) == pytest.approx(
+            CORUSCANT_TABLE3["add5_trd7"].energy_pj, rel=1e-6
+        )
+        assert coruscant_add_energy_pj(8, trd=3) == pytest.approx(
+            CORUSCANT_TABLE3["add2_trd3"].energy_pj, rel=1e-6
+        )
+
+    def test_reduction_energy_scales_with_width(self):
+        assert coruscant_reduction_energy_pj(32) == pytest.approx(
+            2 * coruscant_reduction_energy_pj(16)
+        )

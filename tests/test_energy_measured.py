@@ -1,0 +1,60 @@
+"""The device-level energy roll-up reproduces the Table III anchors."""
+
+import pytest
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.addition import MultiOperandAdder
+from repro.core.bulk_bitwise import BulkBitwiseUnit
+from repro.core.pim_logic import BulkOp
+from repro.device.parameters import DeviceParameters
+
+
+def fresh(trd=7, tracks=64):
+    return DomainBlockCluster(
+        tracks=tracks, domains=32, params=DeviceParameters(trd=trd)
+    )
+
+
+class TestMeasuredEnergies:
+    def test_8bit_add_energy_matches_table3(self):
+        """The simulated op sequence rolls up to the published 22.14 pJ."""
+        dbc = fresh()
+        adder = MultiOperandAdder(dbc)
+        adder.stage_words([13, 200, 7, 99, 55], 8, zero_extend_to=8)
+        staged = dbc.stats.energy_pj
+        adder.run(5, result_bits=8)
+        compute = dbc.stats.energy_pj - staged
+        assert compute == pytest.approx(22.14, rel=0.01)
+
+    def test_energy_scales_with_bits(self):
+        e = {}
+        for n_bits in (4, 8):
+            dbc = fresh()
+            adder = MultiOperandAdder(dbc)
+            words = [3, 5] if n_bits == 4 else [3, 5]
+            adder.stage_words(words, n_bits, zero_extend_to=n_bits)
+            staged = dbc.stats.energy_pj
+            adder.run(2, result_bits=n_bits)
+            e[n_bits] = dbc.stats.energy_pj - staged
+        assert e[8] == pytest.approx(2 * e[4], rel=0.1)
+
+    def test_bulk_op_energy_scales_with_tracks(self):
+        e = {}
+        for tracks in (32, 64):
+            dbc = fresh(tracks=tracks)
+            unit = BulkBitwiseUnit(dbc)
+            rows = [[1] * tracks, [0] * tracks]
+            unit.stage_operands(BulkOp.OR, rows)
+            before = dbc.stats.energy_pj
+            unit.execute(BulkOp.OR, 2)
+            e[tracks] = dbc.stats.energy_pj - before
+        assert e[64] == pytest.approx(2 * e[32], rel=0.01)
+
+    def test_shift_energy_proportional_to_distance(self):
+        dbc = fresh()
+        before = dbc.stats.energy_pj
+        dbc.shift(1, 1)
+        one = dbc.stats.energy_pj - before
+        dbc.shift(1, 3)
+        three = dbc.stats.energy_pj - before - one
+        assert three == pytest.approx(3 * one, rel=0.01)

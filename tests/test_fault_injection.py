@@ -1,0 +1,132 @@
+"""Failure-injection tests: behaviour of the PIM core under faults."""
+
+import pytest
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.addition import MultiOperandAdder
+from repro.core.bulk_bitwise import BulkBitwiseUnit
+from repro.core.nmr import ModularRedundancy
+from repro.core.pim_logic import BulkOp
+from repro.device.faults import FaultConfig, FaultInjector
+from repro.device.nanowire import AccessPort, Nanowire
+from repro.device.parameters import DeviceParameters
+
+
+def faulty_dbc(tr_rate=0.0, shift_rate=0.0, seed=0, tracks=16, trd=7):
+    return DomainBlockCluster(
+        tracks=tracks,
+        domains=32,
+        params=DeviceParameters(trd=trd),
+        injector=FaultInjector(
+            FaultConfig(
+                tr_fault_rate=tr_rate, shift_fault_rate=shift_rate, seed=seed
+            )
+        ),
+    )
+
+
+class TestTrFaultEffects:
+    def test_heavy_faults_corrupt_additions(self):
+        errors = 0
+        trials = 100
+        for seed in range(trials):
+            dbc = faulty_dbc(tr_rate=0.2, seed=seed)
+            adder = MultiOperandAdder(dbc)
+            if adder.add_words([100, 50, 25], 8).value != 175:
+                errors += 1
+        # With a 20% per-TR fault rate most additions should break.
+        assert errors > trials // 2
+
+    def test_fault_free_never_errs(self):
+        for seed in range(10):
+            dbc = faulty_dbc(tr_rate=0.0, seed=seed)
+            adder = MultiOperandAdder(dbc)
+            assert adder.add_words([100, 50, 25], 8).value == 175
+
+    def test_faults_shift_bulk_op_levels(self):
+        dbc = faulty_dbc(tr_rate=1.0, seed=3, tracks=4)
+        unit = BulkBitwiseUnit(dbc)
+        unit.stage_operands(BulkOp.OR, [[0, 0, 0, 0], [0, 0, 0, 0]])
+        # Every TR misreads by one level, so the all-zero OR reads as 1.
+        assert unit.execute(BulkOp.OR, 2).bits == [1, 1, 1, 1]
+
+    def test_injector_counts_faults(self):
+        dbc = faulty_dbc(tr_rate=1.0, seed=2, tracks=4)
+        dbc.transverse_read_all()
+        assert dbc.injector.tr_faults_injected == 4
+
+
+class TestNmrUnderInjectedFaults:
+    def test_tmr_restores_correctness(self):
+        """Replicated add + vote beats a single faulty add."""
+        from repro.utils.bitops import bits_from_int, bits_to_int
+
+        injector = FaultInjector(FaultConfig(tr_fault_rate=0.01, seed=21))
+        clean = sum([100, 50, 25])
+        wins = 0
+        trials = 60
+        for t in range(trials):
+            replicas = []
+            for _ in range(3):
+                dbc = DomainBlockCluster(
+                    tracks=16,
+                    domains=32,
+                    params=DeviceParameters(trd=7),
+                    injector=injector,
+                )
+                adder = MultiOperandAdder(dbc)
+                value = adder.add_words([100, 50, 25], 8).value
+                replicas.append(bits_from_int(value & 0xFFFF, 16))
+            voter = ModularRedundancy(
+                DomainBlockCluster(
+                    tracks=16, domains=32, params=DeviceParameters(trd=7)
+                )
+            )
+            voted = bits_to_int(voter.vote(replicas).bits)
+            if voted == clean:
+                wins += 1
+        assert wins == trials  # p=1% single faults never collude 2-of-3 here
+
+
+class TestShiftFaults:
+    def test_overshoot_misaligns_data(self):
+        wire = Nanowire(
+            32,
+            [AccessPort(14), AccessPort(20)],
+            injector=FaultInjector(
+                FaultConfig(shift_fault_rate=1.0, seed=4)
+            ),
+        )
+        wire.load([0] * 32)
+        wire.poke_row(15, 1)
+        wire.shift(1)  # faults into 0 or 2 positions
+        assert wire.offset in (0, 2)
+
+    def test_shift_fault_rate_zero_is_exact(self):
+        wire = Nanowire(32, [AccessPort(14), AccessPort(20)])
+        wire.shift(1, 5)
+        assert wire.offset == 5
+
+
+class TestFaultRateExtrapolation:
+    """Monte Carlo at inflated rates extrapolates to the Table V scale."""
+
+    @pytest.mark.parametrize("rate", [0.005, 0.02])
+    def test_add_error_scales_linearly(self, rate):
+        trials = 400
+        injector = FaultInjector(FaultConfig(tr_fault_rate=rate, seed=7))
+        errors = 0
+        for t in range(trials):
+            dbc = DomainBlockCluster(
+                tracks=16,
+                domains=32,
+                params=DeviceParameters(trd=7),
+                injector=injector,
+            )
+            adder = MultiOperandAdder(dbc)
+            words = [(t * 13 + i) % 256 for i in range(5)]
+            if adder.add_words(words, 8, result_bits=8).value != sum(words) % 256:
+                errors += 1
+        observed = errors / trials
+        predicted = 1 - (1 - rate) ** 8  # 8 TRs per 8-bit add
+        assert observed == pytest.approx(predicted, rel=0.6, abs=0.02)

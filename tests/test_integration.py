@@ -1,0 +1,142 @@
+"""Integration tests across modules: end-to-end application flows."""
+
+import numpy as np
+import pytest
+
+from repro import BulkOp, CoruscantSystem, MemoryGeometry
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.addition import MultiOperandAdder
+from repro.core.maxpool import MaxUnit
+from repro.core.multiplication import Multiplier
+from repro.device.parameters import DeviceParameters
+from repro.workloads.bitmap import BitmapDatabase, BitmapQuery
+
+
+@pytest.fixture()
+def system():
+    return CoruscantSystem(trd=7, geometry=MemoryGeometry(tracks_per_dbc=64))
+
+
+class TestBitmapQueryOnHardware:
+    """The Fig. 12 query evaluated bit-exactly on the simulated DBC."""
+
+    def test_query_matches_numpy(self, system):
+        rng = np.random.default_rng(5)
+        width = 64
+        db = BitmapDatabase(num_items=width)
+        for name in ("male", "week1", "week2"):
+            db.add(name, (rng.random(width) < 0.5).astype(np.uint8))
+        query = BitmapQuery(["male", "week1", "week2"])
+        expected = query.evaluate(db)
+
+        rows = [list(db.bitmap(n)) for n in query.criteria]
+        result = system.bulk_op(BulkOp.AND, rows)
+        assert sum(result.bits) == expected
+
+
+class TestDotProductOnHardware:
+    """A small fixed-point dot product: multiply + multi-operand add."""
+
+    def test_dot_product(self, system):
+        xs = [3, 7, 11, 2, 9]
+        ws = [5, 2, 8, 13, 1]
+        products = [
+            system.multiply(x, w, n_bits=8).value for x, w in zip(xs, ws)
+        ]
+        total = system.add(products, n_bits=16).value
+        assert total == sum(x * w for x, w in zip(xs, ws))
+
+
+class TestPoolingPipeline:
+    """Max pooling over a 2x2 window, as the CNN layer would run it."""
+
+    def test_pooling_window(self, system):
+        feature_map = [[12, 99], [45, 7]]
+        flat = [v for row in feature_map for v in row]
+        assert system.maximum(flat, n_bits=8).value == 99
+
+
+class TestReluViaMsbPredicate:
+    """Section IV-C: ReLU by predicated reset on the sign bit."""
+
+    def test_relu(self, system):
+        width = 8
+        values = [5, 200, 127, 128]  # two's complement: 200,128 negative
+        outputs = []
+        for v in values:
+            msb = (v >> (width - 1)) & 1
+            outputs.append(0 if msb else v)
+        assert outputs == [5, 0, 127, 0]
+
+
+class TestRedundantMultiply:
+    """NMR around a multiply, with an injected bad replica."""
+
+    def test_vote_fixes_bad_replica(self, system):
+        good = system.multiply(44, 55, n_bits=8).value
+        from repro.utils.bitops import bits_from_int
+
+        rows = [bits_from_int(good, 16) for _ in range(3)]
+        rows[1][4] ^= 1  # replica 1 is wrong
+        voted = system.vote(rows)
+        from repro.utils.bitops import bits_to_int
+
+        assert bits_to_int(voted.bits[:16]) == good
+
+
+class TestBlocksizePackedAdds:
+    """Section III-E: independent adds packed into one row."""
+
+    def test_eight_parallel_byte_adds(self):
+        dbc = DomainBlockCluster(
+            tracks=64, domains=32, params=DeviceParameters(trd=7)
+        )
+        adder = MultiOperandAdder(dbc)
+        lhs = [10, 20, 30, 40, 50, 60, 70, 80]
+        rhs = [5, 15, 25, 35, 45, 55, 65, 75]
+        for block, (a, b) in enumerate(zip(lhs, rhs)):
+            adder.stage_words(
+                [a, b], 8, start_track=8 * block, zero_extend_to=8
+            )
+        result = adder.run(2, result_bits=8, blocks=8, block_stride=8)
+        assert result.values == [(a + b) % 256 for a, b in zip(lhs, rhs)]
+        assert result.cycles == 16  # one 8-bit walk for all blocks
+
+
+class TestConvolutionWindow:
+    """One 3x3 convolution window: 9 multiplies + CSA reduction."""
+
+    def test_window_sum(self):
+        dbc = DomainBlockCluster(
+            tracks=64, domains=32, params=DeviceParameters(trd=7)
+        )
+        mult = Multiplier(dbc)
+        kernel = [1, 2, 1, 0, 3, 0, 2, 1, 2]
+        window = [9, 8, 7, 6, 5, 4, 3, 2, 1]
+        products = [
+            mult.multiply(k, x, 4).value for k, x in zip(kernel, window)
+        ]
+        from repro.core.reduction import CarrySaveReducer
+        from repro.utils.bitops import bits_from_int
+
+        reducer = CarrySaveReducer(dbc)
+        rows = [bits_from_int(p, 64) for p in products]
+        reduced = reducer.reduce_to(rows)
+        adder = MultiOperandAdder(dbc)
+        adder.stage_rows(reduced.rows)
+        total = adder.run(len(reduced.rows), 16).value
+        assert total == sum(k * x for k, x in zip(kernel, window))
+
+
+class TestMaxThenAdd:
+    """Chained PIM ops reuse the same DBC safely."""
+
+    def test_sequence(self):
+        dbc = DomainBlockCluster(
+            tracks=32, domains=32, params=DeviceParameters(trd=7)
+        )
+        unit = MaxUnit(dbc)
+        best = unit.run([17, 3, 99, 42], 8).value
+        adder = MultiOperandAdder(dbc)
+        total = adder.add_words([best, 1], 8).value
+        assert total == 100

@@ -1,0 +1,48 @@
+"""Property-based tests for the layout transforms."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.layout import pack_blocks, transpose_words, unpack_blocks
+from repro.utils.bitops import bits_to_int
+
+
+class TestTransposeProperty:
+    @given(
+        st.lists(st.integers(0, 255), min_size=1, max_size=5),
+    )
+    @settings(max_examples=50)
+    def test_rows_encode_words(self, words):
+        rows = transpose_words(words, 8, 32)
+        for word, row in zip(words, rows):
+            assert bits_to_int(row) == word
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=7))
+    @settings(max_examples=30)
+    def test_width_always_tracks(self, words):
+        rows = transpose_words(words, 4, 24)
+        assert all(len(r) == 24 for r in rows)
+
+
+class TestBlockPackingProperty:
+    @given(
+        st.sampled_from([8, 16, 32]),
+        st.data(),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip(self, blocksize, data):
+        capacity = 512 // blocksize
+        words = data.draw(
+            st.lists(
+                st.integers(0, (1 << blocksize) - 1),
+                min_size=1,
+                max_size=min(capacity, 10),
+            )
+        )
+        row = pack_blocks(words, blocksize, 512)
+        assert unpack_blocks(row, blocksize, count=len(words)) == words
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=8))
+    @settings(max_examples=30)
+    def test_padding_is_zero(self, words):
+        row = pack_blocks(words, 8, 128)
+        assert all(b == 0 for b in row[len(words) * 8 :])

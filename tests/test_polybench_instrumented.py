@@ -1,0 +1,94 @@
+"""The analytic profile formulas agree with instrumented loop nests.
+
+This is the validation the paper got from its pintool: execute the real
+loop nests at small sizes, count every multiply/add, and compare with
+the closed-form profiles that drive Figs. 10-11.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.polybench import kernel_by_name
+from repro.workloads.polybench_ref import INSTRUMENTED, run_instrumented
+
+SMALL_DIMS = {
+    "gemm": dict(ni=6, nj=7, nk=8),
+    "atax": dict(m=9, n=11),
+    "mvt": dict(n=10),
+    "gesummv": dict(n=9),
+    "syrk": dict(n=7, m=5),
+    "doitgen": dict(nr=3, nq=4, np=5),
+    "2mm": dict(ni=5, nj=6, nk=7, nl=8),
+    "bicg": dict(m=9, n=11),
+}
+
+
+class TestProfilesMatchInstrumentation:
+    @pytest.mark.parametrize("name", sorted(INSTRUMENTED))
+    def test_mult_counts_match(self, name):
+        dims = SMALL_DIMS[name]
+        run = run_instrumented(name, dims)
+        profile = kernel_by_name(name).with_dims(**dims).profile()
+        assert run.counter.mults == profile.mults, (
+            f"{name}: instrumented {run.counter.mults} mults, "
+            f"profile says {profile.mults}"
+        )
+
+    @pytest.mark.parametrize("name", sorted(INSTRUMENTED))
+    def test_add_counts_match(self, name):
+        dims = SMALL_DIMS[name]
+        run = run_instrumented(name, dims)
+        profile = kernel_by_name(name).with_dims(**dims).profile()
+        assert run.counter.adds == profile.adds, (
+            f"{name}: instrumented {run.counter.adds} adds, "
+            f"profile says {profile.adds}"
+        )
+
+
+class TestFunctionalEquivalence:
+    def test_gemm_matches_numpy_reference(self):
+        dims = SMALL_DIMS["gemm"]
+        run = run_instrumented("gemm", dims, seed=1)
+        want = kernel_by_name("gemm").with_dims(**dims).reference(seed=1)
+        assert np.allclose(run.result, want)
+
+    def test_atax_matches_numpy_reference(self):
+        dims = SMALL_DIMS["atax"]
+        run = run_instrumented("atax", dims, seed=2)
+        want = kernel_by_name("atax").with_dims(**dims).reference(seed=2)
+        assert np.allclose(run.result, want)
+
+    def test_mvt_matches_numpy_reference(self):
+        dims = SMALL_DIMS["mvt"]
+        run = run_instrumented("mvt", dims, seed=3)
+        want = kernel_by_name("mvt").with_dims(**dims).reference(seed=3)
+        assert np.allclose(run.result, want)
+
+
+class TestLookup:
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            run_instrumented("nope", {})
+
+
+class TestExtendedKernels:
+    """The 2mm and bicg nests also match their analytic profiles."""
+
+    @pytest.mark.parametrize(
+        "name,dims",
+        [
+            ("2mm", dict(ni=5, nj=6, nk=7, nl=8)),
+            ("bicg", dict(m=9, n=11)),
+        ],
+    )
+    def test_counts_match(self, name, dims):
+        run = run_instrumented(name, dims)
+        profile = kernel_by_name(name).with_dims(**dims).profile()
+        assert run.counter.mults == profile.mults
+        assert run.counter.adds == profile.adds
+
+    def test_2mm_matches_numpy(self):
+        dims = dict(ni=5, nj=6, nk=7, nl=8)
+        run = run_instrumented("2mm", dims, seed=4)
+        want = kernel_by_name("2mm").with_dims(**dims).reference(seed=4)
+        assert np.allclose(run.result, want)

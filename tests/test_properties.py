@@ -1,0 +1,163 @@
+"""Property-based tests on the core invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.addition import MultiOperandAdder
+from repro.core.booth import plan_constant_multiply
+from repro.core.maxpool import MaxUnit
+from repro.core.multiplication import Multiplier
+from repro.core.nmr import ModularRedundancy
+from repro.core.pim_logic import adder_outputs
+from repro.core.reduction import CarrySaveReducer
+from repro.device.nanowire import AccessPort, Nanowire
+from repro.device.parameters import DeviceParameters
+from repro.utils.bitops import bits_from_int
+
+
+def make_dbc(tracks=48, trd=7):
+    return DomainBlockCluster(
+        tracks=tracks, domains=32, params=DeviceParameters(trd=trd)
+    )
+
+
+bytes_ = st.integers(min_value=0, max_value=255)
+
+
+class TestAdderOutputsProperty:
+    @given(st.integers(min_value=0, max_value=7))
+    def test_decomposition(self, level):
+        s, c, cp = adder_outputs(level)
+        assert s + 2 * c + 4 * cp == level
+
+
+class TestTransverseReadProperty:
+    @given(st.lists(st.integers(0, 1), min_size=32, max_size=32))
+    @settings(max_examples=50)
+    def test_tr_equals_popcount_of_window(self, bits):
+        wire = Nanowire(32, [AccessPort(14), AccessPort(20)])
+        wire.load(bits)
+        assert wire.transverse_read(0, 1) == sum(bits[14:21])
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=32, max_size=32),
+        st.lists(st.sampled_from([1, -1]), min_size=0, max_size=10),
+    )
+    @settings(max_examples=50)
+    def test_shift_sequences_preserve_data(self, bits, moves):
+        wire = Nanowire(32, [AccessPort(14), AccessPort(20)])
+        wire.load(bits)
+        net = 0
+        for direction in moves:
+            lo = -wire.overhead_left
+            hi = wire.overhead_right
+            if lo < net + direction <= hi if direction > 0 else lo <= net + direction:
+                wire.shift(direction)
+                net += direction
+        wire.shift(-1 if net > 0 else 1, abs(net))
+        assert wire.dump() == bits
+
+
+class TestAdditionProperty:
+    @given(st.lists(bytes_, min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_sum_exact(self, words):
+        adder = MultiOperandAdder(make_dbc())
+        assert adder.add_words(words, 8).value == sum(words)
+
+    @given(st.lists(st.integers(0, 65535), min_size=2, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_exact_16bit(self, words):
+        adder = MultiOperandAdder(make_dbc(tracks=64))
+        assert adder.add_words(words, 16).value == sum(words)
+
+    @given(st.lists(bytes_, min_size=1, max_size=2))
+    @settings(max_examples=30, deadline=None)
+    def test_trd3_sum_exact(self, words):
+        adder = MultiOperandAdder(make_dbc(trd=3))
+        assert adder.add_words(words, 8).value == sum(words)
+
+
+class TestReductionProperty:
+    @given(st.lists(st.integers(0, 2**20 - 1), min_size=2, max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_reduction_preserves_sum(self, values):
+        reducer = CarrySaveReducer(make_dbc(tracks=48))
+        rows = [bits_from_int(v, 48) for v in values]
+        result = reducer.reduce_to(rows)
+        assert reducer.rows_sum(result.rows) == sum(values)
+
+
+class TestMultiplicationProperty:
+    @given(bytes_, bytes_)
+    @settings(max_examples=40, deadline=None)
+    def test_optimized(self, a, b):
+        mult = Multiplier(make_dbc())
+        assert mult.multiply(a, b, 8).value == a * b
+
+    @given(bytes_, bytes_)
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary(self, a, b):
+        mult = Multiplier(make_dbc())
+        assert mult.multiply_arbitrary(a, b, 8).value == a * b
+
+    @given(bytes_, st.integers(0, 4000))
+    @settings(max_examples=25, deadline=None)
+    def test_constant(self, a, constant):
+        mult = Multiplier(make_dbc())
+        got = mult.multiply_constant(a, constant, 8, result_bits=22)
+        assert got.value == (a * constant) & ((1 << 22) - 1)
+
+    @given(bytes_, bytes_, st.sampled_from([3, 5, 7]))
+    @settings(max_examples=25, deadline=None)
+    def test_all_trds(self, a, b, trd):
+        mult = Multiplier(make_dbc(trd=trd))
+        assert mult.multiply(a, b, 8).value == a * b
+
+
+class TestBoothProperty:
+    @given(st.integers(0, 10**7), st.sampled_from([3, 5, 7]))
+    @settings(max_examples=60)
+    def test_plan_always_correct(self, constant, trd):
+        plan = plan_constant_multiply(constant, trd)
+        assert plan.evaluate(3) == 3 * constant
+
+
+class TestMaxProperty:
+    @given(st.lists(bytes_, min_size=1, max_size=7))
+    @settings(max_examples=40, deadline=None)
+    def test_max_found(self, words):
+        unit = MaxUnit(make_dbc(tracks=16))
+        assert unit.run(words, 8).value == max(words)
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=5))
+    @settings(max_examples=25, deadline=None)
+    def test_max_trd5(self, words):
+        unit = MaxUnit(make_dbc(tracks=16, trd=5))
+        assert unit.run(words, 4).value == max(words)
+
+
+class TestNmrProperty:
+    @given(
+        st.lists(st.integers(0, 1), min_size=8, max_size=8),
+        st.sampled_from([3, 5, 7]),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_minority_faults_corrected(self, good, n, data):
+        nmr = ModularRedundancy(make_dbc(tracks=8))
+        max_faults = (n - 1) // 2
+        fault_count = data.draw(st.integers(0, max_faults))
+        faulty_replicas = data.draw(
+            st.lists(
+                st.integers(0, n - 1),
+                min_size=fault_count,
+                max_size=fault_count,
+                unique=True,
+            )
+        )
+        reps = [list(good) for _ in range(n)]
+        for idx in faulty_replicas:
+            pos = data.draw(st.integers(0, 7))
+            reps[idx][pos] ^= 1
+        assert nmr.vote(reps).bits == good

@@ -1,0 +1,73 @@
+"""Property-based tests: random predicate trees on the query engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CoruscantSystem, MemoryGeometry
+from repro.workloads.bitmap import BitmapDatabase
+from repro.workloads.query import (
+    And,
+    Attr,
+    Not,
+    Or,
+    QueryEngine,
+    reference_evaluate,
+)
+
+WIDTH = 32
+ATTRS = ("a", "b", "c", "d")
+
+
+@pytest.fixture(scope="module")
+def db():
+    rng = np.random.default_rng(17)
+    database = BitmapDatabase(num_items=WIDTH)
+    for i, name in enumerate(ATTRS):
+        database.add(
+            name, (rng.random(WIDTH) < 0.3 + 0.1 * i).astype(np.uint8)
+        )
+    return database
+
+
+def trees(depth: int = 3):
+    """Random predicate trees up to ``depth`` levels."""
+    leaf = st.sampled_from(ATTRS).map(Attr)
+    return st.recursive(
+        leaf,
+        lambda children: st.one_of(
+            children.map(Not),
+            st.lists(children, min_size=2, max_size=5).map(
+                lambda cs: And(*cs)
+            ),
+            st.lists(children, min_size=2, max_size=5).map(
+                lambda cs: Or(*cs)
+            ),
+        ),
+        max_leaves=8,
+    )
+
+
+class TestRandomTrees:
+    @given(trees())
+    @settings(max_examples=30, deadline=None)
+    def test_engine_matches_reference(self, db, query):
+        system = CoruscantSystem(
+            trd=7, geometry=MemoryGeometry(tracks_per_dbc=WIDTH)
+        )
+        engine = QueryEngine(system, db)
+        result = engine.run(query)
+        want = reference_evaluate(query, db)
+        assert result.count == int(want.sum())
+        assert result.bits[:WIDTH] == want.tolist()
+
+    @given(trees())
+    @settings(max_examples=15, deadline=None)
+    def test_trd3_engine_agrees(self, db, query):
+        system = CoruscantSystem(
+            trd=3, geometry=MemoryGeometry(tracks_per_dbc=WIDTH)
+        )
+        engine = QueryEngine(system, db)
+        assert engine.run(query).count == int(
+            reference_evaluate(query, db).sum()
+        )

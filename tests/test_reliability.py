@@ -1,0 +1,162 @@
+"""Unit tests for the reliability models (Table V)."""
+
+import pytest
+
+from repro.reliability.nmr_analysis import (
+    nmr_error_probability,
+    vote_circuit_error,
+)
+from repro.reliability.op_error import (
+    OperationReliability,
+    add_error_probability,
+    multiply_error_probability,
+    multiply_profile,
+)
+from repro.reliability.tr_faults import (
+    boundary_error_probability,
+    op_error_probability,
+    sensitive_boundaries,
+)
+
+
+class TestBoundaryModel:
+    def test_table5_and_row(self):
+        # Paper: AND/OR/C' per-bit = 3.3e-7 / 2.0e-7 / 1.4e-7.
+        assert op_error_probability("and", 3) == pytest.approx(1e-6 / 3)
+        assert op_error_probability("and", 5) == pytest.approx(1e-6 / 5)
+        assert op_error_probability("and", 7) == pytest.approx(1e-6 / 7)
+
+    def test_or_matches_and(self):
+        for trd in (3, 5, 7):
+            assert op_error_probability("or", trd) == pytest.approx(
+                op_error_probability("and", trd)
+            )
+
+    def test_table5_xor_row(self):
+        # XOR flips at every boundary: 1.0e-6 regardless of TRD.
+        for trd in (3, 5, 7):
+            assert op_error_probability("xor", trd) == pytest.approx(1e-6)
+
+    def test_table5_carry_row(self):
+        # Paper: C per-bit = 3.3e-7 / 4.0e-7 / 4.3e-7.
+        assert op_error_probability("carry", 3) == pytest.approx(1e-6 / 3)
+        assert op_error_probability("carry", 5) == pytest.approx(2e-6 / 5)
+        assert op_error_probability("carry", 7) == pytest.approx(3e-6 / 7)
+
+    def test_cprime_one_boundary(self):
+        for trd in (5, 7):
+            assert op_error_probability("cprime", trd) == pytest.approx(
+                1e-6 / trd
+            )
+
+    def test_sensitive_boundaries(self):
+        assert sensitive_boundaries([0, 0, 0, 1]) == 1
+        assert sensitive_boundaries([0, 1, 0, 1]) == 3
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            op_error_probability("nope", 7)
+
+    def test_boundary_probability_validation(self):
+        with pytest.raises(ValueError):
+            boundary_error_probability([1])
+
+
+class TestOperationErrors:
+    def test_table5_add_row(self):
+        # Paper: 8.0e-6 for 8-bit add, independent of TRD.
+        assert add_error_probability(8) == pytest.approx(8e-6, rel=1e-3)
+
+    def test_table5_multiply_row(self):
+        # Paper: 4.1e-4 / 2.1e-4 / 7.6e-5 for TRD 3/5/7.
+        assert multiply_error_probability(8, 3) == pytest.approx(4.1e-4, rel=0.15)
+        assert multiply_error_probability(8, 5) == pytest.approx(2.1e-4, rel=0.15)
+        assert multiply_error_probability(8, 7) == pytest.approx(7.6e-5, rel=0.15)
+
+    def test_multiply_improves_with_trd(self):
+        values = [multiply_error_probability(8, trd) for trd in (3, 5, 7)]
+        assert values == sorted(values, reverse=True)
+
+    def test_multiply_profile_rounds(self):
+        assert multiply_profile(8, 7).reduction_rounds == 1
+        assert multiply_profile(8, 3).reduction_rounds > multiply_profile(
+            8, 5
+        ).reduction_rounds
+
+    def test_operation_reliability_bundle(self):
+        rel = OperationReliability(trd=7)
+        assert rel.row("xor") == pytest.approx(1e-6)
+        assert rel.row("add") == pytest.approx(8e-6, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            add_error_probability(0)
+        with pytest.raises(ValueError):
+            multiply_profile(8, 4)
+
+
+class TestNmr:
+    def test_tmr_quadratic_suppression(self):
+        q = 1e-6
+        p = nmr_error_probability(3, q, n_bits=8)
+        assert p == pytest.approx(8 * 3 * q**2, rel=1e-6)
+
+    def test_higher_n_stronger(self):
+        q = 1e-6
+        values = [
+            nmr_error_probability(n, q, n_bits=8) for n in (3, 5, 7)
+        ]
+        assert values == sorted(values, reverse=True)
+        assert values[2] < 1e-20
+
+    def test_vote_error_contributes(self):
+        q = 1e-6
+        with_vote = nmr_error_probability(3, q, vote_error=1e-7)
+        without = nmr_error_probability(3, q)
+        assert with_vote > without
+
+    def test_vote_circuit_uses_carry_at_trd3(self):
+        assert vote_circuit_error(3) == pytest.approx(
+            op_error_probability("carry", 3)
+        )
+        assert vote_circuit_error(7) == pytest.approx(
+            op_error_probability("cprime", 7)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nmr_error_probability(4, 1e-6)
+        with pytest.raises(ValueError):
+            nmr_error_probability(3, 2.0)
+
+
+class TestMonteCarloAgreement:
+    """The analytic per-op models agree with fault-injected simulation."""
+
+    def test_add_error_rate_scales_with_injected_rate(self):
+        from repro.arch.dbc import DomainBlockCluster
+        from repro.core.addition import MultiOperandAdder
+        from repro.device.faults import FaultConfig, FaultInjector
+        from repro.device.parameters import DeviceParameters
+
+        p_inject = 0.02  # inflated so errors are observable
+        trials = 300
+        errors = 0
+        injector = FaultInjector(FaultConfig(tr_fault_rate=p_inject, seed=11))
+        for t in range(trials):
+            dbc = DomainBlockCluster(
+                tracks=16,
+                domains=32,
+                params=DeviceParameters(trd=7),
+                injector=injector,
+            )
+            adder = MultiOperandAdder(dbc)
+            words = [(t * 37 + i * 11) % 256 for i in range(5)]
+            got = adder.add_words(words, 8, result_bits=8).value
+            if got != sum(words) % 256:
+                errors += 1
+        observed = errors / trials
+        predicted = add_error_probability(8, p_inject)
+        # Loose band: faults can cancel or saturate, but the scale must
+        # match the analytic model.
+        assert 0.3 * predicted <= observed <= 1.7 * predicted

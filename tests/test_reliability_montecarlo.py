@@ -1,0 +1,47 @@
+"""Tests for the Monte Carlo fault-injection campaigns."""
+
+import pytest
+
+from repro.reliability.montecarlo import FaultCampaign, MonteCarloResult
+
+
+class TestCampaigns:
+    def test_additions_err_at_inflated_rate(self):
+        campaign = FaultCampaign(fault_rate=0.05, seed=1)
+        result = campaign.run_additions(trials=150)
+        predicted = 1 - (1 - 0.05) ** 8
+        assert result.error_rate == pytest.approx(predicted, rel=0.5)
+
+    def test_multiplies_err_more_than_adds(self):
+        adds = FaultCampaign(fault_rate=0.01, seed=2).run_additions(120)
+        mults = FaultCampaign(fault_rate=0.01, seed=2).run_multiplies(120)
+        assert mults.error_rate >= adds.error_rate
+
+    def test_tmr_suppresses_errors(self):
+        plain = FaultCampaign(fault_rate=0.02, seed=3).run_additions(100)
+        tmr = FaultCampaign(fault_rate=0.02, seed=3).run_tmr_additions(100)
+        assert tmr.error_rate < plain.error_rate
+
+    def test_zero_errors_without_faults_impossible(self):
+        # fault_rate must be > 0 by construction.
+        with pytest.raises(ValueError):
+            FaultCampaign(fault_rate=0.0)
+
+    def test_trd3_campaign(self):
+        result = FaultCampaign(trd=3, fault_rate=0.05, seed=4).run_additions(60)
+        assert 0.0 <= result.error_rate <= 1.0
+
+
+class TestExtrapolation:
+    def test_linear_scaling(self):
+        result = MonteCarloResult(trials=1000, errors=80, injected_rate=0.01)
+        extrapolated = result.extrapolate(target_rate=1e-6, trs_per_op=8)
+        assert extrapolated == pytest.approx(0.08 * 1e-4)
+
+    def test_zero_rate_rejected(self):
+        result = MonteCarloResult(trials=10, errors=1, injected_rate=0.0)
+        with pytest.raises(ValueError):
+            result.extrapolate(1e-6, 8)
+
+    def test_empty_campaign(self):
+        assert MonteCarloResult(0, 0, 0.01).error_rate == 0.0

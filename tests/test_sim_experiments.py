@@ -1,0 +1,128 @@
+"""Tests that the experiment regenerators reproduce the paper's shapes."""
+
+import pytest
+
+from repro.sim.experiments import (
+    area_table,
+    bitmap_experiment,
+    cnn_experiment,
+    cnn_nmr_experiment,
+    operation_comparison,
+    operation_speedups,
+    polybench_experiment,
+    polybench_summary,
+    reliability_table,
+)
+
+
+class TestTable3:
+    def test_coruscant_cycles_match_paper(self):
+        rows = operation_comparison()
+        assert rows["coruscant_add2_trd3"]["cycles"] == 19
+        assert rows["coruscant_add5_trd7"]["cycles"] == 26
+        assert rows["coruscant_mult_trd7"]["cycles"] == 64
+
+    def test_headline_speedups(self):
+        # Abstract: 6.9x / 2.3x speed and 5.5x / 3.4x energy vs SPIM.
+        s = operation_speedups()
+        assert s["add5_latency_vs_spim"] == pytest.approx(6.9, rel=0.05)
+        assert s["mult_vs_spim"] == pytest.approx(2.3, rel=0.05)
+        assert s["add5_energy_vs_spim"] == pytest.approx(5.5, rel=0.05)
+        assert s["mult_energy_vs_spim"] == pytest.approx(3.4, rel=0.05)
+
+    def test_area_opt_speedup(self):
+        assert operation_speedups()["add5_area_vs_spim"] == pytest.approx(
+            9.4, rel=0.05
+        )
+
+
+class TestFig10And11:
+    def test_average_improvements(self):
+        # Paper: 2.07x vs DWM-CPU, 2.20x vs DRAM-CPU, 25.2x energy.
+        s = polybench_summary()
+        assert s["avg_speedup_vs_dwm"] == pytest.approx(2.07, rel=0.1)
+        assert s["avg_speedup_vs_dram"] == pytest.approx(2.20, rel=0.1)
+        assert s["avg_energy_reduction"] == pytest.approx(25.2, rel=0.1)
+
+    def test_every_kernel_improves(self):
+        # Per-kernel variation mirrors the Fig. 10 bars: mult-heavy
+        # kernels (gemm, syrk) gain least, add-heavy ones most.
+        for r in polybench_experiment():
+            assert r.speedup_vs_dwm > 1.25
+            assert r.speedup_vs_dram > r.speedup_vs_dwm * 0.95
+            assert r.energy_reduction > 10
+
+    def test_dram_slower_than_dwm(self):
+        for r in polybench_experiment():
+            assert r.latency_dram_cpu > 1.0
+
+
+class TestFig12:
+    def test_paper_ratios(self):
+        # CORUSCANT over ELP2IM: 1.6x / 2.2x / 3.4x for w = 2/3/4.
+        results = bitmap_experiment(num_items=1_000_000)
+        ratios = [r.coruscant_vs_elp2im for r in results]
+        assert ratios[0] == pytest.approx(1.6, rel=0.1)
+        assert ratios[1] == pytest.approx(2.2, rel=0.1)
+        assert ratios[2] == pytest.approx(3.4, rel=0.1)
+
+    def test_coruscant_latency_independent_of_operands(self):
+        results = bitmap_experiment(num_items=1_000_000)
+        # Speedup grows only because the CPU baseline scans more bitmaps.
+        assert (
+            results[0].speedup_coruscant
+            < results[1].speedup_coruscant
+            < results[2].speedup_coruscant
+        )
+
+    def test_ambit_below_elp2im(self):
+        for r in bitmap_experiment(num_items=1_000_000):
+            assert r.speedup_ambit < r.speedup_elp2im
+
+
+class TestTables4And6:
+    def test_structure(self):
+        out = cnn_experiment()
+        assert set(out) == {"alexnet", "lenet5"}
+        assert "CORUSCANT-7 (full)" in out["alexnet"]
+
+    def test_nmr_structure(self):
+        out = cnn_nmr_experiment()
+        rows = out["alexnet"]
+        assert "full_N3_C7" in rows
+        assert "ternary_N7_C7" in rows
+        # N = 5 or 7 never run at TRD 3.
+        assert "full_N5_C3" not in rows
+
+    def test_nmr_always_slower(self):
+        plain = cnn_experiment()["alexnet"]["CORUSCANT-7 (full)"]
+        nmr = cnn_nmr_experiment()["alexnet"]
+        assert nmr["full_N3_C7"] < plain
+        assert nmr["full_N7_C7"] < nmr["full_N5_C7"] < nmr["full_N3_C7"]
+
+    def test_table6_anchor(self):
+        # Paper: AlexNet full precision with TMR at 29 FPS (C7).
+        nmr = cnn_nmr_experiment()["alexnet"]
+        assert nmr["full_N3_C7"] == pytest.approx(29, rel=0.1)
+
+
+class TestTable5AndTable1:
+    def test_reliability_rows_present(self):
+        table = reliability_table()
+        assert table["add_per_8bit"]["C7"] == pytest.approx(8e-6, rel=0.01)
+        assert table["and_per_bit"]["C3"] == pytest.approx(3.3e-7, rel=0.05)
+        assert "multiply_nmr5" in table
+
+    def test_nmr_columns_respect_trd(self):
+        table = reliability_table()
+        assert "C3" not in table["add_nmr5"]
+        assert set(table["add_nmr7"]) == {"C7"}
+
+    def test_area_table(self):
+        table = area_table()
+        assert table == {
+            "ADD2": 3.7,
+            "ADD5": 9.2,
+            "MUL+ADD5": 9.4,
+            "MUL+ADD5+BBO": 10.0,
+        }

@@ -1,0 +1,105 @@
+"""Unit tests for the PIM data-layout allocator and transforms."""
+
+import pytest
+
+from repro.arch.geometry import MemoryGeometry
+from repro.arch.memory import MainMemory
+from repro.sim.layout import (
+    PimAllocator,
+    pack_blocks,
+    transpose_words,
+    unpack_blocks,
+)
+
+
+def make_allocator():
+    return PimAllocator(
+        MainMemory(geometry=MemoryGeometry(tracks_per_dbc=16))
+    )
+
+
+class TestAllocator:
+    def test_round_robin_placement(self):
+        alloc = make_allocator()
+        a = alloc.allocate("a", rows=2)
+        b = alloc.allocate("b", rows=2)
+        assert (a.bank, a.subarray) != (b.bank, b.subarray)
+
+    def test_region_lookup(self):
+        alloc = make_allocator()
+        alloc.allocate("weights", rows=4)
+        assert alloc.region("weights").rows == 4
+        with pytest.raises(KeyError):
+            alloc.region("nonexistent")
+
+    def test_duplicate_rejected(self):
+        alloc = make_allocator()
+        alloc.allocate("x", rows=1)
+        with pytest.raises(ValueError):
+            alloc.allocate("x", rows=1)
+
+    def test_free(self):
+        alloc = make_allocator()
+        alloc.allocate("x", rows=1)
+        alloc.free("x")
+        alloc.allocate("x", rows=1)  # reusable
+
+    def test_dbc_binding(self):
+        alloc = make_allocator()
+        region = alloc.allocate("x", rows=1)
+        dbc = alloc.dbc_for(region)
+        assert dbc.pim_enabled
+
+    def test_spread_targets(self):
+        alloc = make_allocator()
+        targets = list(alloc.spread(5))
+        assert len(targets) == 5
+        assert len(set(targets)) == 5
+
+    def test_blocksize_validation(self):
+        alloc = make_allocator()
+        with pytest.raises(ValueError):
+            alloc.allocate("bad", rows=1, blocksize=48)
+
+    def test_units_match_geometry(self):
+        alloc = make_allocator()
+        assert alloc.units == 2048
+
+
+class TestTranspose:
+    def test_bit_per_track(self):
+        rows = transpose_words([3, 1], 2, 4)
+        assert rows == [[1, 1, 0, 0], [1, 0, 0, 0]]
+
+    def test_zero_extension(self):
+        rows = transpose_words([5], 3, 8)
+        assert rows[0] == [1, 0, 1, 0, 0, 0, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transpose_words([4], 2, 8)  # word too wide
+        with pytest.raises(ValueError):
+            transpose_words([1], 16, 8)  # bits exceed tracks
+
+
+class TestBlockPacking:
+    def test_roundtrip(self):
+        words = [200, 3, 255, 0]
+        row = pack_blocks(words, 8, 64)
+        assert unpack_blocks(row, 8, count=4) == words
+
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            pack_blocks([0] * 9, 8, 64)
+
+    def test_word_width_enforced(self):
+        with pytest.raises(ValueError):
+            pack_blocks([256], 8, 64)
+
+    def test_unpack_all_blocks(self):
+        row = pack_blocks([7, 9], 8, 32)
+        assert unpack_blocks(row, 8) == [7, 9, 0, 0]
+
+    def test_invalid_blocksize(self):
+        with pytest.raises(ValueError):
+            pack_blocks([1], 10, 64)

@@ -1,0 +1,117 @@
+"""Unit tests for cpim program building and scheduling."""
+
+import pytest
+
+from repro.arch.geometry import MemoryGeometry
+from repro.arch.memory import MainMemory
+from repro.core.isa import CpimOp
+from repro.sim.layout import PimAllocator
+from repro.sim.program import (
+    EXECUTE_CYCLES,
+    HighThroughputScheduler,
+    ProgramBuilder,
+)
+
+
+def make_builder():
+    allocator = PimAllocator(
+        MainMemory(geometry=MemoryGeometry(tracks_per_dbc=16))
+    )
+    return ProgramBuilder(allocator)
+
+
+class TestProgramBuilder:
+    def test_emit_round_robin(self):
+        builder = make_builder()
+        a = builder.emit(CpimOp.ADD)
+        b = builder.emit(CpimOp.ADD)
+        assert (a.src.bank, a.src.subarray) != (b.src.bank, b.src.subarray)
+
+    def test_bulk_op_validation(self):
+        builder = make_builder()
+        builder.bulk_op(CpimOp.AND, operands=3)
+        with pytest.raises(ValueError):
+            builder.bulk_op(CpimOp.ADD, operands=3)
+
+    def test_add_reduction_schedule_trd7(self):
+        builder = make_builder()
+        # 16 values: rounds of 7->3 until <= 5, then one ADD.
+        emitted = builder.add_reduction(16, trd=7)
+        ops = [i.op for i in builder.instructions]
+        assert ops.count(CpimOp.ADD) == 1
+        assert ops.count(CpimOp.REDUCE) == emitted - 1
+
+    def test_add_reduction_small_input(self):
+        builder = make_builder()
+        builder.add_reduction(3, trd=7)
+        ops = [i.op for i in builder.instructions]
+        assert ops == [CpimOp.ADD]
+
+    def test_add_reduction_single_value(self):
+        builder = make_builder()
+        assert builder.add_reduction(1) == 0
+
+    def test_dot_product_lowering(self):
+        builder = make_builder()
+        builder.dot_product(9, trd=7)
+        ops = [i.op for i in builder.instructions]
+        assert ops.count(CpimOp.MULT) == 9
+        assert CpimOp.ADD in ops
+
+    def test_trd3_reduction_uses_more_rounds(self):
+        b7 = make_builder()
+        b3 = make_builder()
+        r7 = b7.add_reduction(16, trd=7)
+        r3 = b3.add_reduction(16, trd=3)
+        assert r3 > r7
+
+    def test_blocksize_validation(self):
+        builder = make_builder()
+        with pytest.raises(ValueError):
+            builder.emit(CpimOp.ADD, blocksize=100)
+
+
+class TestScheduler:
+    def test_parallel_faster_than_serial(self):
+        builder = make_builder()
+        for _ in range(32):
+            builder.emit(CpimOp.MULT)
+        serial = HighThroughputScheduler(units=1).run(builder.instructions)
+        parallel = HighThroughputScheduler(units=32).run(builder.instructions)
+        assert parallel.total_cycles < serial.total_cycles
+
+    def test_issue_bandwidth_bounds_throughput(self):
+        """With abundant units, dispatch is the bottleneck (Fig. 10)."""
+        builder = make_builder()
+        n = 64
+        for _ in range(n):
+            builder.emit(CpimOp.ADD)
+        result = HighThroughputScheduler(units=2048).run(builder.instructions)
+        # Total ~= issue time of all instructions + one execution.
+        min_expected = n * 5
+        assert result.total_cycles >= min_expected
+        assert result.total_cycles <= min_expected + EXECUTE_CYCLES[CpimOp.ADD] + 5
+
+    def test_queueing_on_busy_unit(self):
+        builder = make_builder()
+        for _ in range(4):
+            builder.emit(CpimOp.MAX)  # long-running
+        result = HighThroughputScheduler(units=1).run(builder.instructions)
+        # Each op waits for the previous one on the single unit.
+        assert result.total_cycles >= 4 * EXECUTE_CYCLES[CpimOp.MAX]
+
+    def test_empty_program(self):
+        result = HighThroughputScheduler(units=4).run([])
+        assert result.total_cycles == 0
+        assert result.utilization() == 0.0
+
+    def test_utilization_bounded(self):
+        builder = make_builder()
+        for _ in range(16):
+            builder.emit(CpimOp.REDUCE)
+        result = HighThroughputScheduler(units=4).run(builder.instructions)
+        assert 0.0 < result.utilization() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HighThroughputScheduler(units=0)

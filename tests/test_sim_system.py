@@ -1,0 +1,68 @@
+"""Unit tests for the CoruscantSystem facade."""
+
+import pytest
+
+from repro import BulkOp, CoruscantSystem, MemoryGeometry
+
+
+@pytest.fixture(scope="module")
+def system():
+    # Small tracks keep whole-memory tests fast.
+    return CoruscantSystem(
+        trd=7, geometry=MemoryGeometry(tracks_per_dbc=64)
+    )
+
+
+class TestFacade:
+    def test_add(self, system):
+        assert system.add([13, 200, 7, 99, 55], n_bits=8).value == 374
+
+    def test_add_mod(self, system):
+        result = system.add([255, 255], n_bits=8, exact=False)
+        assert result.value == (255 + 255) % 256
+
+    def test_multiply(self, system):
+        assert system.multiply(173, 219, n_bits=8).value == 173 * 219
+
+    def test_multiply_constant(self, system):
+        got = system.multiply_constant(7, 20061, 8, result_bits=24)
+        assert got.value == 7 * 20061
+
+    def test_maximum(self, system):
+        assert system.maximum([12, 250, 99], n_bits=8).value == 250
+
+    def test_bulk_op_pads_rows(self, system):
+        result = system.bulk_op(BulkOp.OR, [[1, 0, 0], [0, 1, 0]])
+        assert result.bits[:3] == [1, 1, 0]
+
+    def test_vote(self, system):
+        reps = [[1, 0, 1], [1, 1, 1], [1, 0, 0]]
+        assert system.vote(reps).bits[:3] == [1, 0, 1]
+
+    def test_row_too_wide_rejected(self, system):
+        with pytest.raises(ValueError):
+            system.bulk_op(BulkOp.OR, [[0] * 100])
+
+    def test_trd_validation(self):
+        with pytest.raises(ValueError):
+            CoruscantSystem(trd=6)
+
+    def test_different_banks_are_independent(self, system):
+        a = system.pim_dbc(bank=0)
+        b = system.pim_dbc(bank=1)
+        assert a is not b
+
+    def test_trd3_system(self):
+        small = CoruscantSystem(
+            trd=3, geometry=MemoryGeometry(tracks_per_dbc=64)
+        )
+        assert small.add([100, 200], n_bits=8).value == 300
+
+
+class TestFacadeExtras:
+    def test_popcount(self, system):
+        bits = [1, 0, 1, 1, 0, 0, 1] * 5
+        assert system.popcount(bits) == sum(bits)
+
+    def test_minimum(self, system):
+        assert system.minimum([12, 250, 99], n_bits=8).value == 12

@@ -1,0 +1,55 @@
+"""Coverage for the facade under fault configuration and misc paths."""
+
+import pytest
+
+from repro import CoruscantSystem, FaultConfig, MemoryGeometry
+from repro.sim.sensitivity import trd_sweep
+
+
+class TestSystemWithFaults:
+    def test_fault_config_threads_through(self):
+        system = CoruscantSystem(
+            trd=7,
+            geometry=MemoryGeometry(tracks_per_dbc=32),
+            fault_config=FaultConfig(tr_fault_rate=1.0, seed=3),
+        )
+        dbc = system.pim_dbc()
+        dbc.transverse_read_all()
+        assert dbc.injector.tr_faults_injected == 32
+
+    def test_faulty_system_can_err(self):
+        system = CoruscantSystem(
+            trd=7,
+            geometry=MemoryGeometry(tracks_per_dbc=32),
+            fault_config=FaultConfig(tr_fault_rate=0.3, seed=5),
+        )
+        errors = 0
+        for t in range(20):
+            words = [(t * 13 + i) % 256 for i in range(5)]
+            if system.add(words, n_bits=8).value != sum(words):
+                errors += 1
+        assert errors > 0
+
+    def test_clean_system_never_errs(self):
+        system = CoruscantSystem(
+            trd=7, geometry=MemoryGeometry(tracks_per_dbc=32)
+        )
+        for t in range(10):
+            words = [(t * 13 + i) % 200 for i in range(5)]
+            assert system.add(words, n_bits=8).value == sum(words)
+
+
+class TestSensitivitySweep:
+    def test_sweep_structure(self):
+        points = trd_sweep()
+        assert set(points) == {3, 5, 7}
+        for trd, p in points.items():
+            assert p.trd == trd
+            assert p.add_cycles_8bit > 0
+            assert 0 < p.area_overhead_pct < 20
+
+    def test_known_anchors(self):
+        points = trd_sweep()
+        assert points[7].mult_cycles_8bit == 64
+        assert points[3].add_cycles_8bit == 19
+        assert points[7].area_overhead_pct == pytest.approx(10.0, abs=0.2)

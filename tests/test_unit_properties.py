@@ -1,0 +1,62 @@
+"""Property-based tests for the auxiliary PIM units."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.dbc import DomainBlockCluster
+from repro.core.avgpool import AverageUnit
+from repro.core.compare import CompareUnit
+from repro.core.popcount import PopcountUnit
+from repro.device.parameters import DeviceParameters
+
+
+def make_dbc(tracks=32, trd=7):
+    return DomainBlockCluster(
+        tracks=tracks, domains=32, params=DeviceParameters(trd=trd)
+    )
+
+
+class TestPopcountProperty:
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_counts_any_row(self, bits):
+        unit = PopcountUnit(make_dbc(tracks=48))
+        assert unit.count_row(bits).count == sum(bits)
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=60),
+        st.sampled_from([3, 5, 7]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_trds(self, bits, trd):
+        unit = PopcountUnit(make_dbc(tracks=48, trd=trd))
+        assert unit.count_row(bits).count == sum(bits)
+
+
+class TestCompareProperty:
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=7))
+    @settings(max_examples=30, deadline=None)
+    def test_minimum(self, words):
+        unit = CompareUnit(make_dbc(tracks=16))
+        assert unit.minimum(words, 8).value == min(words)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_greater_equal(self, a, b):
+        unit = CompareUnit(make_dbc(tracks=16))
+        assert unit.greater_equal(a, b, 8).value == (1 if a >= b else 0)
+
+
+class TestAverageProperty:
+    @given(
+        st.sampled_from([1, 2, 4, 8]),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mean_floor(self, count, data):
+        words = data.draw(
+            st.lists(
+                st.integers(0, 255), min_size=count, max_size=count
+            )
+        )
+        unit = AverageUnit(make_dbc())
+        assert unit.average(words, 8).value == sum(words) // count

@@ -1,0 +1,89 @@
+"""Unit tests for repro.utils.bitops."""
+
+import pytest
+
+from repro.utils.bitops import (
+    bits_from_int,
+    bits_to_int,
+    csd_encode,
+    int_from_twos_complement,
+    popcount,
+)
+
+
+class TestBitsFromInt:
+    def test_little_endian(self):
+        assert bits_from_int(6, 4) == [0, 1, 1, 0]
+
+    def test_zero(self):
+        assert bits_from_int(0, 3) == [0, 0, 0]
+
+    def test_full_width(self):
+        assert bits_from_int(255, 8) == [1] * 8
+
+    def test_zero_width(self):
+        assert bits_from_int(0, 0) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits_from_int(-1, 4)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            bits_from_int(16, 4)
+
+
+class TestBitsToInt:
+    def test_roundtrip(self):
+        for value in (0, 1, 5, 100, 255):
+            assert bits_to_int(bits_from_int(value, 8)) == value
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+    def test_empty(self):
+        assert bits_to_int([]) == 0
+
+
+class TestPopcount:
+    def test_counts_ones(self):
+        assert popcount([1, 0, 1, 1, 0]) == 3
+
+    def test_empty(self):
+        assert popcount([]) == 0
+
+
+class TestCsdEncode:
+    def test_seven(self):
+        # 7 = 8 - 1 in canonical signed-digit form.
+        assert csd_encode(7) == [-1, 0, 0, 1]
+
+    def test_value_preserved(self):
+        for value in (0, 1, 2, 3, 15, 20061, 123456):
+            digits = csd_encode(value)
+            assert sum(d << i for i, d in enumerate(digits)) == value
+
+    def test_no_adjacent_nonzero(self):
+        for value in range(1, 200):
+            digits = csd_encode(value)
+            for a, b in zip(digits, digits[1:]):
+                assert not (a != 0 and b != 0), (value, digits)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            csd_encode(-5)
+
+    def test_nonzero_digit_count_never_worse_than_binary(self):
+        for value in range(1, 500):
+            csd_nz = sum(1 for d in csd_encode(value) if d)
+            assert csd_nz <= bin(value).count("1")
+
+
+class TestTwosComplement:
+    def test_decode_positive(self):
+        assert int_from_twos_complement(5, 8) == 5
+
+    def test_decode_negative(self):
+        assert int_from_twos_complement(0xFF, 8) == -1
+        assert int_from_twos_complement(0x80, 8) == -128

@@ -1,0 +1,76 @@
+"""Unit tests for the bitmap-index workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.bitmap import (
+    BitmapDatabase,
+    BitmapQuery,
+    weekly_activity_database,
+    weekly_query,
+)
+
+
+class TestDatabase:
+    def test_random_density(self):
+        db = BitmapDatabase(num_items=100_000)
+        db.add_random("x", density=0.3, seed=1)
+        assert db.bitmap("x").mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_add_explicit(self):
+        db = BitmapDatabase(num_items=4)
+        db.add("y", np.array([1, 0, 1, 0]))
+        assert list(db.bitmap("y")) == [1, 0, 1, 0]
+
+    def test_shape_checked(self):
+        db = BitmapDatabase(num_items=4)
+        with pytest.raises(ValueError):
+            db.add("y", np.array([1, 0]))
+
+    def test_density_validation(self):
+        db = BitmapDatabase(num_items=4)
+        with pytest.raises(ValueError):
+            db.add_random("x", density=1.5)
+
+
+class TestQuery:
+    def test_conjunction_count(self):
+        db = BitmapDatabase(num_items=8)
+        db.add("a", np.array([1, 1, 1, 1, 0, 0, 0, 0]))
+        db.add("b", np.array([1, 1, 0, 0, 1, 1, 0, 0]))
+        assert BitmapQuery(["a", "b"]).evaluate(db) == 2
+
+    def test_single_criterion(self):
+        db = BitmapDatabase(num_items=4)
+        db.add("a", np.array([1, 0, 1, 0]))
+        assert BitmapQuery(["a"]).evaluate(db) == 2
+
+    def test_rows_calculation(self):
+        db = BitmapDatabase(num_items=1000)
+        q = BitmapQuery(["a"])
+        assert q.rows(db, row_bits=512) == 2
+
+    def test_empty_criteria_rejected(self):
+        with pytest.raises(ValueError):
+            BitmapQuery([])
+
+
+class TestWeeklyWorkload:
+    def test_paper_population(self):
+        db = weekly_activity_database(num_users=10_000)
+        assert set(db.names()) == {"male", "week1", "week2", "week3", "week4"}
+
+    def test_weekly_query_operands(self):
+        # w weeks + the male bitmap.
+        for w in (2, 3, 4):
+            assert weekly_query(w).num_operands == w + 1
+
+    def test_query_answer_plausible(self):
+        db = weekly_activity_database(num_users=50_000)
+        count = weekly_query(2).evaluate(db)
+        # 0.5 x 0.3 x 0.3 of the population, roughly.
+        assert count == pytest.approx(50_000 * 0.5 * 0.09, rel=0.2)
+
+    def test_weeks_validation(self):
+        with pytest.raises(ValueError):
+            weekly_query(0)

@@ -1,0 +1,138 @@
+"""Unit tests for the CNN layer models and PIM mapping."""
+
+import pytest
+
+from repro.workloads.cnn.layers import ConvLayer, FCLayer, PoolLayer
+from repro.workloads.cnn.mapping import (
+    CnnMapper,
+    Precision,
+    Scheme,
+    coruscant_per_mac_cycles,
+)
+from repro.workloads.cnn.networks import ALEXNET, LENET5
+
+
+class TestLayers:
+    def test_conv_output_size(self):
+        conv = ConvLayer(in_channels=3, out_channels=96, kernel=11,
+                         in_size=227, stride=4)
+        assert conv.out_size == 55
+
+    def test_conv_padding(self):
+        conv = ConvLayer(in_channels=96, out_channels=256, kernel=5,
+                         in_size=27, padding=2)
+        assert conv.out_size == 27
+
+    def test_conv_macs(self):
+        conv = ConvLayer(in_channels=1, out_channels=6, kernel=5, in_size=32)
+        assert conv.macs == 6 * 28 * 28 * 25
+
+    def test_eq2_reduction_adds(self):
+        # Eq. 2: N_a = O_s * ((K^2 - 1) * I_c + (I_c - 1)).
+        conv = ConvLayer(in_channels=6, out_channels=16, kernel=5, in_size=14)
+        expected = conv.outputs * ((25 - 1) * 6 + 5)
+        assert conv.reduction_adds == expected
+
+    def test_pool_geometry(self):
+        pool = PoolLayer(channels=96, window=3, in_size=55, stride=2)
+        assert pool.out_size == 27
+        assert pool.macs == 0
+
+    def test_fc_counts(self):
+        fc = FCLayer(in_features=120, out_features=84)
+        assert fc.macs == 120 * 84
+        assert fc.outputs == 84
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvLayer(in_channels=0, out_channels=1, kernel=3, in_size=8)
+        with pytest.raises(ValueError):
+            FCLayer(in_features=0, out_features=1)
+
+
+class TestNetworks:
+    def test_lenet_mac_count(self):
+        # Classic LeNet-5 is roughly 0.4M MACs.
+        assert 350_000 <= LENET5.total_macs <= 500_000
+
+    def test_alexnet_mac_count(self):
+        # AlexNet is roughly 1.1G MACs (conv + FC).
+        assert 1.0e9 <= ALEXNET.total_macs <= 1.3e9
+
+    def test_layer_partitions(self):
+        assert len(LENET5.conv_layers) == 3
+        assert len(LENET5.fc_layers) == 2
+        assert len(ALEXNET.conv_layers) == 5
+        assert len(ALEXNET.fc_layers) == 3
+
+
+class TestMapping:
+    def test_per_mac_cycles_ordering(self):
+        # Larger TRD retires reduction rows faster.
+        assert (
+            coruscant_per_mac_cycles(7)
+            < coruscant_per_mac_cycles(5)
+            < coruscant_per_mac_cycles(3)
+        )
+
+    def test_table4_anchor_alexnet(self):
+        fps = CnnMapper(Scheme.CORUSCANT, trd=7).fps(ALEXNET)
+        assert fps == pytest.approx(90.5, rel=0.05)
+
+    def test_table4_anchor_lenet(self):
+        fps = CnnMapper(Scheme.CORUSCANT, trd=7).fps(LENET5)
+        assert fps == pytest.approx(163, rel=0.05)
+
+    def test_coruscant_beats_spim(self):
+        # Table IV: 2.2-2.8x over SPIM at full precision.
+        for net in (ALEXNET, LENET5):
+            spim = CnnMapper(Scheme.SPIM).fps(net)
+            for trd, lo, hi in ((3, 1.8, 2.8), (7, 2.4, 3.4)):
+                cor = CnnMapper(Scheme.CORUSCANT, trd=trd).fps(net)
+                assert lo <= cor / spim <= hi
+
+    def test_ternary_coruscant_beats_elp2im(self):
+        # Table IV: 3.7-5.1x over ELP2IM DrAcc on AlexNet.
+        elp = CnnMapper(Scheme.ELP2IM, Precision.TWN).fps(ALEXNET)
+        c3 = CnnMapper(Scheme.CORUSCANT, Precision.TWN, trd=3).fps(ALEXNET)
+        c7 = CnnMapper(Scheme.CORUSCANT, Precision.TWN, trd=7).fps(ALEXNET)
+        assert 3.0 <= c3 / elp <= 5.0
+        assert 4.0 <= c7 / elp <= 6.5
+
+    def test_trd_sensitivity_direction(self):
+        for precision in (Precision.FULL, Precision.TWN):
+            fps = [
+                CnnMapper(Scheme.CORUSCANT, precision, trd=trd).fps(ALEXNET)
+                for trd in (3, 5, 7)
+            ]
+            assert fps == sorted(fps)
+
+    def test_coruscant_order_of_magnitude_over_isaac(self):
+        isaac = CnnMapper(Scheme.ISAAC).fps(ALEXNET)
+        c7_twn = CnnMapper(Scheme.CORUSCANT, Precision.TWN, trd=7).fps(ALEXNET)
+        assert c7_twn / isaac > 10
+
+    def test_elp2im_beats_ambit(self):
+        for precision in (Precision.BWN, Precision.TWN):
+            elp = CnnMapper(Scheme.ELP2IM, precision).fps(ALEXNET)
+            ambit = CnnMapper(Scheme.AMBIT, precision).fps(ALEXNET)
+            assert elp > ambit
+
+    def test_nmr_slowdown(self):
+        # Table VI: TMR costs about 3.1x at TRD 7.
+        base = CnnMapper(Scheme.CORUSCANT, trd=7).fps(ALEXNET)
+        tmr = CnnMapper(Scheme.CORUSCANT, trd=7, nmr=3).fps(ALEXNET)
+        assert base / tmr == pytest.approx(3.12, rel=0.05)
+
+    def test_nmr_trd3_costlier_vote(self):
+        base = CnnMapper(Scheme.CORUSCANT, trd=3).fps(ALEXNET)
+        tmr = CnnMapper(Scheme.CORUSCANT, trd=3, nmr=3).fps(ALEXNET)
+        assert base / tmr > 3.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CnnMapper(Scheme.CORUSCANT, trd=4)
+        with pytest.raises(ValueError):
+            CnnMapper(Scheme.ISAAC, Precision.TWN)
+        with pytest.raises(ValueError):
+            CnnMapper(Scheme.AMBIT, Precision.FULL).fps(ALEXNET)

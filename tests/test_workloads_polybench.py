@@ -1,0 +1,93 @@
+"""Unit tests for the Polybench kernel models."""
+
+import pytest
+
+from repro.workloads.polybench import (
+    POLYBENCH_SUITE,
+    PolybenchKernel,
+    kernel_by_name,
+)
+from repro.workloads.traces import AccessKind
+
+
+class TestSuite:
+    def test_contains_paper_range(self):
+        # Section V-C: "from 2mm ... to gemm".
+        names = {k.name for k in POLYBENCH_SUITE}
+        assert {"2mm", "3mm", "gemm", "atax", "mvt", "syrk"} <= names
+
+    def test_lookup(self):
+        assert kernel_by_name("gemm").name == "gemm"
+        with pytest.raises(KeyError):
+            kernel_by_name("nonexistent")
+
+    def test_all_profiles_positive(self):
+        for kernel in POLYBENCH_SUITE:
+            p = kernel.profile()
+            assert p.adds > 0 and p.mults > 0
+            assert p.loads > 0 and p.stores > 0
+
+
+class TestOpCounts:
+    def test_gemm_counts_scale_cubically(self):
+        small = kernel_by_name("gemm").with_dims(ni=10, nj=10, nk=10)
+        large = kernel_by_name("gemm").with_dims(ni=20, nj=20, nk=20)
+        ratio = large.profile().mults / small.profile().mults
+        assert 7 <= ratio <= 9  # ~8x for doubled dimensions
+
+    def test_gemm_mults_formula(self):
+        # Canonical nest: C[i][j] *= beta; C[i][j] += alpha*A[i][k]*B[k][j].
+        k = kernel_by_name("gemm").with_dims(ni=4, nj=5, nk=6)
+        p = k.profile()
+        assert p.mults == 2 * 4 * 5 * 6 + 4 * 5
+        assert p.adds == 4 * 5 * 6
+
+    def test_2mm_heavier_than_gemm(self):
+        two = kernel_by_name("2mm").with_dims(ni=10, nj=10, nk=10, nl=10)
+        one = kernel_by_name("gemm").with_dims(ni=10, nj=10, nk=10)
+        assert two.profile().mults > 1.4 * one.profile().mults
+
+
+class TestReferences:
+    def test_gemm_reference_shape(self):
+        k = kernel_by_name("gemm").with_dims(ni=8, nj=9, nk=10)
+        assert k.reference().shape == (8, 9)
+
+    def test_reference_deterministic(self):
+        k = kernel_by_name("gemm").with_dims(ni=4, nj=4, nk=4)
+        import numpy as np
+
+        assert np.allclose(k.reference(seed=1), k.reference(seed=1))
+
+    def test_missing_reference_raises(self):
+        with pytest.raises(NotImplementedError):
+            kernel_by_name("bicg").reference()
+
+
+class TestTraceSynthesis:
+    def test_trace_mix_matches_profile(self):
+        k = kernel_by_name("gemm").with_dims(ni=8, nj=8, nk=8)
+        p = k.profile()
+        trace = k.synthesize_trace(max_entries=10**9)
+        assert trace.pim_adds == p.adds
+        assert trace.pim_mults == p.mults
+        assert trace.loads == p.loads
+
+    def test_trace_capped(self):
+        k = kernel_by_name("gemm")
+        trace = k.synthesize_trace(max_entries=1000)
+        assert len(trace) <= 1100  # rounding slack
+
+    def test_trace_proportions_preserved(self):
+        k = kernel_by_name("gemm")
+        p = k.profile()
+        trace = k.synthesize_trace(max_entries=10000)
+        got_ratio = trace.pim_mults / max(1, trace.pim_adds)
+        want_ratio = p.mults / p.adds
+        assert got_ratio == pytest.approx(want_ratio, rel=0.05)
+
+    def test_entries_are_classified(self):
+        k = kernel_by_name("mvt")
+        trace = k.synthesize_trace(max_entries=100)
+        kinds = {e.kind for e in trace}
+        assert AccessKind.PIM_ADD in kinds

@@ -1,0 +1,117 @@
+"""Tests for the predicate-tree query engine."""
+
+import numpy as np
+import pytest
+
+from repro import CoruscantSystem, MemoryGeometry
+from repro.workloads.bitmap import BitmapDatabase
+from repro.workloads.query import (
+    And,
+    Attr,
+    Not,
+    Or,
+    QueryEngine,
+    reference_evaluate,
+)
+
+
+@pytest.fixture()
+def setup():
+    width = 64
+    rng = np.random.default_rng(11)
+    db = BitmapDatabase(num_items=width)
+    for name, density in (
+        ("male", 0.5),
+        ("week1", 0.4),
+        ("week2", 0.4),
+        ("week3", 0.3),
+        ("premium", 0.2),
+    ):
+        db.add(name, (rng.random(width) < density).astype(np.uint8))
+    system = CoruscantSystem(
+        trd=7, geometry=MemoryGeometry(tracks_per_dbc=width)
+    )
+    return QueryEngine(system, db), db
+
+
+class TestQueries:
+    def test_simple_attr(self, setup):
+        engine, db = setup
+        result = engine.run(Attr("male"))
+        assert result.count == int(db.bitmap("male").sum())
+
+    def test_conjunction(self, setup):
+        engine, db = setup
+        q = And(Attr("male"), Attr("week1"), Attr("week2"))
+        want = reference_evaluate(q, db)
+        result = engine.run(q)
+        assert result.count == int(want.sum())
+        assert result.bits[: db.num_items] == want.tolist()
+
+    def test_disjunction(self, setup):
+        engine, db = setup
+        q = Or(Attr("week1"), Attr("week2"), Attr("week3"))
+        assert engine.run(q).count == int(reference_evaluate(q, db).sum())
+
+    def test_negation(self, setup):
+        engine, db = setup
+        q = Not(Attr("male"))
+        want = int((1 - db.bitmap("male")).sum())
+        assert engine.run(q).count == want
+
+    def test_nested_tree(self, setup):
+        engine, db = setup
+        q = And(
+            Attr("male"),
+            Or(Attr("week1"), Attr("week2")),
+            Not(Attr("premium")),
+        )
+        assert engine.run(q).count == int(reference_evaluate(q, db).sum())
+
+    def test_wide_and_fuses_into_one_pass(self, setup):
+        engine, _ = setup
+        q = And(
+            Attr("male"), Attr("week1"), Attr("week2"), Attr("week3"),
+            Attr("premium"),
+        )
+        result = engine.run(q)
+        assert result.tr_passes == 1  # five operands fit one TRD-7 window
+
+    def test_beyond_trd_chains_passes(self, setup):
+        engine, db = setup
+        children = [
+            Attr(n)
+            for n in ("male", "week1", "week2", "week3", "premium")
+        ] * 2  # ten operands
+        q = And(*children)
+        result = engine.run(q)
+        assert result.tr_passes == 2
+        assert result.count == int(reference_evaluate(q, db).sum())
+
+    def test_validation(self, setup):
+        engine, _ = setup
+        with pytest.raises(ValueError):
+            And(Attr("male"))
+        with pytest.raises(ValueError):
+            Or(Attr("male"))
+
+    def test_database_too_wide(self):
+        db = BitmapDatabase(num_items=128)
+        db.add_random("x", 0.5)
+        system = CoruscantSystem(
+            trd=7, geometry=MemoryGeometry(tracks_per_dbc=64)
+        )
+        with pytest.raises(ValueError):
+            QueryEngine(system, db)
+
+
+class TestReferenceEvaluator:
+    def test_de_morgan(self, setup):
+        _, db = setup
+        lhs = reference_evaluate(
+            Not(And(Attr("male"), Attr("week1"))), db
+        )
+        rhs = reference_evaluate(
+            Or(Not(Attr("male")), Not(Attr("week1"))), db
+        )
+        assert np.array_equal(lhs, rhs)
