@@ -22,9 +22,16 @@ from repro.sim.system import CoruscantSystem
 from repro.core.pim_logic import BulkOp
 from repro.arch.dbc import DomainBlockCluster
 from repro.arch.geometry import MemoryGeometry
-from repro.device.nanowire import AccessPort, Nanowire
+from repro.device.nanowire import AccessPort, DataLossError, Nanowire
 from repro.device.parameters import DeviceParameters
 from repro.device.faults import FaultConfig
+from repro.resilience import (
+    DBCHealthRegistry,
+    ResilientExecutor,
+    RetryPolicy,
+    TransientFaultError,
+    UncorrectableFaultError,
+)
 
 __version__ = "1.0.0"
 
@@ -32,10 +39,16 @@ __all__ = [
     "AccessPort",
     "BulkOp",
     "CoruscantSystem",
+    "DBCHealthRegistry",
+    "DataLossError",
     "DeviceParameters",
     "DomainBlockCluster",
     "FaultConfig",
     "MemoryGeometry",
     "Nanowire",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "TransientFaultError",
+    "UncorrectableFaultError",
     "__version__",
 ]

@@ -160,8 +160,14 @@ class MemoryController:
         timings = self.memory.timings
         key = (address.bank, address.subarray, address.tile, address.dbc)
         open_row = self._open_rows.get(key)
-        if open_row == address.row and not is_write:
-            cycles = timings.row_hit_read_cycles()
+        if open_row == address.row:
+            # Row hits skip activation for writes too: only the column
+            # access (reads) or write recovery (writes) is due.
+            cycles = (
+                timings.row_hit_write_cycles()
+                if is_write
+                else timings.row_hit_read_cycles()
+            )
         elif is_write:
             cycles = timings.row_miss_write_cycles(shifts)
         else:

@@ -15,12 +15,40 @@ source of truth.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.device.faults import FaultInjector
 from repro.device.nanowire import AccessPort, Nanowire
 from repro.device.parameters import DeviceParameters
 from repro.device.stats import DeviceStats
+
+
+@dataclass
+class SenseVoteStats:
+    """Counters for the re-read-voting sense path.
+
+    With :attr:`DomainBlockCluster.tr_vote_reads` > 1 every transverse
+    read is repeated and majority-voted, which detects (and usually
+    corrects) single TR level faults at the cost of the extra reads.
+    """
+
+    votes: int = 0
+    disagreements: int = 0
+    corrected: int = 0
+    unresolved: int = 0
+    overhead_cycles: int = 0
+
+    def copy(self) -> "SenseVoteStats":
+        return replace(self)
+
+
+@dataclass(frozen=True)
+class DBCSnapshot:
+    """Zero-cost checkpoint of a whole cluster (transaction logging)."""
+
+    wires: Tuple[Tuple[List[int], int, int], ...]
+    commanded_offset: int
 
 
 def pim_port_positions(domains: int, trd: int) -> Tuple[int, int]:
@@ -77,6 +105,11 @@ class DomainBlockCluster:
             for _ in range(tracks)
         ]
         self.stats = DeviceStats()
+        self._commanded_offset = 0
+        # Re-read voting in the sense path: 1 disables, an odd n > 1
+        # repeats every TR n times and majority-votes per track.
+        self.tr_vote_reads = 1
+        self.vote_stats = SenseVoteStats()
 
     # ------------------------------------------------------------------
     # geometry
@@ -98,11 +131,30 @@ class DomainBlockCluster:
         return hi - lo + 1
 
     def window_row_at(self, slot: int) -> Optional[int]:
-        """Data row currently occupying window slot ``slot`` (0 = left head)."""
+        """Data row believed to occupy window slot ``slot`` (0 = left head).
+
+        Computed from the *commanded* offset — what the controller thinks
+        the cluster is at. After an undetected shift fault the physical
+        row may differ; :meth:`position_error_check` exposes the gap.
+        """
         lo, _ = self.window
         wire = self.wires[0]
-        row = lo + slot - wire.overhead_left - wire.offset
+        row = lo + slot - wire.overhead_left - self._commanded_offset
         return row if 0 <= row < self.domains else None
+
+    @property
+    def commanded_offset(self) -> int:
+        """Offset the controller believes all tracks are at."""
+        return self._commanded_offset
+
+    @property
+    def misaligned_tracks(self) -> List[int]:
+        """Tracks whose physical offset disagrees with the commanded one."""
+        return [
+            i
+            for i, wire in enumerate(self.wires)
+            if wire.offset != self._commanded_offset
+        ]
 
     # ------------------------------------------------------------------
     # zero-cost state accessors
@@ -140,16 +192,24 @@ class DomainBlockCluster:
         """Shift all tracks in lockstep."""
         for wire in self.wires:
             wire.shift(direction, count, record=False)
+        self._commanded_offset += direction * count
         p = self.params.shift
         self.stats.record(
             "shift", p.cycles * count, p.energy_pj * self.tracks * count
         )
 
     def align(self, row: int, port_index: int = 0) -> int:
-        """Shift all tracks so data row ``row`` is under ``port_index``."""
+        """Shift all tracks so data row ``row`` is under ``port_index``.
+
+        The shift distance is computed from the commanded offset — the
+        controller cannot see a misaligned track until a position-error
+        check runs, so a prior shift fault leaves that track reading the
+        wrong row.
+        """
         wire = self.wires[0]
         target = wire.port_physical_position(port_index)
-        delta = target - wire.row_physical_position(row)
+        believed = wire.overhead_left + row + self._commanded_offset
+        delta = target - believed
         if delta:
             self.shift(1 if delta > 0 else -1, abs(delta))
         return abs(delta)
@@ -169,6 +229,39 @@ class DomainBlockCluster:
         p = self.params.write
         self.stats.record("write", p.cycles, p.energy_pj * self.tracks)
 
+    def _sense(self, wire: Nanowire) -> int:
+        """One sense-path read of a wire's TR level, voting if enabled.
+
+        With ``tr_vote_reads`` = n > 1 the TR is repeated n times and the
+        per-track majority wins — the 2-of-3 (or k-of-n) re-read scheme
+        that detects single TR level faults in the sense path. Vote
+        outcomes land in :attr:`vote_stats`; callers account the n-times
+        cycle/energy cost at the batch level.
+        """
+        n = self.tr_vote_reads
+        if n <= 1:
+            return wire.transverse_read(0, 1, record=False)
+        reads = [wire.transverse_read(0, 1, record=False) for _ in range(n)]
+        self.vote_stats.votes += 1
+        winner = max(set(reads), key=reads.count)
+        if len(set(reads)) > 1:
+            self.vote_stats.disagreements += 1
+            if reads.count(winner) > n // 2:
+                self.vote_stats.corrected += 1
+            else:
+                self.vote_stats.unresolved += 1
+        return winner
+
+    def _record_tr(self, senses: int) -> None:
+        """Account one TR batch of ``senses`` track reads (voted or not)."""
+        n = max(1, self.tr_vote_reads)
+        p = self.params.transverse_read
+        self.stats.record(
+            "transverse_read", p.cycles * n, p.energy_pj * senses * n
+        )
+        if n > 1:
+            self.vote_stats.overhead_cycles += p.cycles * (n - 1)
+
     def transverse_read_all(self) -> List[int]:
         """TR every track in parallel; returns one level per track.
 
@@ -176,18 +269,14 @@ class DomainBlockCluster:
         the count of '1's in its TRD-domain window, feeding the seven-level
         sense amp of Fig. 4(a).
         """
-        levels = [
-            wire.transverse_read(0, 1, record=False) for wire in self.wires
-        ]
-        p = self.params.transverse_read
-        self.stats.record("transverse_read", p.cycles, p.energy_pj * self.tracks)
+        levels = [self._sense(wire) for wire in self.wires]
+        self._record_tr(self.tracks)
         return levels
 
     def transverse_read_track(self, track: int) -> int:
         """TR a single track (the sequential addition walk of Fig. 6)."""
-        level = self.wires[track].transverse_read(0, 1, record=False)
-        p = self.params.transverse_read
-        self.stats.record("transverse_read", p.cycles, p.energy_pj)
+        level = self._sense(self.wires[track])
+        self._record_tr(1)
         return level
 
     def transverse_read_tracks(self, tracks: Sequence[int]) -> List[int]:
@@ -197,13 +286,8 @@ class DomainBlockCluster:
         independent blocks advance in lockstep, so the per-step TRs of
         different blocks share one cycle while each consumes TR energy.
         """
-        levels = [
-            self.wires[t].transverse_read(0, 1, record=False) for t in tracks
-        ]
-        p = self.params.transverse_read
-        self.stats.record(
-            "transverse_read", p.cycles, p.energy_pj * len(levels)
-        )
+        levels = [self._sense(self.wires[t]) for t in tracks]
+        self._record_tr(len(levels))
         return levels
 
     def transverse_write_row(self, bits: Sequence[int]) -> List[int]:
@@ -233,6 +317,66 @@ class DomainBlockCluster:
     def tick(self, cycles: int = 1, label: str = "tick") -> None:
         """Account cycles with no device activity (controller overhead)."""
         self.stats.record(label, cycles, 0.0)
+
+    # ------------------------------------------------------------------
+    # resilience primitives
+
+    def position_error_check(self) -> List[int]:
+        """Guard-row checksum check: which tracks are misaligned?
+
+        Models the alignment-fault detection the paper delegates to the
+        TAPestry/Hi-Fi/PIETT line of work: the overhead domains adjacent
+        to the window hold a known guard pattern, and one extra TR over
+        them reveals whether the track sits where the controller thinks
+        it does. Costs one TR batch; returns the misaligned track
+        indices (empty when the cluster is aligned).
+        """
+        p = self.params.transverse_read
+        self.stats.record(
+            "position_check", p.cycles, p.energy_pj * self.tracks
+        )
+        return self.misaligned_tracks
+
+    def realign(self) -> int:
+        """Repair every misaligned track with verified recovery shifts.
+
+        Tracks are corrected independently (per-track shift enables are
+        already required by the TW path), so the latency is the worst
+        single-track correction while every corrected track pays shift
+        energy. Returns that worst-case shift count (0 if aligned).
+        """
+        worst = 0
+        moved = 0
+        for wire in self.wires:
+            correction = abs(wire.misalignment)
+            if correction:
+                worst = max(worst, correction)
+                moved += correction
+                wire.realign(record=False)
+        if worst:
+            p = self.params.shift
+            self.stats.record(
+                "realign", p.cycles * worst, p.energy_pj * moved
+            )
+        return worst
+
+    def snapshot(self) -> DBCSnapshot:
+        """Zero-cost checkpoint of all track state (transaction begin)."""
+        return DBCSnapshot(
+            wires=tuple(wire.checkpoint() for wire in self.wires),
+            commanded_offset=self._commanded_offset,
+        )
+
+    def restore(self, state: DBCSnapshot) -> None:
+        """Zero-cost rollback to a :meth:`snapshot` (transaction abort)."""
+        if len(state.wires) != self.tracks:
+            raise ValueError(
+                f"snapshot holds {len(state.wires)} tracks, cluster has "
+                f"{self.tracks}"
+            )
+        for wire, saved in zip(self.wires, state.wires):
+            wire.restore(saved)
+        self._commanded_offset = state.commanded_offset
 
     # ------------------------------------------------------------------
 

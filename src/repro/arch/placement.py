@@ -11,7 +11,7 @@ a port), plus an estimator to quantify the improvement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
 from repro.device.nanowire import default_overhead
 
@@ -108,3 +108,50 @@ def overhead_for_ports(rows: int, ports: Sequence[int]) -> int:
     """Total overhead domains the port placement needs (Section III-A)."""
     left, right = default_overhead(rows, ports)
     return left + right
+
+
+# ----------------------------------------------------------------------
+# health-aware PIM placement (graceful DBC degradation)
+
+
+def pim_remap_candidates(
+    bank: int, subarray: int, geometry
+) -> Iterator[Tuple[int, int]]:
+    """Alternative (bank, subarray) homes for displaced PIM work.
+
+    Ordered by data-movement cost: the remaining subarrays of the same
+    bank first (operands move over the bank-internal bus), then the
+    other banks. The original coordinates are not yielded.
+    """
+    for s_off in range(1, geometry.subarrays_per_bank):
+        yield bank, (subarray + s_off) % geometry.subarrays_per_bank
+    for b_off in range(1, geometry.banks):
+        b = (bank + b_off) % geometry.banks
+        for s in range(geometry.subarrays_per_bank):
+            yield b, s
+
+
+def remap_pim_dbc(
+    bank: int,
+    subarray: int,
+    geometry,
+    is_usable: Callable[[Tuple[int, int, int, int]], bool],
+    tile: int = 0,
+    dbc: int = 0,
+) -> Tuple[int, int]:
+    """First usable (bank, subarray) for PIM work leaving a failed DBC.
+
+    ``is_usable`` is the health predicate (typically
+    ``DBCHealthRegistry.is_usable``) over (bank, subarray, tile, dbc)
+    keys. The original location is returned unchanged while it is still
+    usable. Raises :class:`LookupError` when every candidate is retired
+    — the caller decides whether that is fatal.
+    """
+    if is_usable((bank, subarray, tile, dbc)):
+        return bank, subarray
+    for b, s in pim_remap_candidates(bank, subarray, geometry):
+        if is_usable((b, s, tile, dbc)):
+            return b, s
+    raise LookupError(
+        "no usable PIM DBC left: every candidate cluster is retired"
+    )

@@ -3,9 +3,13 @@
 The Fig. 10 experiments replay access streams through the memory; this
 module provides the cycle-level version of that replay: each bank is a
 small state machine honouring tRCD/tRAS/tWR and the DWM shift latency
-(in place of precharge), requests queue FR-FCFS-style per bank, and the
-scheduler reports service, queueing, and total latency — the breakdown
-the paper's Fig. 10 bars stack (roughly 80% queueing delay).
+(in place of precharge). Requests are serviced strictly in stream order
+per bank (first-come-first-served — no FR-FCFS reordering of row hits
+ahead of misses), and the scheduler reports service, queueing, and
+total latency — the breakdown the paper's Fig. 10 bars stack (roughly
+80% queueing delay). Row hits are counted for reads *and* writes, both
+in each :class:`BankState` and in the aggregate
+:class:`SchedulerStats`, and the two tallies always agree.
 """
 
 from __future__ import annotations
@@ -97,6 +101,8 @@ class CommandScheduler:
     def _service_cycles(self, bank: BankState, request: Request) -> Tuple[int, bool]:
         t = self.timings
         if bank.open_row == request.row:
+            # Reads and writes both count as row hits; a write hit pays
+            # only the t_WR-class write recovery, a read hit only t_CAS.
             bank.row_hits += 1
             return (t.t_wr if request.is_write else t.t_cas), True
         shifts = 0
@@ -111,7 +117,12 @@ class CommandScheduler:
         return t.t_rcd + access + shifts, False
 
     def run(self, requests: Sequence[Request]) -> SchedulerStats:
-        """Replay the stream; requests are serviced per-bank in order."""
+        """Replay the stream; requests are serviced per-bank in order.
+
+        Strictly first-come-first-served: a row hit queued behind a miss
+        waits for it. ``SchedulerStats.row_hits`` equals the sum of the
+        per-bank ``BankState.row_hits`` deltas of this replay.
+        """
         stats = SchedulerStats()
         for request in requests:
             if not 0 <= request.bank < len(self.banks):

@@ -53,6 +53,10 @@ class DDRTimings:
         """Cycles for a write that opens a new row."""
         return self.t_rcd + self.t_wr + self.t_rp + self.shift_cycles(shifts)
 
+    def row_hit_write_cycles(self) -> int:
+        """Cycles for a write hitting the open row (write recovery only)."""
+        return self.t_wr
+
     def shift_cycles(self, shifts: int) -> int:
         """Placement-dependent DWM shift latency (the 'S' of Table II)."""
         if shifts < 0:

@@ -14,6 +14,8 @@ operations for exploration:
     python -m repro all             # everything
     python -m repro add 13 200 7    # one PIM addition with cycle cost
     python -m repro mult 173 219    # one PIM multiplication
+    python -m repro campaign --fault-rate 1e-3 --ops 1000
+                                    # fault campaign, recovery on vs off
 """
 
 from __future__ import annotations
@@ -129,6 +131,29 @@ def _run_add(values: List[int], trd: int) -> None:
           f"[{result.cycles} cycles, TRD={trd}]")
 
 
+def _run_campaign(args) -> None:
+    from repro.reliability.campaign import (
+        CampaignConfig,
+        run_add_campaign,
+        run_recovery_comparison,
+    )
+
+    config = CampaignConfig(
+        ops=args.ops,
+        tr_fault_rate=args.fault_rate,
+        shift_fault_rate=args.shift_fault_rate,
+        trd=args.trd,
+        seed=args.seed,
+        recovery=args.resilience,
+    )
+    if args.resilience:
+        runs = run_recovery_comparison(config)
+    else:
+        runs = {"recovery_off": run_add_campaign(config)}
+    for name, result in runs.items():
+        _print_kv(f"Fault campaign ({name})", result.summary())
+
+
 def _run_mult(a: int, b: int, trd: int) -> None:
     from repro import CoruscantSystem, MemoryGeometry
 
@@ -148,7 +173,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=sorted(_EXPERIMENTS) + ["all", "add", "mult"],
+        choices=sorted(_EXPERIMENTS) + ["all", "add", "mult", "campaign"],
         help="experiment to regenerate, or a one-off PIM operation",
     )
     parser.add_argument(
@@ -158,8 +183,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trd", type=int, default=7, choices=(3, 5, 7),
         help="transverse read distance (default 7)",
     )
+    parser.add_argument(
+        "--fault-rate", type=float, default=1e-3,
+        help="injected per-TR fault probability for campaigns",
+    )
+    parser.add_argument(
+        "--shift-fault-rate", type=float, default=0.0,
+        help="injected per-shift fault probability for campaigns",
+    )
+    parser.add_argument(
+        "--resilience", dest="resilience", action="store_true",
+        default=True,
+        help="run campaigns under the resilient execution layer "
+             "(default; prints the unprotected baseline alongside)",
+    )
+    parser.add_argument(
+        "--no-resilience", dest="resilience", action="store_false",
+        help="run campaigns bare: faults silently corrupt results",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=1000,
+        help="operations per campaign (default 1000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="campaign RNG seed",
+    )
     args = parser.parse_args(argv)
 
+    if args.command == "campaign":
+        if args.ops < 1:
+            parser.error("--ops must be >= 1")
+        for name in ("fault_rate", "shift_fault_rate"):
+            if not 0.0 <= getattr(args, name) <= 1.0:
+                flag = "--" + name.replace("_", "-")
+                parser.error(f"{flag} must be a probability in [0, 1]")
+        _run_campaign(args)
+        return 0
     if args.command == "all":
         for run in _EXPERIMENTS.values():
             run()

@@ -103,6 +103,7 @@ class Nanowire:
         self.length = self.overhead_left + num_data + self.overhead_right
         self._domains: List[int] = [0] * self.length
         self._offset = 0
+        self._commanded_offset = 0
         self.injector = injector or FaultInjector()
         self.stats = stats or DeviceStats()
 
@@ -113,6 +114,21 @@ class Nanowire:
     def offset(self) -> int:
         """Current shift offset of the data block from its home position."""
         return self._offset
+
+    @property
+    def commanded_offset(self) -> int:
+        """Offset the controller *believes* the wire is at.
+
+        Tracks the shifts that were requested; shift faults move the
+        physical :attr:`offset` without the controller knowing, so the
+        two diverge until a position-error check repairs the wire.
+        """
+        return self._commanded_offset
+
+    @property
+    def misalignment(self) -> int:
+        """Physical minus commanded offset; nonzero after a shift fault."""
+        return self._offset - self._commanded_offset
 
     def port_physical_position(self, port_index: int) -> int:
         """Physical position of port ``port_index`` (ports never move)."""
@@ -183,6 +199,7 @@ class Nanowire:
             sign = 1 if amount > 0 else -1
             for _ in range(steps):
                 self._shift_once(sign)
+            self._commanded_offset += direction
             if record:
                 self.stats.record(
                     "shift", self.params.shift.cycles, self.params.shift.energy_pj
@@ -201,6 +218,46 @@ class Nanowire:
                 raise DataLossError("shift left would eject a data domain")
             self._domains = self._domains[1:] + [0]
             self._offset -= 1
+
+    def realign(self, record: bool = True) -> int:
+        """Undo any accumulated misalignment with verified recovery shifts.
+
+        The recovery shifts bypass fault injection: a real controller
+        performs them slowly, one position at a time, re-checking the
+        guard rows after each step until the checksum matches. Returns
+        the number of correction shifts performed. Only sound while the
+        mis-shifted data never left the wire (no :class:`DataLossError`
+        fired); overhead domains absorb the transient excursion.
+        """
+        correction = -self.misalignment
+        sign = 1 if correction > 0 else -1
+        for _ in range(abs(correction)):
+            self._shift_once(sign)
+        # _shift_once moved the physical offset only; the commanded
+        # offset was right all along, so the two now agree again.
+        if record and correction:
+            self.stats.record(
+                "realign",
+                self.params.shift.cycles * abs(correction),
+                self.params.shift.energy_pj * abs(correction),
+            )
+        return abs(correction)
+
+    def checkpoint(self) -> Tuple[List[int], int, int]:
+        """Zero-cost snapshot of the wire state (transaction logging)."""
+        return (list(self._domains), self._offset, self._commanded_offset)
+
+    def restore(self, state: Tuple[List[int], int, int]) -> None:
+        """Zero-cost rollback to a :meth:`checkpoint` snapshot."""
+        domains, offset, commanded = state
+        if len(domains) != self.length:
+            raise ValueError(
+                f"checkpoint holds {len(domains)} domains, wire has "
+                f"{self.length}"
+            )
+        self._domains = list(domains)
+        self._offset = offset
+        self._commanded_offset = commanded
 
     def align(self, row: int, port_index: int, record: bool = True) -> int:
         """Shift until data row ``row`` sits under port ``port_index``.

@@ -1,0 +1,61 @@
+"""Resilient PIM execution: detection, retry/escalation, degradation.
+
+CORUSCANT (Sections II-A, III-F, V-F) injects TR and shift faults but
+assumes external schemes correct them; this package supplies that
+missing system layer:
+
+* detection — re-read voting in the sense path plus guard-row
+  position-error checks (:mod:`repro.resilience.detector`);
+* recovery — the transactional detect/retry/NMR-escalate ladder of
+  :class:`~repro.resilience.executor.ResilientExecutor` driven by a
+  :class:`~repro.resilience.policy.RetryPolicy`;
+* graceful degradation — the
+  :class:`~repro.resilience.health.DBCHealthRegistry` retires clusters
+  that keep failing and the placement layer remaps PIM work around them.
+"""
+
+from repro.resilience.detector import (
+    DetectionReport,
+    FaultDetector,
+    disable_tr_voting,
+    enable_tr_voting,
+)
+from repro.resilience.errors import (
+    DataLossError,
+    ResilienceError,
+    TransientFaultError,
+    UncorrectableFaultError,
+)
+from repro.resilience.executor import (
+    RecoveryStats,
+    ResilientExecutor,
+    result_signature,
+)
+from repro.resilience.health import (
+    DBCHealth,
+    DBCHealthRegistry,
+    HealthRecord,
+    dbc_key,
+)
+from repro.resilience.policy import DEFAULT_POLICY, DETECT_ONLY, RetryPolicy
+
+__all__ = [
+    "DBCHealth",
+    "DBCHealthRegistry",
+    "DEFAULT_POLICY",
+    "DETECT_ONLY",
+    "DataLossError",
+    "DetectionReport",
+    "FaultDetector",
+    "HealthRecord",
+    "RecoveryStats",
+    "ResilienceError",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "TransientFaultError",
+    "UncorrectableFaultError",
+    "dbc_key",
+    "disable_tr_voting",
+    "enable_tr_voting",
+    "result_signature",
+]

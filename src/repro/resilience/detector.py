@@ -1,0 +1,96 @@
+"""Fault detection over a DBC: sense-path voting + guard-row checks.
+
+The two detection primitives live in the device/cluster layer (the
+voting sense path of :meth:`DomainBlockCluster._sense` and the guard-row
+:meth:`DomainBlockCluster.position_error_check`); this module arms them
+for one operation and turns their raw counters into a per-attempt
+:class:`DetectionReport` the executor's retry loop can act on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.arch.dbc import DomainBlockCluster, SenseVoteStats
+from repro.resilience.policy import DEFAULT_POLICY, RetryPolicy
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """What the detectors saw during one execution attempt.
+
+    Attributes:
+        misaligned_tracks: tracks the guard-row check found off-position.
+        disagreements: voted TRs whose re-reads disagreed (faults seen).
+        corrected: disagreements a majority resolved in the sense path.
+        unresolved: disagreements with no majority — the result is
+            suspect and the attempt must be rolled back.
+        check_cycles: cycles the position-error check itself consumed.
+    """
+
+    misaligned_tracks: List[int] = field(default_factory=list)
+    disagreements: int = 0
+    corrected: int = 0
+    unresolved: int = 0
+    check_cycles: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the attempt's result can be committed."""
+        return not self.misaligned_tracks and self.unresolved == 0
+
+    @property
+    def faults_detected(self) -> int:
+        return self.disagreements + len(self.misaligned_tracks)
+
+
+def enable_tr_voting(dbc: DomainBlockCluster, reads: int = 3) -> None:
+    """Turn on k-of-n re-read voting in the cluster's sense path."""
+    if reads < 1 or reads % 2 == 0:
+        raise ValueError(f"reads must be odd and >= 1, got {reads}")
+    dbc.tr_vote_reads = reads
+
+
+def disable_tr_voting(dbc: DomainBlockCluster) -> None:
+    dbc.tr_vote_reads = 1
+
+
+class FaultDetector:
+    """Arms a DBC's detectors and reports per-attempt deltas."""
+
+    def __init__(self, policy: Optional[RetryPolicy] = None) -> None:
+        self.policy = policy or DEFAULT_POLICY
+        self._baseline: Optional[SenseVoteStats] = None
+
+    def arm(self, dbc: DomainBlockCluster) -> None:
+        """Enable the sense-path vote and mark the counter baseline."""
+        enable_tr_voting(dbc, self.policy.tr_vote_reads)
+        self.mark(dbc)
+
+    def mark(self, dbc: DomainBlockCluster) -> None:
+        """Reset the attempt baseline to the counters' current state."""
+        self._baseline = dbc.vote_stats.copy()
+
+    def scan(self, dbc: DomainBlockCluster) -> DetectionReport:
+        """Run the end-of-attempt checks and report deltas since arm/mark.
+
+        Runs the guard-row position check when the policy asks for it
+        (cost lands in the DBC stats and is reported back for overhead
+        accounting) and diffs the vote counters against the baseline.
+        """
+        base = self._baseline or SenseVoteStats()
+        misaligned: List[int] = []
+        check_cycles = 0
+        if self.policy.position_check:
+            before = dbc.stats.cycles
+            misaligned = dbc.position_error_check()
+            check_cycles = dbc.stats.cycles - before
+        votes = dbc.vote_stats
+        return DetectionReport(
+            misaligned_tracks=misaligned,
+            disagreements=votes.disagreements - base.disagreements,
+            corrected=votes.corrected - base.corrected,
+            unresolved=votes.unresolved - base.unresolved,
+            check_cycles=check_cycles,
+        )

@@ -1,0 +1,33 @@
+"""Typed fault-handling errors of the resilient execution layer.
+
+The hierarchy mirrors the recovery ladder: a :class:`TransientFaultError`
+is detected, rolled back and retried; an :class:`UncorrectableFaultError`
+survives every retry and the NMR escalation and surfaces to the caller
+(and to the :class:`~repro.resilience.health.DBCHealthRegistry`). The
+device-level :class:`~repro.device.nanowire.DataLossError` is re-exported
+here so callers can catch the whole fault family from one module.
+"""
+
+from __future__ import annotations
+
+from repro.device.nanowire import DataLossError
+
+
+class ResilienceError(RuntimeError):
+    """Base class of all detected-fault errors."""
+
+
+class TransientFaultError(ResilienceError):
+    """A fault was detected and the operation can be retried."""
+
+
+class UncorrectableFaultError(ResilienceError):
+    """Retries and NMR escalation were exhausted without agreement."""
+
+
+__all__ = [
+    "DataLossError",
+    "ResilienceError",
+    "TransientFaultError",
+    "UncorrectableFaultError",
+]

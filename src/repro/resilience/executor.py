@@ -1,0 +1,224 @@
+"""Transactional, self-healing execution of cpim instructions.
+
+:class:`ResilientExecutor` wraps :meth:`MemoryController.execute` with
+the full recovery ladder the paper assumes external schemes provide:
+
+1. **remap** — work aimed at a FAILED DBC is moved to a healthy one
+   (:func:`~repro.arch.placement.remap_pim_dbc`);
+2. **detect** — the attempt runs with re-read voting in the sense path
+   and ends with a guard-row position check;
+3. **retry** — a suspect attempt (unresolved vote, misalignment, data
+   loss) is rolled back to the pre-op snapshot and re-executed, up to
+   ``RetryPolicy.max_attempts`` times, with every extra cycle accounted;
+4. **escalate** — persistent disagreement triggers N-modular-redundant
+   re-execution with a majority vote over the result signatures;
+5. **typed error** — if even the NMR replicas cannot agree the op raises
+   :class:`UncorrectableFaultError` and the DBC's health record is
+   charged, eventually degrading and retiring the cluster.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Tuple
+
+from repro.arch.controller import MemoryController
+from repro.arch.placement import remap_pim_dbc
+from repro.core.isa import CpimInstruction
+from repro.resilience.detector import FaultDetector
+from repro.resilience.errors import DataLossError, UncorrectableFaultError
+from repro.resilience.health import DBCHealthRegistry, dbc_key
+from repro.resilience.policy import RetryPolicy
+
+
+@dataclass
+class RecoveryStats:
+    """Aggregate recovery accounting across all executed operations."""
+
+    operations: int = 0
+    attempts: int = 0
+    retries: int = 0
+    escalations: int = 0
+    escalation_corrected: int = 0
+    faults_detected: int = 0
+    faults_corrected_inline: int = 0
+    misalignments_repaired: int = 0
+    data_loss_events: int = 0
+    uncorrectable: int = 0
+    remaps: int = 0
+    overhead_cycles: int = 0
+
+    @property
+    def faults_corrected(self) -> int:
+        """Faults neutralised by any rung of the ladder."""
+        return self.faults_corrected_inline + self.misalignments_repaired
+
+
+def result_signature(result: Any) -> Any:
+    """A hashable signature of an op result for majority voting."""
+    for attr in ("values", "bits", "rows"):
+        value = getattr(result, attr, None)
+        if value is not None:
+            return tuple(
+                tuple(v) if isinstance(v, list) else v for v in value
+            )
+    value = getattr(result, "value", None)
+    if value is not None:
+        return value
+    return repr(result)
+
+
+class ResilientExecutor:
+    """Detect/retry/escalate wrapper around a :class:`MemoryController`."""
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        policy: Optional[RetryPolicy] = None,
+        registry: Optional[DBCHealthRegistry] = None,
+    ) -> None:
+        self.controller = controller
+        self.policy = policy or RetryPolicy()
+        self.registry = registry or DBCHealthRegistry(
+            degrade_after=self.policy.degrade_after,
+            fail_after=self.policy.fail_after,
+        )
+        self.detector = FaultDetector(self.policy)
+        self.stats = RecoveryStats()
+
+    # ------------------------------------------------------------------
+
+    def execute(self, instruction: CpimInstruction):
+        """Run one cpim instruction under the recovery ladder.
+
+        Returns the same result object :meth:`MemoryController.execute`
+        would; raises :class:`UncorrectableFaultError` only after retries
+        and NMR escalation are both exhausted.
+        """
+        instruction = self._remap(instruction)
+        key = dbc_key(instruction.src)
+        dbc = self.controller._dbc(instruction.src)
+        self.stats.operations += 1
+        snapshot = dbc.snapshot()
+        self.detector.arm(dbc)
+        op_start = dbc.stats.cycles
+        first_attempt_base: Optional[int] = None
+
+        for attempt in range(1, self.policy.max_attempts + 1):
+            if attempt > 1:
+                dbc.restore(snapshot)
+                self.stats.retries += 1
+            self.stats.attempts += 1
+            self.detector.mark(dbc)
+            start = dbc.stats.cycles
+            vote_overhead_start = dbc.vote_stats.overhead_cycles
+            try:
+                result = self.controller.execute(instruction)
+            except DataLossError:
+                # A faulty over-shift ejected data: the attempt is
+                # unrecoverable in place, but the snapshot restores it.
+                self.stats.data_loss_events += 1
+                self.stats.faults_detected += 1
+                self.registry.record_transient(key)
+                continue
+            report = self.detector.scan(dbc)
+            self.stats.faults_detected += report.faults_detected
+            self.stats.faults_corrected_inline += report.corrected
+            if report.misaligned_tracks:
+                dbc.realign()
+                self.stats.misalignments_repaired += len(
+                    report.misaligned_tracks
+                )
+            if first_attempt_base is None:
+                vote_extra = (
+                    dbc.vote_stats.overhead_cycles - vote_overhead_start
+                )
+                first_attempt_base = (
+                    dbc.stats.cycles
+                    - start
+                    - vote_extra
+                    - report.check_cycles
+                )
+            if report.clean:
+                self._commit(dbc, op_start, first_attempt_base)
+                if attempt > 1:
+                    self.registry.record_transient(key)
+                return result
+            self.registry.record_transient(key)
+
+        result = self._escalate(instruction, dbc, snapshot)
+        self._commit(dbc, op_start, first_attempt_base or 0)
+        return result
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _commit(self, dbc, op_start: int, base_cycles: int) -> None:
+        """Charge everything beyond one clean execution as overhead."""
+        total = dbc.stats.cycles - op_start
+        self.stats.overhead_cycles += max(0, total - base_cycles)
+
+    def _escalate(self, instruction: CpimInstruction, dbc, snapshot):
+        """NMR re-execution: majority over result signatures or give up."""
+        key = dbc_key(instruction.src)
+        self.stats.escalations += 1
+        n = self.policy.escalation_nmr
+        outcomes = []
+        for _ in range(n):
+            dbc.restore(snapshot)
+            self.detector.mark(dbc)
+            try:
+                replica = self.controller.execute(instruction)
+            except DataLossError:
+                self.stats.data_loss_events += 1
+                continue
+            if self.policy.position_check and dbc.position_error_check():
+                dbc.realign()
+                continue
+            outcomes.append((result_signature(replica), replica))
+        if outcomes:
+            counts = Counter(signature for signature, _ in outcomes)
+            signature, votes = counts.most_common(1)[0]
+            if votes > n // 2:
+                self.stats.escalation_corrected += 1
+                self.registry.record_transient(key)
+                return next(
+                    r for s, r in outcomes if s == signature
+                )
+        self.stats.uncorrectable += 1
+        status = self.registry.record_uncorrectable(key)
+        raise UncorrectableFaultError(
+            f"cpim {instruction.op.name} on DBC {key} failed "
+            f"{self.policy.max_attempts} attempts and {n}-MR escalation "
+            f"(DBC now {status.value})"
+        )
+
+    def _remap(self, instruction: CpimInstruction) -> CpimInstruction:
+        """Move the instruction off a FAILED DBC, if its home is retired."""
+        src = instruction.src
+        if self.registry.is_usable(dbc_key(src)):
+            return instruction
+        bank, subarray = remap_pim_dbc(
+            src.bank,
+            src.subarray,
+            self.controller.memory.geometry,
+            self.registry.is_usable,
+            tile=src.tile,
+            dbc=src.dbc,
+        )
+        self.stats.remaps += 1
+        new_src = replace(src, bank=bank, subarray=subarray)
+        dest = instruction.dest
+        if (dest.bank, dest.subarray) == (src.bank, src.subarray):
+            dest = replace(dest, bank=bank, subarray=subarray)
+        return replace(instruction, src=new_src, dest=dest)
+
+    def remapped_home(self, bank: int, subarray: int) -> Tuple[int, int]:
+        """Where PIM work aimed at (bank, subarray) currently lands."""
+        return remap_pim_dbc(
+            bank,
+            subarray,
+            self.controller.memory.geometry,
+            self.registry.is_usable,
+        )

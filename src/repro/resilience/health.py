@@ -1,0 +1,125 @@
+"""Per-DBC health tracking for graceful degradation.
+
+Racetrack PIM at scale cannot treat every fault as fatal: a cluster that
+keeps producing uncorrectable results must be taken out of the PIM
+rotation while the rest of the memory keeps serving. The registry holds
+one record per DBC coordinate, moves it HEALTHY -> DEGRADED -> FAILED as
+uncorrectable faults accumulate, and answers the placement layer's
+"can I still compute here?" question.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+DBCKey = Tuple[int, int, int, int]
+"""(bank, subarray, tile, dbc) coordinates of one cluster."""
+
+
+def dbc_key(address) -> DBCKey:
+    """The registry key of an :class:`~repro.core.isa.Address`."""
+    return (address.bank, address.subarray, address.tile, address.dbc)
+
+
+class DBCHealth(enum.Enum):
+    """Lifecycle of one DBC in the health registry."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+
+@dataclass
+class HealthRecord:
+    """Fault history of one DBC."""
+
+    transients: int = 0
+    uncorrectables: int = 0
+    status: DBCHealth = DBCHealth.HEALTHY
+
+
+@dataclass
+class DBCHealthRegistry:
+    """Tracks fault history per DBC and degrades/retires clusters.
+
+    Attributes:
+        degrade_after: uncorrectable faults before DEGRADED.
+        fail_after: uncorrectable faults before FAILED.
+    """
+
+    degrade_after: int = 2
+    fail_after: int = 4
+    _records: Dict[DBCKey, HealthRecord] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.degrade_after <= self.fail_after:
+            raise ValueError(
+                "need 1 <= degrade_after <= fail_after, got "
+                f"{self.degrade_after} / {self.fail_after}"
+            )
+
+    def record(self, key: DBCKey) -> HealthRecord:
+        return self._records.setdefault(tuple(key), HealthRecord())
+
+    def status(self, key: DBCKey) -> DBCHealth:
+        record = self._records.get(tuple(key))
+        return record.status if record else DBCHealth.HEALTHY
+
+    def is_usable(self, key: DBCKey) -> bool:
+        """Whether PIM work may still be dispatched to this DBC."""
+        return self.status(key) is not DBCHealth.FAILED
+
+    # ------------------------------------------------------------------
+    # fault bookkeeping
+
+    def record_transient(self, key: DBCKey) -> DBCHealth:
+        """A detected-and-recovered fault; never changes the status."""
+        record = self.record(key)
+        record.transients += 1
+        return record.status
+
+    def record_uncorrectable(self, key: DBCKey) -> DBCHealth:
+        """An unrecovered fault; may degrade or retire the DBC."""
+        record = self.record(key)
+        record.uncorrectables += 1
+        if record.uncorrectables >= self.fail_after:
+            record.status = DBCHealth.FAILED
+        elif record.uncorrectables >= self.degrade_after:
+            record.status = DBCHealth.DEGRADED
+        return record.status
+
+    def mark_failed(self, key: DBCKey) -> None:
+        """Force a DBC out of the PIM rotation (tests, external BIST)."""
+        self.record(key).status = DBCHealth.FAILED
+
+    def mark_degraded(self, key: DBCKey) -> None:
+        self.record(key).status = DBCHealth.DEGRADED
+
+    def reset(self, key: DBCKey) -> None:
+        """Forgive a DBC (e.g. after a repair cycle)."""
+        self._records.pop(tuple(key), None)
+
+    # ------------------------------------------------------------------
+    # reporting
+
+    @property
+    def failed(self) -> List[DBCKey]:
+        return [
+            k
+            for k, r in self._records.items()
+            if r.status is DBCHealth.FAILED
+        ]
+
+    @property
+    def degraded(self) -> List[DBCKey]:
+        return [
+            k
+            for k, r in self._records.items()
+            if r.status is DBCHealth.DEGRADED
+        ]
+
+    def report(self) -> Dict[DBCKey, HealthRecord]:
+        """Snapshot of every tracked DBC's record."""
+        return dict(self._records)

@@ -1,0 +1,58 @@
+"""Recovery policy knobs for the resilient execution layer.
+
+One frozen object describes the whole detect -> retry -> escalate ladder
+so experiments can sweep it: how many re-reads the sense path votes over,
+how many transactional retries a detected fault earns, how wide the NMR
+escalation votes, and when repeated uncorrectable faults degrade or
+retire a DBC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry and escalation configuration.
+
+    Attributes:
+        max_attempts: transactional tries (1 = no retry) before escalating.
+        tr_vote_reads: TR repeats the sense path majority-votes (odd;
+            1 disables re-read voting and with it TR-fault detection).
+        escalation_nmr: redundant executions the escalation stage
+            majority-votes (odd; 1 disables escalation).
+        position_check: run the guard-row checksum after every attempt.
+        degrade_after: uncorrectable faults before a DBC is DEGRADED.
+        fail_after: uncorrectable faults before a DBC is FAILED and its
+            PIM work is remapped elsewhere.
+    """
+
+    max_attempts: int = 3
+    tr_vote_reads: int = 3
+    escalation_nmr: int = 3
+    position_check: bool = True
+    degrade_after: int = 2
+    fail_after: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        for name in ("tr_vote_reads", "escalation_nmr"):
+            value = getattr(self, name)
+            if value < 1 or value % 2 == 0:
+                raise ValueError(f"{name} must be odd and >= 1, got {value}")
+        if not 1 <= self.degrade_after <= self.fail_after:
+            raise ValueError(
+                "need 1 <= degrade_after <= fail_after, got "
+                f"{self.degrade_after} / {self.fail_after}"
+            )
+
+
+#: Detection without retry: vote the sense path, never roll back.
+DETECT_ONLY = RetryPolicy(max_attempts=1, escalation_nmr=1)
+
+#: The default ladder: 2-of-3 voting, 3 attempts, TMR escalation.
+DEFAULT_POLICY = RetryPolicy()

@@ -8,12 +8,13 @@ point `examples/` build on.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.arch.controller import MemoryController
 from repro.arch.dbc import DomainBlockCluster
 from repro.arch.geometry import MemoryGeometry
 from repro.arch.memory import MainMemory
+from repro.arch.placement import remap_pim_dbc
 from repro.core.addition import AdditionResult, MultiOperandAdder
 from repro.core.bulk_bitwise import BulkBitwiseUnit, BulkResult
 from repro.core.maxpool import MaxResult, MaxUnit
@@ -22,6 +23,9 @@ from repro.core.nmr import ModularRedundancy, VoteResult
 from repro.core.pim_logic import BulkOp
 from repro.device.faults import FaultConfig, FaultInjector
 from repro.device.parameters import DeviceParameters
+from repro.resilience.executor import ResilientExecutor
+from repro.resilience.health import DBCHealthRegistry
+from repro.resilience.policy import RetryPolicy
 
 
 class CoruscantSystem:
@@ -31,6 +35,12 @@ class CoruscantSystem:
         trd: transverse-read distance (3, 5 or 7).
         geometry: memory shape; defaults to the Table II configuration.
         fault_config: optional fault injection for reliability studies.
+        resilience: ``True`` (default :class:`RetryPolicy`) or a policy
+            object to run PIM work under the resilient execution layer:
+            re-read voting in the sense path, transactional
+            retry/escalation through :attr:`executor`, and health-aware
+            remapping of failed DBCs. ``False`` keeps the bare,
+            fault-oblivious pipeline (faults silently corrupt results).
     """
 
     def __init__(
@@ -38,6 +48,7 @@ class CoruscantSystem:
         trd: int = 7,
         geometry: Optional[MemoryGeometry] = None,
         fault_config: Optional[FaultConfig] = None,
+        resilience: Union[bool, RetryPolicy] = False,
     ) -> None:
         if trd not in (3, 5, 7):
             raise ValueError(f"trd must be 3, 5 or 7, got {trd}")
@@ -48,14 +59,52 @@ class CoruscantSystem:
             geometry=geometry, params=params, injector=injector
         )
         self.controller = MemoryController(self.memory)
+        if resilience is True:
+            resilience = RetryPolicy()
+        self.policy: Optional[RetryPolicy] = resilience or None
+        # The health registry is always on: even a non-resilient system
+        # must route PIM work around DBCs an external BIST retired.
+        if self.policy is not None:
+            self.health = DBCHealthRegistry(
+                degrade_after=self.policy.degrade_after,
+                fail_after=self.policy.fail_after,
+            )
+            self.executor: Optional[ResilientExecutor] = ResilientExecutor(
+                self.controller, self.policy, self.health
+            )
+        else:
+            self.health = DBCHealthRegistry()
+            self.executor = None
 
     # ------------------------------------------------------------------
+
+    def pim_home(
+        self, bank: int = 0, subarray: int = 0
+    ) -> Tuple[int, int]:
+        """Where PIM work aimed at (bank, subarray) currently lands.
+
+        Identity while the local cluster is healthy; after the health
+        registry retires it, the nearest usable cluster takes over.
+        """
+        return remap_pim_dbc(
+            bank, subarray, self.memory.geometry, self.health.is_usable
+        )
 
     def pim_dbc(
         self, bank: int = 0, subarray: int = 0
     ) -> DomainBlockCluster:
-        """A PIM-enabled DBC to compute in."""
-        return self.memory.pim_dbc(bank=bank, subarray=subarray)
+        """A PIM-enabled DBC to compute in, remapped around failures."""
+        bank, subarray = self.pim_home(bank, subarray)
+        dbc = self.memory.pim_dbc(bank=bank, subarray=subarray)
+        if self.policy is not None:
+            dbc.tr_vote_reads = self.policy.tr_vote_reads
+        return dbc
+
+    def execute(self, instruction):
+        """Run a cpim instruction, resiliently when a policy is set."""
+        if self.executor is not None:
+            return self.executor.execute(instruction)
+        return self.controller.execute(instruction)
 
     def bulk_op(
         self,

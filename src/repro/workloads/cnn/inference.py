@@ -48,10 +48,22 @@ class InferenceStats:
 class PimCnnEngine:
     """Executes CNN layers with the CORUSCANT primitives."""
 
-    def __init__(self, trd: int = 7, tracks: int = 64) -> None:
+    def __init__(
+        self,
+        trd: int = 7,
+        tracks: int = 64,
+        injector=None,
+        tr_vote_reads: int = 1,
+    ) -> None:
         self.dbc = DomainBlockCluster(
-            tracks=tracks, domains=32, params=DeviceParameters(trd=trd)
+            tracks=tracks,
+            domains=32,
+            params=DeviceParameters(trd=trd),
+            injector=injector,
         )
+        # Fault campaigns run the engine with an injector and, when
+        # recovery is on, re-read voting in the sense path.
+        self.dbc.tr_vote_reads = tr_vote_reads
         self.multiplier = Multiplier(self.dbc)
         self.reducer = CarrySaveReducer(self.dbc)
         self.adder = MultiOperandAdder(self.dbc)

@@ -36,6 +36,28 @@ class TestRegularAccess:
         miss_cost = ctl.stats.memory_cycles - after_first - hit_cost
         assert hit_cost < miss_cost
 
+    def test_row_hit_write_charged_write_recovery_only(self):
+        # Regression: the is_write branch used to precede the row-hit
+        # check, so a write to the open row paid the full miss cost.
+        ctl = make_controller()
+        bits = [1] * 16
+        ctl.write(addr(row=5), bits)  # opens row 5
+        before = ctl.stats.memory_cycles
+        ctl.write(addr(row=5), bits)  # hit
+        hit_cost = ctl.stats.memory_cycles - before
+        assert hit_cost == ctl.memory.timings.row_hit_write_cycles()
+
+    def test_row_hit_write_cheaper_than_miss(self):
+        ctl = make_controller()
+        bits = [1] * 16
+        ctl.write(addr(row=5), bits)
+        before = ctl.stats.memory_cycles
+        ctl.write(addr(row=5), bits)  # hit
+        hit_cost = ctl.stats.memory_cycles - before
+        ctl.write(addr(row=9), bits)  # miss + shifts
+        miss_cost = ctl.stats.memory_cycles - before - hit_cost
+        assert hit_cost < miss_cost
+
     def test_stats_counted(self):
         ctl = make_controller()
         ctl.write(addr(), [0] * 16)

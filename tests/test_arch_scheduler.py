@@ -53,6 +53,34 @@ class TestBankStateMachine:
         stats = CommandScheduler(DWM_DDR3_1600).run(stream)
         assert stats.queue_fraction > 0.6
 
+    def test_row_hit_writes_counted(self):
+        sched = CommandScheduler(DRAM_DDR3_1600, banks=1)
+        stats = sched.run(
+            [
+                Request(bank=0, row=5, is_write=True),
+                Request(bank=0, row=5, is_write=True),  # write hit
+                Request(bank=0, row=5),  # read hit
+            ]
+        )
+        assert stats.row_hits == 2
+        assert sched.banks[0].row_hits == 2
+
+    def test_write_hit_pays_write_recovery_only(self):
+        sched = CommandScheduler(DRAM_DDR3_1600, banks=1)
+        opener = sched.run([Request(bank=0, row=5, is_write=True)])
+        hit = sched.run(
+            [Request(bank=0, row=5, is_write=True)]
+        )
+        assert hit.service_cycles == DRAM_DDR3_1600.t_wr
+        assert hit.service_cycles < opener.service_cycles
+
+    def test_aggregate_hits_match_bank_tallies(self):
+        stream = stream_from_counts(2000, banks=8, seed=4)
+        sched = CommandScheduler(DWM_DDR3_1600, banks=8)
+        stats = sched.run(stream)
+        assert stats.row_hits == sum(b.row_hits for b in sched.banks)
+        assert stats.row_hits > 0
+
     def test_bad_bank_rejected(self):
         sched = CommandScheduler(DRAM_DDR3_1600, banks=2)
         with pytest.raises(ValueError):

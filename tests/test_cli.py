@@ -45,6 +45,30 @@ class TestOperations:
             main(["bogus"])
 
 
+class TestCampaignCommand:
+    def test_campaign_reports_both_runs(self, capsys):
+        assert main(["campaign", "--ops", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery_on" in out
+        assert "recovery_off" in out
+        assert "correction_rate" in out
+
+    def test_bad_campaign_args_rejected_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--ops", "0"])
+        with pytest.raises(SystemExit):
+            main(["campaign", "--fault-rate", "-0.5"])
+
+    def test_no_resilience_runs_bare_only(self, capsys):
+        assert main(
+            ["campaign", "--ops", "20", "--no-resilience",
+             "--fault-rate", "0.01"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recovery_off" in out
+        assert "recovery_on" not in out
+
+
 class TestTableCommands:
     @pytest.mark.parametrize("command", ["table3", "table4", "table5", "table6"])
     def test_tables_run(self, command, capsys):

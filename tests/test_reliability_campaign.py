@@ -1,0 +1,93 @@
+"""Fault-campaign harness tests, including the PR acceptance criteria."""
+
+import pytest
+
+from repro.reliability.campaign import (
+    CampaignConfig,
+    run_add_campaign,
+    run_cnn_campaign,
+    run_recovery_comparison,
+)
+from repro.reliability.op_error import add_error_probability
+
+
+class TestCampaignConfig:
+    def test_defaults(self):
+        config = CampaignConfig()
+        assert config.ops == 1000
+        assert config.tr_fault_rate == pytest.approx(1e-3)
+        assert config.recovery
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(ops=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(blocksize=8, n_bits=16)
+
+    def test_operand_limit_enforced(self):
+        with pytest.raises(ValueError):
+            run_add_campaign(CampaignConfig(ops=1, operands=9, trd=7))
+
+
+class TestAddCampaignAcceptance:
+    """ISSUE acceptance: 1000 ops at 1e-3 with recovery on."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_recovery_comparison(CampaignConfig(seed=0))
+
+    def test_corrects_at_least_ninety_percent(self, comparison):
+        on = comparison["recovery_on"]
+        assert on.injected_tr_faults > 0
+        assert on.correction_rate >= 0.9
+        assert on.detection_rate >= on.correction_rate
+
+    def test_escaped_strictly_below_recovery_off(self, comparison):
+        on = comparison["recovery_on"]
+        off = comparison["recovery_off"]
+        assert off.escaped > 0  # bare runs must actually corrupt results
+        assert on.escaped < off.escaped
+
+    def test_recovery_overhead_is_nonzero(self, comparison):
+        on = comparison["recovery_on"]
+        assert on.overhead_cycles > 0
+        assert on.overhead_cycles < on.total_cycles
+
+    def test_summary_is_printable(self, comparison):
+        summary = comparison["recovery_on"].summary()
+        assert summary["recovery"] is True
+        assert summary["detected"] >= summary["corrected"] >= 0
+        assert 0.0 <= summary["correction_rate"] <= 1.0
+
+    def test_bare_rate_tracks_analytic_model(self, comparison):
+        # The unprotected escape rate should be the same order as the
+        # Table V closed form — the campaign validates the model, the
+        # model sanity-checks the campaign.
+        off = comparison["recovery_off"]
+        analytic = off.analytic_op_error_rate
+        assert analytic == pytest.approx(
+            add_error_probability(16, 1e-3)
+        )
+        assert off.observed_op_error_rate < 20 * analytic
+
+
+class TestCnnCampaign:
+    def test_voting_protects_conv_layer(self):
+        config = CampaignConfig(ops=1, tr_fault_rate=0.02, seed=0)
+        on = run_cnn_campaign(config)
+        off = run_cnn_campaign(
+            CampaignConfig(ops=1, tr_fault_rate=0.02, seed=0,
+                           recovery=False)
+        )
+        assert off.escaped > 0
+        assert on.escaped < off.escaped
+        assert on.detected > 0
+        assert on.overhead_cycles > 0
+
+    def test_fault_free_cnn_is_exact_both_ways(self):
+        for recovery in (True, False):
+            result = run_cnn_campaign(
+                CampaignConfig(ops=1, tr_fault_rate=0.0, recovery=recovery)
+            )
+            assert result.escaped == 0
+            assert result.injected_tr_faults == 0

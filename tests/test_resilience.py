@@ -1,0 +1,453 @@
+"""Tests for the resilient PIM execution layer.
+
+Covers the detection primitives (misalignment tracking, guard-row
+position check, TR re-read voting), the transactional retry/escalation
+executor, the DBC health registry with placement remapping, and the
+fault-path corners of the injector itself.
+"""
+
+import pytest
+
+from repro import (
+    CoruscantSystem,
+    DataLossError,
+    FaultConfig,
+    MemoryGeometry,
+    RetryPolicy,
+    UncorrectableFaultError,
+)
+from repro.arch.dbc import DomainBlockCluster
+from repro.arch.placement import pim_remap_candidates, remap_pim_dbc
+from repro.core.addition import MultiOperandAdder
+from repro.core.isa import Address, CpimInstruction, CpimOp
+from repro.device.faults import FaultInjector
+from repro.device.nanowire import AccessPort, Nanowire
+from repro.device.parameters import DeviceParameters
+from repro.resilience import (
+    DBCHealth,
+    DBCHealthRegistry,
+    FaultDetector,
+    enable_tr_voting,
+)
+
+
+def make_dbc(tracks=8, **kwargs):
+    return DomainBlockCluster(
+        tracks=tracks, domains=32, params=DeviceParameters(trd=7), **kwargs
+    )
+
+
+def add_instruction(blocksize=16, operands=2):
+    address = Address(bank=0, subarray=0, tile=0, dbc=0, row=0)
+    return CpimInstruction(
+        op=CpimOp.ADD,
+        blocksize=blocksize,
+        src=address,
+        dest=address,
+        operands=operands,
+    )
+
+
+def make_system(rate=0.0, seed=0, policy=None, shift_rate=0.0, tracks=16):
+    return CoruscantSystem(
+        trd=7,
+        geometry=MemoryGeometry(tracks_per_dbc=tracks),
+        fault_config=FaultConfig(
+            tr_fault_rate=rate, shift_fault_rate=shift_rate, seed=seed
+        ),
+        resilience=policy if policy is not None else False,
+    )
+
+
+class TestFaultInjectorPaths:
+    """Satellite coverage: every injector corner at deterministic rates."""
+
+    def test_counters_increment_at_rate_one(self):
+        injector = FaultInjector(
+            FaultConfig(tr_fault_rate=1.0, shift_fault_rate=1.0, seed=2)
+        )
+        for _ in range(10):
+            injector.perturb_tr_level(3, 7)
+            injector.perturb_shift(1)
+        assert injector.tr_faults_injected == 10
+        assert injector.shift_faults_injected == 10
+
+    def test_tr_clamping_at_bounds(self):
+        injector = FaultInjector(FaultConfig(tr_fault_rate=1.0, seed=7))
+        for _ in range(50):
+            assert injector.perturb_tr_level(0, 7) == 1
+            assert injector.perturb_tr_level(7, 7) == 6
+            got = injector.perturb_tr_level(0, 3)
+            assert got == 1
+            assert injector.perturb_tr_level(3, 3) == 2
+
+    def test_shift_fault_under_over_split(self):
+        injector = FaultInjector(FaultConfig(shift_fault_rate=1.0, seed=11))
+        forward = {injector.perturb_shift(1) for _ in range(200)}
+        backward = {injector.perturb_shift(-1) for _ in range(200)}
+        assert forward == {0, 2}  # under- and over-shift both occur
+        assert backward == {0, -2}
+
+    def test_faulty_over_shift_ejects_data_domain(self):
+        # Seed 0's first shift fault is an over-shift (x2); with one
+        # overhead domain on the right the second step ejects data.
+        wire = Nanowire(
+            4,
+            [AccessPort(0)],
+            overhead=(4, 1),
+            injector=FaultInjector(
+                FaultConfig(shift_fault_rate=1.0, seed=0)
+            ),
+        )
+        wire.load([1, 1, 1, 1])
+        with pytest.raises(DataLossError):
+            wire.shift(1)
+
+
+class TestMisalignmentTracking:
+    def test_fault_free_wire_stays_aligned(self):
+        wire = Nanowire(8, [AccessPort(2), AccessPort(5)])
+        wire.shift(1, 2)
+        wire.shift(-1, 1)
+        assert wire.offset == wire.commanded_offset == 1
+        assert wire.misalignment == 0
+
+    def test_shift_fault_diverges_commanded_from_physical(self):
+        injector = FaultInjector(FaultConfig(shift_fault_rate=1.0, seed=3))
+        wire = Nanowire(8, [AccessPort(2), AccessPort(5)], injector=injector)
+        wire.shift(1)
+        assert wire.commanded_offset == 1
+        assert wire.offset in (0, 2)
+        assert wire.misalignment != 0
+
+    def test_realign_restores_position_and_data(self):
+        injector = FaultInjector(FaultConfig(shift_fault_rate=1.0, seed=3))
+        wire = Nanowire(8, [AccessPort(2), AccessPort(5)], injector=injector)
+        pattern = [1, 0, 1, 1, 0, 0, 1, 0]
+        wire.load(pattern)
+        wire.shift(1)
+        corrected = wire.realign()
+        assert corrected == 1
+        assert wire.misalignment == 0
+        assert wire.dump() == pattern
+        assert wire.stats.count("realign") == 1
+
+    def test_checkpoint_restore_roundtrip(self):
+        wire = Nanowire(8, [AccessPort(2), AccessPort(5)])
+        wire.load([1, 0, 1, 0, 1, 0, 1, 0])
+        saved = wire.checkpoint()
+        wire.shift(1, 2)
+        wire.poke_row(0, 0)
+        wire.restore(saved)
+        assert wire.dump() == [1, 0, 1, 0, 1, 0, 1, 0]
+        assert wire.offset == 0
+
+    def test_restore_rejects_foreign_checkpoint(self):
+        a = Nanowire(8, [AccessPort(2), AccessPort(5)])
+        b = Nanowire(16, [AccessPort(2), AccessPort(5)])
+        with pytest.raises(ValueError):
+            b.restore(a.checkpoint())
+
+
+class TestDbcPositionCheck:
+    def test_aligned_cluster_reports_clean(self):
+        dbc = make_dbc()
+        dbc.shift(1, 3)
+        assert dbc.position_error_check() == []
+        assert dbc.commanded_offset == 3
+        assert dbc.stats.count("position_check") == 1
+
+    def test_misaligned_tracks_found_and_repaired(self):
+        injector = FaultInjector(FaultConfig(shift_fault_rate=1.0, seed=5))
+        dbc = make_dbc(injector=injector)
+        rows = {r: [r % 2] * dbc.tracks for r in (0, 5, 11)}
+        for r, bits in rows.items():
+            dbc.poke_row(r, bits)
+        dbc.shift(1, 2)
+        misaligned = dbc.position_error_check()
+        assert misaligned  # total fault rate must knock tracks out
+        worst = dbc.realign()
+        assert worst >= 1
+        assert dbc.position_error_check() == []
+        # realign happens relative to the *commanded* offset, so the
+        # believed rows read correctly again afterwards.
+        assert dbc.commanded_offset == 2
+        assert dbc.stats.count("realign") == 1
+
+    def test_snapshot_restore_roundtrip(self):
+        dbc = make_dbc()
+        dbc.poke_row(4, [1] * dbc.tracks)
+        saved = dbc.snapshot()
+        dbc.shift(1, 2)
+        dbc.poke_row(4, [0] * dbc.tracks)
+        dbc.restore(saved)
+        assert dbc.peek_row(4) == [1] * dbc.tracks
+        assert dbc.commanded_offset == 0
+
+
+class TestSenseVoting:
+    def test_voting_disabled_by_default_costs_one_tr(self):
+        dbc = make_dbc()
+        dbc.transverse_read_all()
+        assert dbc.tr_vote_reads == 1
+        assert dbc.vote_stats.votes == 0
+        assert dbc.stats.cycles == dbc.params.transverse_read.cycles
+
+    def test_voting_triples_tr_cost(self):
+        dbc = make_dbc()
+        enable_tr_voting(dbc, 3)
+        dbc.transverse_read_all()
+        assert dbc.stats.cycles == 3 * dbc.params.transverse_read.cycles
+        assert (
+            dbc.vote_stats.overhead_cycles
+            == 2 * dbc.params.transverse_read.cycles
+        )
+
+    def test_vote_out_votes_most_injected_tr_faults(self):
+        # Two same-direction faults in one 3-vote can still win the
+        # majority, so voting is compared against the bare sense path
+        # under the identical fault stream rather than asserted perfect.
+        def wrong_reads(vote):
+            injector = FaultInjector(
+                FaultConfig(tr_fault_rate=0.05, seed=0)
+            )
+            dbc = make_dbc(tracks=32, injector=injector)
+            dbc.poke_window_slot(2, [1] * dbc.tracks)
+            if vote:
+                enable_tr_voting(dbc, 3)
+            wrong = 0
+            for _ in range(20):
+                wrong += sum(
+                    1 for v in dbc.transverse_read_all() if v != 1
+                )
+            return wrong, dbc.vote_stats
+
+        voted_wrong, stats = wrong_reads(True)
+        bare_wrong, _ = wrong_reads(False)
+        assert voted_wrong < bare_wrong
+        assert stats.corrected > 0
+        assert stats.disagreements >= stats.corrected
+
+    def test_enable_tr_voting_rejects_even_counts(self):
+        with pytest.raises(ValueError):
+            enable_tr_voting(make_dbc(), 2)
+
+    def test_detector_reports_attempt_deltas(self):
+        injector = FaultInjector(FaultConfig(tr_fault_rate=0.3, seed=4))
+        dbc = make_dbc(tracks=16, injector=injector)
+        detector = FaultDetector(RetryPolicy())
+        detector.arm(dbc)
+        dbc.transverse_read_all()
+        report = detector.scan(dbc)
+        assert report.disagreements > 0
+        assert report.clean  # all disagreements resolved by majority
+        assert report.check_cycles > 0
+        detector.mark(dbc)
+        assert detector.scan(dbc).disagreements == 0
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts >= 1
+        assert policy.tr_vote_reads % 2 == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(tr_vote_reads=4)
+        with pytest.raises(ValueError):
+            RetryPolicy(escalation_nmr=2)
+        with pytest.raises(ValueError):
+            RetryPolicy(degrade_after=5, fail_after=2)
+
+
+class TestHealthRegistry:
+    def test_unknown_dbc_is_healthy(self):
+        registry = DBCHealthRegistry()
+        assert registry.status((0, 0, 0, 0)) is DBCHealth.HEALTHY
+        assert registry.is_usable((0, 0, 0, 0))
+
+    def test_uncorrectables_degrade_then_fail(self):
+        registry = DBCHealthRegistry(degrade_after=2, fail_after=3)
+        key = (1, 2, 0, 0)
+        assert registry.record_uncorrectable(key) is DBCHealth.HEALTHY
+        assert registry.record_uncorrectable(key) is DBCHealth.DEGRADED
+        assert registry.is_usable(key)
+        assert registry.record_uncorrectable(key) is DBCHealth.FAILED
+        assert not registry.is_usable(key)
+        assert registry.failed == [key]
+
+    def test_transients_never_degrade(self):
+        registry = DBCHealthRegistry(degrade_after=1, fail_after=1)
+        key = (0, 0, 0, 0)
+        for _ in range(100):
+            registry.record_transient(key)
+        assert registry.status(key) is DBCHealth.HEALTHY
+        assert registry.report()[key].transients == 100
+
+    def test_mark_and_reset(self):
+        registry = DBCHealthRegistry()
+        key = (3, 1, 0, 0)
+        registry.mark_failed(key)
+        assert registry.status(key) is DBCHealth.FAILED
+        registry.reset(key)
+        assert registry.status(key) is DBCHealth.HEALTHY
+
+
+class TestPlacementRemap:
+    def test_same_bank_subarrays_come_first(self):
+        geometry = MemoryGeometry()
+        candidates = list(pim_remap_candidates(0, 0, geometry))
+        same_bank = geometry.subarrays_per_bank - 1
+        assert all(b == 0 for b, _ in candidates[:same_bank])
+        assert candidates[0] == (0, 1)
+        assert candidates[same_bank][0] != 0
+
+    def test_usable_home_is_kept(self):
+        geometry = MemoryGeometry()
+        assert remap_pim_dbc(2, 3, geometry, lambda key: True) == (2, 3)
+
+    def test_failed_home_is_remapped(self):
+        geometry = MemoryGeometry()
+        registry = DBCHealthRegistry()
+        registry.mark_failed((0, 0, 0, 0))
+        registry.mark_failed((0, 1, 0, 0))
+        assert remap_pim_dbc(
+            0, 0, geometry, registry.is_usable
+        ) == (0, 2)
+
+    def test_all_failed_raises(self):
+        geometry = MemoryGeometry(banks=1, subarrays_per_bank=2)
+        with pytest.raises(LookupError):
+            remap_pim_dbc(0, 0, geometry, lambda key: False)
+
+
+class TestResilientExecutor:
+    def stage(self, system, words=(3, 4)):
+        dbc = system.pim_dbc()
+        adder = MultiOperandAdder(dbc)
+        adder.stage_words(list(words), 8, zero_extend_to=16)
+        return dbc
+
+    def test_clean_op_passes_through(self):
+        system = make_system(policy=RetryPolicy())
+        self.stage(system, (3, 4))
+        result = system.execute(add_instruction())
+        assert result.values[0] == 7
+        stats = system.executor.stats
+        assert stats.operations == 1
+        assert stats.attempts == 1
+        assert stats.retries == 0
+        # voting ran (3x TR) even though nothing faulted
+        assert stats.overhead_cycles > 0
+
+    def test_retry_recovers_unresolved_vote(self):
+        # At rate 0.6 / seed 3 the first attempt leaves an unresolved
+        # 3-way vote; the rollback-and-retry commits a clean attempt.
+        system = make_system(
+            rate=0.6, seed=3,
+            policy=RetryPolicy(max_attempts=2, escalation_nmr=3),
+        )
+        self.stage(system)
+        system.execute(add_instruction())
+        stats = system.executor.stats
+        assert stats.retries == 1
+        assert stats.faults_detected > 0
+        assert stats.overhead_cycles > 0
+        assert system.health.report()[(0, 0, 0, 0)].transients >= 1
+
+    def test_escalation_corrects_persistent_disagreement(self):
+        system = make_system(
+            rate=0.8, seed=2,
+            policy=RetryPolicy(max_attempts=2, escalation_nmr=3),
+        )
+        self.stage(system)
+        system.execute(add_instruction())
+        stats = system.executor.stats
+        assert stats.escalations == 1
+        assert stats.escalation_corrected == 1
+        assert stats.uncorrectable == 0
+
+    def test_uncorrectable_raises_and_charges_health(self):
+        policy = RetryPolicy(
+            max_attempts=2, escalation_nmr=3,
+            degrade_after=1, fail_after=2,
+        )
+        system = make_system(rate=0.6, seed=1, policy=policy)
+        self.stage(system)
+        with pytest.raises(UncorrectableFaultError):
+            system.execute(add_instruction())
+        assert system.executor.stats.uncorrectable == 1
+        assert system.health.status((0, 0, 0, 0)) is DBCHealth.DEGRADED
+
+    def test_repeated_uncorrectables_fail_and_remap(self):
+        policy = RetryPolicy(
+            max_attempts=1, escalation_nmr=3,
+            degrade_after=1, fail_after=2,
+        )
+        system = make_system(rate=0.6, seed=1, policy=policy)
+        failures = 0
+        for _ in range(20):
+            self.stage(system)
+            try:
+                system.execute(add_instruction())
+            except UncorrectableFaultError:
+                failures += 1
+            if not system.health.is_usable((0, 0, 0, 0)):
+                break
+        assert failures >= 2
+        assert not system.health.is_usable((0, 0, 0, 0))
+        # Work aimed at the dead cluster now lands next door.
+        assert system.pim_home(0, 0) == (0, 1)
+
+    def test_executor_remaps_failed_dbc(self):
+        system = make_system(policy=RetryPolicy())
+        system.health.mark_failed((0, 0, 0, 0))
+        self.stage(system, (3, 4))  # pim_dbc() already follows the remap
+        result = system.execute(add_instruction())
+        assert result.values[0] == 7
+        assert system.executor.stats.remaps == 1
+
+
+class TestSystemDegradation:
+    def test_forced_failed_dbc_completes_via_remap(self):
+        # Acceptance: a failed DBC must not crash the workload.
+        system = CoruscantSystem(
+            trd=7,
+            geometry=MemoryGeometry(tracks_per_dbc=64),
+            resilience=True,
+        )
+        system.health.mark_failed((0, 0, 0, 0))
+        result = system.add([13, 200, 7, 99, 55], n_bits=8)
+        assert result.value == 374
+        assert system.pim_home(0, 0) == (0, 1)
+
+    def test_remap_works_without_resilience_policy(self):
+        system = CoruscantSystem(
+            trd=7, geometry=MemoryGeometry(tracks_per_dbc=64)
+        )
+        system.health.mark_failed((0, 0, 0, 0))
+        assert system.add([1, 2], n_bits=8).value == 3
+
+    def test_resilient_system_reduces_injected_fault_errors(self):
+        def wrong_adds(resilience):
+            system = CoruscantSystem(
+                trd=7,
+                geometry=MemoryGeometry(tracks_per_dbc=32),
+                fault_config=FaultConfig(tr_fault_rate=0.05, seed=0),
+                resilience=resilience,
+            )
+            wrong = sum(
+                1
+                for _ in range(20)
+                if system.add([10, 20, 30], n_bits=8).value != 60
+            )
+            return wrong, system
+
+        resilient_wrong, system = wrong_adds(True)
+        bare_wrong, _ = wrong_adds(False)
+        assert bare_wrong > 0
+        assert resilient_wrong < bare_wrong
+        assert system.pim_dbc().vote_stats.corrected > 0
