@@ -59,6 +59,12 @@ class Bank:
     def materialized_subarrays(self) -> int:
         return sum(1 for s in self._subarrays if s is not None)
 
+    def iter_materialized(self):
+        """Yield ``(index, subarray)`` for every subarray built so far."""
+        for index, subarray in enumerate(self._subarrays):
+            if subarray is not None:
+                yield index, subarray
+
     def total_cycles(self) -> int:
         return sum(s.total_cycles() for s in self._subarrays if s is not None)
 

@@ -8,8 +8,9 @@ command sequences the core units execute on the target DBC.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.arch.commands import Command, CommandKind
 from repro.arch.memory import MainMemory
@@ -54,6 +55,50 @@ class MemoryController:
         self.memory = memory or MainMemory()
         self.stats = ControllerStats()
         self._open_rows: Dict[tuple, int] = {}
+        self._op_hooks: List[Callable[[int], None]] = []
+        self._hooks_suspended = False
+        self._pending_ops = 0
+
+    # ------------------------------------------------------------------
+    # operation hooks (background maintenance: scrubbing, telemetry)
+
+    def add_op_hook(self, hook: Callable[[int], None]) -> None:
+        """Register ``hook(ops)`` to run after memory operations complete.
+
+        Hooks receive the number of operations since the last delivery
+        (1 outside transactions, batched inside :meth:`deferred_hooks`).
+        The scrub engine uses this as its notion of time.
+        """
+        self._op_hooks.append(hook)
+
+    @contextmanager
+    def deferred_hooks(self):
+        """Batch hook delivery until the enclosing transaction commits.
+
+        The resilient executor wraps its snapshot/retry/escalate ladder
+        in this so background maintenance (which may realign tracks)
+        never runs between an attempt and its detection scan.
+        """
+        if self._hooks_suspended:
+            yield  # already inside a transaction: the outer one flushes
+            return
+        self._hooks_suspended = True
+        try:
+            yield
+        finally:
+            self._hooks_suspended = False
+            self._flush_op_hooks()
+
+    def _notify_op(self, count: int = 1) -> None:
+        self._pending_ops += count
+        if not self._hooks_suspended:
+            self._flush_op_hooks()
+
+    def _flush_op_hooks(self) -> None:
+        pending, self._pending_ops = self._pending_ops, 0
+        if pending and self._op_hooks:
+            for hook in self._op_hooks:
+                hook(pending)
 
     # ------------------------------------------------------------------
     # regular accesses
@@ -66,6 +111,7 @@ class MemoryController:
         self._account_access(address, shifts, is_write=False)
         self.stats.reads += 1
         self.stats.log(self._command(CommandKind.READ, address))
+        self._notify_op()
         return bits
 
     def write(self, address: Address, bits: Sequence[int]) -> None:
@@ -76,6 +122,7 @@ class MemoryController:
         self._account_access(address, shifts, is_write=True)
         self.stats.writes += 1
         self.stats.log(self._command(CommandKind.WRITE, address))
+        self._notify_op()
 
     # ------------------------------------------------------------------
     # cpim dispatch
@@ -87,6 +134,11 @@ class MemoryController:
         ADD returns an :class:`~repro.core.addition.AdditionResult` computed
         per ``blocksize`` segment; other ops return their unit's result type.
         """
+        result = self._dispatch(instruction)
+        self._notify_op()
+        return result
+
+    def _dispatch(self, instruction: CpimInstruction):
         dbc = self._dbc(instruction.src)
         if not dbc.pim_enabled:
             raise ValueError(

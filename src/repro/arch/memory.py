@@ -72,6 +72,21 @@ class MainMemory:
     def materialized_banks(self) -> int:
         return sum(1 for b in self._banks if b is not None)
 
+    def iter_materialized_dbcs(self):
+        """Yield ``((bank, subarray, tile, dbc), cluster)`` pairs.
+
+        Covers every cluster that has been materialised so far — the
+        working set a background scrub engine must walk; untouched
+        (never-allocated) clusters cannot hold faults.
+        """
+        for b, bank in enumerate(self._banks):
+            if bank is None:
+                continue
+            for s, subarray in bank.iter_materialized():
+                for t, tile in subarray.iter_materialized():
+                    for d, cluster in tile.iter_materialized():
+                        yield (b, s, t, d), cluster
+
     def total_cycles(self) -> int:
         return sum(b.total_cycles() for b in self._banks if b is not None)
 

@@ -71,6 +71,12 @@ class Subarray:
     def materialized_tiles(self) -> int:
         return sum(1 for t in self._tiles if t is not None)
 
+    def iter_materialized(self):
+        """Yield ``(index, tile)`` for every tile constructed so far."""
+        for index, tile in enumerate(self._tiles):
+            if tile is not None:
+                yield index, tile
+
     def total_cycles(self) -> int:
         return sum(t.total_cycles() for t in self._tiles if t is not None)
 

@@ -78,6 +78,12 @@ class Tile:
         """How many DBCs have been constructed so far."""
         return sum(1 for d in self._dbcs if d is not None)
 
+    def iter_materialized(self):
+        """Yield ``(index, dbc)`` for every DBC constructed so far."""
+        for index, cluster in enumerate(self._dbcs):
+            if cluster is not None:
+                yield index, cluster
+
     def total_cycles(self) -> int:
         """Cycles accumulated across materialised DBCs."""
         return sum(d.stats.cycles for d in self._dbcs if d is not None)

@@ -131,7 +131,7 @@ def _run_add(values: List[int], trd: int) -> None:
           f"[{result.cycles} cycles, TRD={trd}]")
 
 
-def _run_campaign(args) -> None:
+def _run_campaign(args) -> int:
     from repro.reliability.campaign import (
         CampaignConfig,
         run_add_campaign,
@@ -145,13 +145,37 @@ def _run_campaign(args) -> None:
         trd=args.trd,
         seed=args.seed,
         recovery=args.resilience,
+        scrub_interval=args.scrub_interval,
+        adaptive=args.adaptive,
+        storm_ops=args.storm_ops,
+        calm_tr_fault_rate=args.calm_fault_rate,
+        calm_shift_fault_rate=args.calm_shift_fault_rate,
+        storage_rows=args.storage_rows,
     )
-    if args.resilience:
+    if args.checkpoint:
+        # Journaled (and resumable) runs are single-leg: a bare baseline
+        # sharing the journal would corrupt the resume stream.
+        name = "recovery_on" if config.recovery else "recovery_off"
+        runs = {
+            name: run_add_campaign(
+                config,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                stop_after=args.stop_after,
+            )
+        }
+    elif args.resilience:
         runs = run_recovery_comparison(config)
     else:
         runs = {"recovery_off": run_add_campaign(config)}
+    exit_code = 0
     for name, result in runs.items():
         _print_kv(f"Fault campaign ({name})", result.summary())
+        if result.recovery and result.uncorrectable > 0:
+            exit_code = 1
+    if exit_code:
+        print("\ncampaign ended with uncorrectable faults")
+    return exit_code
 
 
 def _run_mult(a: int, b: int, trd: int) -> None:
@@ -208,17 +232,71 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=0, help="campaign RNG seed",
     )
+    parser.add_argument(
+        "--scrub-interval", type=int, default=None, metavar="OPS",
+        help="proactively scrub every N memory operations (campaigns)",
+    )
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="adaptive BARE->VOTED->NMR protection ladder per DBC "
+             "(campaigns; requires resilience)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="journal campaign state to PATH; resumes from it if present",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=100, metavar="OPS",
+        help="ops between journal writes (default 100)",
+    )
+    parser.add_argument(
+        "--stop-after", type=int, default=None, metavar="OPS",
+        help="run at most N ops this invocation (resume later from the "
+             "journal)",
+    )
+    parser.add_argument(
+        "--storm-ops", type=int, default=None, metavar="OPS",
+        help="after N ops drop the injected rates to the calm rates",
+    )
+    parser.add_argument(
+        "--calm-fault-rate", type=float, default=0.0,
+        help="per-TR fault probability after the storm (default 0)",
+    )
+    parser.add_argument(
+        "--calm-shift-fault-rate", type=float, default=0.0,
+        help="per-shift fault probability after the storm (default 0)",
+    )
+    parser.add_argument(
+        "--storage-rows", type=int, default=0, metavar="N",
+        help="also drive validated regular reads/writes over N storage "
+             "rows (exercises the scrubber)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "campaign":
         if args.ops < 1:
             parser.error("--ops must be >= 1")
-        for name in ("fault_rate", "shift_fault_rate"):
+        for name in (
+            "fault_rate",
+            "shift_fault_rate",
+            "calm_fault_rate",
+            "calm_shift_fault_rate",
+        ):
             if not 0.0 <= getattr(args, name) <= 1.0:
                 flag = "--" + name.replace("_", "-")
                 parser.error(f"{flag} must be a probability in [0, 1]")
-        _run_campaign(args)
-        return 0
+        if args.adaptive and not args.resilience:
+            parser.error("--adaptive requires the resilient layer "
+                         "(drop --no-resilience)")
+        if args.scrub_interval is not None and args.scrub_interval < 1:
+            parser.error("--scrub-interval must be >= 1")
+        if args.checkpoint_every < 1:
+            parser.error("--checkpoint-every must be >= 1")
+        if args.stop_after is not None and args.stop_after < 0:
+            parser.error("--stop-after must be >= 0")
+        if args.storage_rows < 0:
+            parser.error("--storage-rows must be >= 0")
+        return _run_campaign(args)
     if args.command == "all":
         for run in _EXPERIMENTS.values():
             run()

@@ -16,8 +16,8 @@ Two fault classes matter for CORUSCANT (Sections II-A and V-F):
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional
 
 
 @dataclass(frozen=True)
@@ -39,6 +39,21 @@ class FaultConfig:
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {rate}")
+
+    @classmethod
+    def intrinsic(cls, seed: int = 0) -> "FaultConfig":
+        """The paper's intrinsic TR misread rate, no shift faults.
+
+        The rate itself lives in :mod:`repro.reliability.tr_faults`
+        (where Section V-F derives it); this constructor is the single
+        way to ask for "the device as the paper models it" without
+        restating the number.
+        """
+        # Imported lazily: reliability sits above device in the layering
+        # and tr_faults has no repro imports, so there is no cycle.
+        from repro.reliability.tr_faults import TR_FAULT_RATE
+
+        return cls(tr_fault_rate=TR_FAULT_RATE, seed=seed)
 
 
 class FaultInjector:
@@ -81,3 +96,41 @@ class FaultInjector:
         if self._rng.random() < 0.5:
             return 0
         return amount * 2
+
+    # ------------------------------------------------------------------
+    # rate switching & checkpoint support
+
+    def set_rates(
+        self,
+        tr_fault_rate: Optional[float] = None,
+        shift_fault_rate: Optional[float] = None,
+    ) -> FaultConfig:
+        """Swap fault rates mid-run without disturbing the RNG stream.
+
+        Used for storm/calm fault profiles: the draw sequence continues
+        from where it is, only the thresholds change, so a run with a
+        rate switch is still a pure function of the seed.
+        """
+        updates: Dict[str, float] = {}
+        if tr_fault_rate is not None:
+            updates["tr_fault_rate"] = tr_fault_rate
+        if shift_fault_rate is not None:
+            updates["shift_fault_rate"] = shift_fault_rate
+        if updates:
+            self.config = replace(self.config, **updates)
+        return self.config
+
+    def state(self) -> Dict[str, Any]:
+        """Serializable injector state (RNG position + fault counters)."""
+        version, internal, gauss_next = self._rng.getstate()
+        return {
+            "rng": [version, list(internal), gauss_next],
+            "tr_faults_injected": self.tr_faults_injected,
+            "shift_faults_injected": self.shift_faults_injected,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        version, internal, gauss_next = state["rng"]
+        self._rng.setstate((version, tuple(internal), gauss_next))
+        self.tr_faults_injected = int(state["tr_faults_injected"])
+        self.shift_faults_injected = int(state["shift_faults_injected"])

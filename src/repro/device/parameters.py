@@ -16,6 +16,18 @@ from dataclasses import dataclass, field
 from repro.utils.validation import check_positive
 
 
+def _intrinsic_tr_fault_rate() -> float:
+    """The paper's intrinsic TR misread probability.
+
+    The number itself lives in :mod:`repro.reliability.tr_faults`
+    (single source of truth for Section V-F); imported lazily so the
+    device layer carries no import-time dependency on reliability.
+    """
+    from repro.reliability.tr_faults import TR_FAULT_RATE
+
+    return TR_FAULT_RATE
+
+
 @dataclass(frozen=True)
 class TimingEnergy:
     """Latency (cycles) and energy (pJ) of one device-level operation."""
@@ -56,7 +68,7 @@ class DeviceParameters:
     transverse_write: TimingEnergy = field(
         default_factory=lambda: TimingEnergy(1, 0.83)
     )
-    tr_fault_rate: float = 1.0e-6
+    tr_fault_rate: float = field(default_factory=_intrinsic_tr_fault_rate)
 
     def __post_init__(self) -> None:
         if self.trd < 2:

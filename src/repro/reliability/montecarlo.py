@@ -9,6 +9,7 @@ its LLG-derived fault model.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -18,6 +19,7 @@ from repro.core.multiplication import Multiplier
 from repro.core.nmr import ModularRedundancy
 from repro.device.faults import FaultConfig, FaultInjector
 from repro.device.parameters import DeviceParameters
+from repro.resilience import checkpoint as ckpt
 from repro.utils.bitops import bits_from_int, bits_to_int
 
 
@@ -26,14 +28,16 @@ class MonteCarloResult:
     """Outcome of one fault-injection campaign.
 
     Attributes:
-        trials: operations executed.
+        trials: operations executed (the target count when resumable).
         errors: operations that produced a wrong result.
         injected_rate: the per-TR fault rate used.
+        completed: False when the run stopped early (``stop_after``).
     """
 
     trials: int
     errors: int
     injected_rate: float
+    completed: bool = True
 
     @property
     def error_rate(self) -> float:
@@ -78,35 +82,126 @@ class FaultCampaign:
             injector=self._injector,
         )
 
-    def run_additions(self, trials: int, n_bits: int = 8) -> MonteCarloResult:
+    # ------------------------------------------------------------------
+    # checkpointable trial loop
+
+    def _run_trials(
+        self,
+        kind: str,
+        trials: int,
+        trial: Callable[[int], bool],
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 0,
+        stop_after: Optional[int] = None,
+    ) -> MonteCarloResult:
+        """Run ``trial(t) -> was_wrong`` for each t, with optional journal.
+
+        Trials are a pure function of the trial index and the shared
+        injector's RNG stream, so the journal only needs the trial
+        index, the error count, and the injector state to resume a run
+        bit-identically.
+        """
+        fingerprint = {
+            "kind": kind,
+            "trd": self.trd,
+            "fault_rate": self.fault_rate,
+            "seed": self.seed,
+            "tracks": self.tracks,
+            "trials": trials,
+        }
+        start, errors = 0, 0
+        if checkpoint_path and os.path.exists(checkpoint_path):
+            document = ckpt.load_checkpoint(checkpoint_path)
+            ckpt.verify_fingerprint(document, fingerprint, checkpoint_path)
+            start = int(document["trial"])
+            errors = int(document["errors"])
+            self._injector.restore_state(document["injector"])
+
+        def save(done: int) -> None:
+            ckpt.save_checkpoint(
+                checkpoint_path,
+                {
+                    "fingerprint": fingerprint,
+                    "trial": done,
+                    "errors": errors,
+                    "injector": self._injector.state(),
+                },
+            )
+
+        completed = True
+        done = start
+        for t in range(start, trials):
+            if stop_after is not None and t - start >= stop_after:
+                completed = False
+                break
+            if trial(t):
+                errors += 1
+            done = t + 1
+            if (
+                checkpoint_path
+                and checkpoint_every
+                and done % checkpoint_every == 0
+            ):
+                save(done)
+        if checkpoint_path:
+            save(done)
+        return MonteCarloResult(trials, errors, self.fault_rate, completed)
+
+    # ------------------------------------------------------------------
+
+    def run_additions(
+        self,
+        trials: int,
+        n_bits: int = 8,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 0,
+        stop_after: Optional[int] = None,
+    ) -> MonteCarloResult:
         """8-bit multi-operand additions with data-dependent operands."""
-        errors = 0
         k = 2 if self.trd == 3 else 5
-        for t in range(trials):
+
+        def trial(t: int) -> bool:
             words = [((t + 1) * 31 + i * 57) % (1 << n_bits) for i in range(k)]
             adder = MultiOperandAdder(self._dbc())
             got = adder.add_words(words, n_bits, result_bits=n_bits).value
-            if got != sum(words) % (1 << n_bits):
-                errors += 1
-        return MonteCarloResult(trials, errors, self.fault_rate)
+            return got != sum(words) % (1 << n_bits)
 
-    def run_multiplies(self, trials: int, n_bits: int = 8) -> MonteCarloResult:
+        return self._run_trials(
+            "additions", trials, trial,
+            checkpoint_path, checkpoint_every, stop_after,
+        )
+
+    def run_multiplies(
+        self,
+        trials: int,
+        n_bits: int = 8,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 0,
+        stop_after: Optional[int] = None,
+    ) -> MonteCarloResult:
         """8-bit optimized multiplications."""
-        errors = 0
         mask = (1 << (2 * n_bits)) - 1
-        for t in range(trials):
+
+        def trial(t: int) -> bool:
             a = ((t + 3) * 37) % (1 << n_bits)
             b = ((t + 7) * 53) % (1 << n_bits)
             mult = Multiplier(self._dbc())
-            if mult.multiply(a, b, n_bits).value != (a * b) & mask:
-                errors += 1
-        return MonteCarloResult(trials, errors, self.fault_rate)
+            return mult.multiply(a, b, n_bits).value != (a * b) & mask
+
+        return self._run_trials(
+            "multiplies", trials, trial,
+            checkpoint_path, checkpoint_every, stop_after,
+        )
 
     def run_tmr_additions(
-        self, trials: int, n_bits: int = 8
+        self,
+        trials: int,
+        n_bits: int = 8,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 0,
+        stop_after: Optional[int] = None,
     ) -> MonteCarloResult:
         """TMR-protected additions: replicate, vote, compare."""
-        errors = 0
         k = 2 if self.trd == 3 else 5
         voter = ModularRedundancy(
             DomainBlockCluster(
@@ -115,7 +210,8 @@ class FaultCampaign:
                 params=DeviceParameters(trd=self.trd),
             )
         )
-        for t in range(trials):
+
+        def trial(t: int) -> bool:
             words = [((t + 1) * 29 + i * 43) % (1 << n_bits) for i in range(k)]
             want = sum(words) % (1 << n_bits)
             replicas = []
@@ -129,6 +225,9 @@ class FaultCampaign:
                     + [0] * (self.tracks - n_bits)
                 )
             voted = bits_to_int(voter.vote(replicas).bits[:n_bits])
-            if voted != want:
-                errors += 1
-        return MonteCarloResult(trials, errors, self.fault_rate)
+            return voted != want
+
+        return self._run_trials(
+            "tmr_additions", trials, trial,
+            checkpoint_path, checkpoint_every, stop_after,
+        )

@@ -9,11 +9,33 @@ missing system layer:
 * recovery — the transactional detect/retry/NMR-escalate ladder of
   :class:`~repro.resilience.executor.ResilientExecutor` driven by a
   :class:`~repro.resilience.policy.RetryPolicy`;
+* proactive scrubbing — the background
+  :class:`~repro.resilience.scrub.ScrubEngine` walks every materialised
+  DBC on an operation interval, realigning shift-fault damage before a
+  read lands on it;
+* adaptive protection — the per-DBC
+  :class:`~repro.resilience.breaker.AdaptiveProtection` ladder
+  escalates BARE -> VOTED -> NMR under sustained fault pressure and
+  de-escalates through half-open probes when a cluster calms down;
+* crash safety — :mod:`repro.resilience.checkpoint` journals campaign
+  state atomically so interrupted runs resume bit-identically;
 * graceful degradation — the
   :class:`~repro.resilience.health.DBCHealthRegistry` retires clusters
   that keep failing and the placement layer remaps PIM work around them.
 """
 
+from repro.resilience.breaker import (
+    AdaptiveProtection,
+    BreakerConfig,
+    BreakerState,
+    ProtectionLevel,
+)
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    CheckpointMismatchError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.resilience.detector import (
     DetectionReport,
     FaultDetector,
@@ -29,6 +51,7 @@ from repro.resilience.errors import (
 from repro.resilience.executor import (
     RecoveryStats,
     ResilientExecutor,
+    result_row_bits,
     result_signature,
 )
 from repro.resilience.health import (
@@ -38,8 +61,14 @@ from repro.resilience.health import (
     dbc_key,
 )
 from repro.resilience.policy import DEFAULT_POLICY, DETECT_ONLY, RetryPolicy
+from repro.resilience.scrub import ScrubEngine, ScrubStats
 
 __all__ = [
+    "AdaptiveProtection",
+    "BreakerConfig",
+    "BreakerState",
+    "CheckpointError",
+    "CheckpointMismatchError",
     "DBCHealth",
     "DBCHealthRegistry",
     "DEFAULT_POLICY",
@@ -48,14 +77,20 @@ __all__ = [
     "DetectionReport",
     "FaultDetector",
     "HealthRecord",
+    "ProtectionLevel",
     "RecoveryStats",
     "ResilienceError",
     "ResilientExecutor",
     "RetryPolicy",
+    "ScrubEngine",
+    "ScrubStats",
     "TransientFaultError",
     "UncorrectableFaultError",
     "dbc_key",
     "disable_tr_voting",
     "enable_tr_voting",
+    "load_checkpoint",
+    "result_row_bits",
     "result_signature",
+    "save_checkpoint",
 ]

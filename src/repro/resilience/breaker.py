@@ -1,0 +1,267 @@
+"""Adaptive protection ladder: a circuit breaker whose open state is NMR.
+
+The paper's answer to persistent error pressure is N-modular-redundancy
+voting through the majority (C') circuit; its answer to the common case
+is the cheap bare pipeline. This module arbitrates between them at run
+time: a sliding-window error-rate tracker per DBC escalates protection
+
+    BARE  ->  VOTED (TR re-read voting)  ->  NMR (redundant execution)
+
+when the observed per-operation fault rate crosses a threshold, and
+de-escalates through a half-open probe after a cool-down of clean
+operations — classic circuit-breaker mechanics, except the "open" state
+buys correctness with redundancy instead of refusing service.
+
+The executor consults :meth:`AdaptiveProtection.level` before each
+operation (choosing vote reads and whether to run proactively redundant)
+and feeds the outcome back through :meth:`record`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.resilience.health import DBCKey
+
+
+class ProtectionLevel(enum.IntEnum):
+    """Rungs of the adaptive protection ladder, cheapest first."""
+
+    BARE = 0
+    VOTED = 1
+    NMR = 2
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Escalation/de-escalation thresholds of the protection ladder.
+
+    Attributes:
+        window: sliding window of per-op fault outcomes per DBC.
+        min_samples: outcomes required before the rate is trusted.
+        escalate_threshold: windowed fault rate that climbs one rung.
+        cooldown: consecutive clean ops at an elevated rung before a
+            half-open probe of the rung below is attempted.
+        probe_ops: clean probe ops required to commit a de-escalation;
+            one faulty probe op snaps back to the elevated rung.
+        initial: rung new DBCs start at.
+    """
+
+    window: int = 32
+    min_samples: int = 8
+    escalate_threshold: float = 0.5
+    cooldown: int = 16
+    probe_ops: int = 4
+    initial: ProtectionLevel = ProtectionLevel.VOTED
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if not 1 <= self.min_samples <= self.window:
+            raise ValueError(
+                "need 1 <= min_samples <= window, got "
+                f"{self.min_samples} / {self.window}"
+            )
+        if not 0.0 < self.escalate_threshold <= 1.0:
+            raise ValueError(
+                "escalate_threshold must be in (0, 1], got "
+                f"{self.escalate_threshold}"
+            )
+        if self.cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {self.cooldown}")
+        if self.probe_ops < 1:
+            raise ValueError(f"probe_ops must be >= 1, got {self.probe_ops}")
+
+
+@dataclass
+class BreakerState:
+    """Per-DBC ladder position and sliding-window history."""
+
+    level: ProtectionLevel
+    window: Deque[int]
+    clean_streak: int = 0
+    probing: bool = False
+    probe_remaining: int = 0
+    escalations: int = 0
+    deescalations: int = 0
+    probes: int = 0
+    probe_failures: int = 0
+
+    @property
+    def effective_level(self) -> ProtectionLevel:
+        """The rung ops actually run at (one below while probing)."""
+        if self.probing:
+            return ProtectionLevel(self.level - 1)
+        return self.level
+
+
+class AdaptiveProtection:
+    """Sliding-window escalation ladder over all DBCs.
+
+    The transition log (:attr:`transitions`) records every committed
+    level change as ``(op_index, key, from_level, to_level)`` so a
+    campaign report can show the escalation/de-escalation cycles.
+    """
+
+    def __init__(self, config: Optional[BreakerConfig] = None) -> None:
+        self.config = config or BreakerConfig()
+        self._states: Dict[DBCKey, BreakerState] = {}
+        self.transitions: List[Tuple[int, DBCKey, str, str]] = []
+        self._ops = 0
+
+    # ------------------------------------------------------------------
+
+    def state(self, key: DBCKey) -> BreakerState:
+        key = tuple(key)
+        existing = self._states.get(key)
+        if existing is None:
+            existing = BreakerState(
+                level=self.config.initial,
+                window=deque(maxlen=self.config.window),
+            )
+            self._states[key] = existing
+        return existing
+
+    def level(self, key: DBCKey) -> ProtectionLevel:
+        """The protection rung the next op on ``key`` must run at."""
+        return self.state(key).effective_level
+
+    def record(self, key: DBCKey, faulty: bool) -> Optional[ProtectionLevel]:
+        """Feed one op outcome back; returns the new level on a change.
+
+        ``faulty`` means the op saw any detected fault: a vote
+        disagreement, a misaligned track, a rolled-back attempt, or NMR
+        replica divergence.
+        """
+        self._ops += 1
+        state = self.state(key)
+        cfg = self.config
+        if state.probing:
+            return self._record_probe(key, state, faulty)
+        state.window.append(1 if faulty else 0)
+        state.clean_streak = 0 if faulty else state.clean_streak + 1
+        if (
+            state.level < ProtectionLevel.NMR
+            and len(state.window) >= cfg.min_samples
+            and sum(state.window) / len(state.window)
+            >= cfg.escalate_threshold
+        ):
+            return self._move(key, state, ProtectionLevel(state.level + 1))
+        if (
+            state.level > ProtectionLevel.BARE
+            and state.clean_streak >= cfg.cooldown
+        ):
+            # Half-open: trial the rung below for the next probe_ops.
+            state.probing = True
+            state.probe_remaining = cfg.probe_ops
+            state.probes += 1
+        return None
+
+    def _record_probe(
+        self, key: DBCKey, state: BreakerState, faulty: bool
+    ) -> Optional[ProtectionLevel]:
+        if faulty:
+            # The rung below can't hold the line yet: snap back.
+            state.probing = False
+            state.probe_remaining = 0
+            state.probe_failures += 1
+            state.clean_streak = 0
+            state.window.clear()
+            return None
+        state.probe_remaining -= 1
+        if state.probe_remaining <= 0:
+            state.probing = False
+            return self._move(key, state, ProtectionLevel(state.level - 1))
+        return None
+
+    def _move(
+        self, key: DBCKey, state: BreakerState, to: ProtectionLevel
+    ) -> ProtectionLevel:
+        if to > state.level:
+            state.escalations += 1
+        else:
+            state.deescalations += 1
+        self.transitions.append((self._ops, key, state.level.name, to.name))
+        state.level = to
+        state.window.clear()
+        state.clean_streak = 0
+        return to
+
+    # ------------------------------------------------------------------
+    # reporting / checkpoint support
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate counters plus the per-DBC final levels."""
+        return {
+            "escalations": sum(s.escalations for s in self._states.values()),
+            "deescalations": sum(
+                s.deescalations for s in self._states.values()
+            ),
+            "probes": sum(s.probes for s in self._states.values()),
+            "probe_failures": sum(
+                s.probe_failures for s in self._states.values()
+            ),
+            "levels": {
+                str(list(k)): s.level.name for k, s in self._states.items()
+            },
+            "transitions": [
+                [op, str(list(k)), src, dst]
+                for op, k, src, dst in self.transitions
+            ],
+        }
+
+    def serialize(self) -> Dict[str, object]:
+        return {
+            "ops": self._ops,
+            "states": [
+                {
+                    "key": list(key),
+                    "level": state.level.name,
+                    "window": list(state.window),
+                    "clean_streak": state.clean_streak,
+                    "probing": state.probing,
+                    "probe_remaining": state.probe_remaining,
+                    "escalations": state.escalations,
+                    "deescalations": state.deescalations,
+                    "probes": state.probes,
+                    "probe_failures": state.probe_failures,
+                }
+                for key, state in self._states.items()
+            ],
+            "transitions": [
+                [op, list(key), src, dst]
+                for op, key, src, dst in self.transitions
+            ],
+        }
+
+    def restore(self, data: Dict[str, object]) -> None:
+        self._ops = int(data["ops"])
+        self._states = {}
+        for entry in data["states"]:
+            state = BreakerState(
+                level=ProtectionLevel[entry["level"]],
+                window=deque(entry["window"], maxlen=self.config.window),
+                clean_streak=int(entry["clean_streak"]),
+                probing=bool(entry["probing"]),
+                probe_remaining=int(entry["probe_remaining"]),
+                escalations=int(entry["escalations"]),
+                deescalations=int(entry["deescalations"]),
+                probes=int(entry["probes"]),
+                probe_failures=int(entry["probe_failures"]),
+            )
+            self._states[tuple(entry["key"])] = state
+        self.transitions = [
+            (op, tuple(key), src, dst)
+            for op, key, src, dst in data["transitions"]
+        ]
+
+
+__all__ = [
+    "AdaptiveProtection",
+    "BreakerConfig",
+    "BreakerState",
+    "ProtectionLevel",
+]

@@ -1,0 +1,191 @@
+"""Crash-safe checkpoint/resume journaling for long fault campaigns.
+
+A million-op campaign that dies at op 900k must not restart from
+scratch — and a resumed run must be *bit-identical* to an uninterrupted
+one, or the checkpoint itself becomes a reproducibility hazard. This
+module provides the journal: an atomically-replaced JSON file holding
+everything a campaign's forward progress depends on — op index, the
+operand-stream and fault-injector RNG states, fault counters, the DBC
+track state (domain bits + physical/commanded offsets), cycle/energy
+stats, health records, and the adaptive-ladder state.
+
+Writes go to a temp file in the same directory followed by
+``os.replace``, so a crash mid-write leaves the previous checkpoint
+intact; a reader sees either the old journal or the new one, never a
+torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Tuple
+
+from repro.arch.dbc import DomainBlockCluster, SenseVoteStats
+from repro.device.stats import DeviceStats
+from repro.resilience.health import DBCHealth, DBCHealthRegistry
+
+FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """The checkpoint file is unreadable or structurally invalid."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """The checkpoint belongs to a different campaign configuration."""
+
+
+# ----------------------------------------------------------------------
+# RNG state
+
+def rng_state_to_json(state: Tuple) -> List:
+    """A ``random.Random.getstate()`` tuple as JSON-safe nested lists."""
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def rng_state_from_json(data: List) -> Tuple:
+    """The inverse of :func:`rng_state_to_json`."""
+    version, internal, gauss_next = data
+    return (version, tuple(internal), gauss_next)
+
+
+# ----------------------------------------------------------------------
+# simulator state
+
+def dbc_state(dbc: DomainBlockCluster) -> Dict[str, Any]:
+    """Full track state of one cluster (domains + offsets) as JSON."""
+    return {
+        "wires": [list(wire.checkpoint()) for wire in dbc.wires],
+        "commanded_offset": dbc.commanded_offset,
+        "stats": device_stats_state(dbc.stats),
+        "vote_stats": vote_stats_state(dbc.vote_stats),
+    }
+
+
+def restore_dbc_state(dbc: DomainBlockCluster, state: Dict[str, Any]) -> None:
+    wires = state["wires"]
+    if len(wires) != dbc.tracks:
+        raise CheckpointMismatchError(
+            f"checkpoint holds {len(wires)} tracks, cluster has {dbc.tracks}"
+        )
+    for wire, saved in zip(dbc.wires, wires):
+        domains, offset, commanded = saved
+        wire.restore((list(domains), offset, commanded))
+    dbc._commanded_offset = state["commanded_offset"]
+    restore_device_stats(dbc.stats, state["stats"])
+    dbc.vote_stats = SenseVoteStats(**state["vote_stats"])
+
+
+def device_stats_state(stats: DeviceStats) -> Dict[str, Any]:
+    return {
+        "op_counts": dict(stats.op_counts),
+        "cycles": stats.cycles,
+        "energy_pj": stats.energy_pj,
+    }
+
+
+def restore_device_stats(stats: DeviceStats, state: Dict[str, Any]) -> None:
+    stats.op_counts = dict(state["op_counts"])
+    stats.cycles = state["cycles"]
+    stats.energy_pj = state["energy_pj"]
+
+
+def vote_stats_state(stats: SenseVoteStats) -> Dict[str, int]:
+    return {
+        "votes": stats.votes,
+        "disagreements": stats.disagreements,
+        "corrected": stats.corrected,
+        "unresolved": stats.unresolved,
+        "overhead_cycles": stats.overhead_cycles,
+    }
+
+
+def health_state(registry: DBCHealthRegistry) -> List[Dict[str, Any]]:
+    return [
+        {
+            "key": list(key),
+            "transients": record.transients,
+            "uncorrectables": record.uncorrectables,
+            "status": record.status.value,
+        }
+        for key, record in registry.report().items()
+    ]
+
+
+def restore_health_state(
+    registry: DBCHealthRegistry, state: List[Dict[str, Any]]
+) -> None:
+    for entry in state:
+        record = registry.record(tuple(entry["key"]))
+        record.transients = entry["transients"]
+        record.uncorrectables = entry["uncorrectables"]
+        record.status = DBCHealth(entry["status"])
+
+
+# ----------------------------------------------------------------------
+# the journal file
+
+def save_checkpoint(path: str, payload: Dict[str, Any]) -> None:
+    """Atomically persist ``payload`` (plus a format header) to ``path``.
+
+    The write lands in a sibling temp file first and is renamed over the
+    target, so an interruption at any instant leaves either the previous
+    checkpoint or the new one — never a torn journal.
+    """
+    document = {"format": FORMAT_VERSION, **payload}
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp_path = path + ".tmp"
+    os.makedirs(directory, exist_ok=True)
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def load_checkpoint(path: str) -> Dict[str, Any]:
+    """Read a journal written by :func:`save_checkpoint`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if document.get("format") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format {document.get('format')!r}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    return document
+
+
+def verify_fingerprint(
+    document: Dict[str, Any], fingerprint: Dict[str, Any], path: str
+) -> None:
+    """Refuse to resume a checkpoint from a different campaign shape."""
+    saved = document.get("fingerprint")
+    if saved != fingerprint:
+        raise CheckpointMismatchError(
+            f"checkpoint {path} was written by a different campaign "
+            f"configuration (saved {saved!r}, current {fingerprint!r})"
+        )
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "dbc_state",
+    "device_stats_state",
+    "health_state",
+    "load_checkpoint",
+    "restore_dbc_state",
+    "restore_device_stats",
+    "restore_health_state",
+    "rng_state_to_json",
+    "rng_state_from_json",
+    "save_checkpoint",
+    "vote_stats_state",
+    "verify_fingerprint",
+]

@@ -63,9 +63,19 @@ class FaultDetector:
         self.policy = policy or DEFAULT_POLICY
         self._baseline: Optional[SenseVoteStats] = None
 
-    def arm(self, dbc: DomainBlockCluster) -> None:
-        """Enable the sense-path vote and mark the counter baseline."""
-        enable_tr_voting(dbc, self.policy.tr_vote_reads)
+    def arm(
+        self, dbc: DomainBlockCluster, reads: Optional[int] = None
+    ) -> None:
+        """Enable the sense-path vote and mark the counter baseline.
+
+        ``reads`` overrides the policy's vote width — the adaptive
+        ladder's BARE rung passes 1 to run the cheap unvoted sense path.
+        """
+        reads = self.policy.tr_vote_reads if reads is None else reads
+        if reads <= 1:
+            disable_tr_voting(dbc)
+        else:
+            enable_tr_voting(dbc, reads)
         self.mark(dbc)
 
     def mark(self, dbc: DomainBlockCluster) -> None:

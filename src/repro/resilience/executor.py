@@ -11,25 +11,39 @@ the full recovery ladder the paper assumes external schemes provide:
    loss) is rolled back to the pre-op snapshot and re-executed, up to
    ``RetryPolicy.max_attempts`` times, with every extra cycle accounted;
 4. **escalate** — persistent disagreement triggers N-modular-redundant
-   re-execution with a majority vote over the result signatures;
+   re-execution with a majority vote over the result signatures, realised
+   in-memory through the C' circuit when the result rows fit the window;
 5. **typed error** — if even the NMR replicas cannot agree the op raises
    :class:`UncorrectableFaultError` and the DBC's health record is
    charged, eventually degrading and retiring the cluster.
+
+With an :class:`~repro.resilience.breaker.AdaptiveProtection` ladder
+attached, the executor additionally *adapts*: per-DBC observed fault
+rates choose between the bare pipeline (no voting), the voted sense
+path, and proactively NMR-redundant execution, with every op's outcome
+fed back to the ladder.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, replace
-from typing import Any, Optional, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.arch.controller import MemoryController
 from repro.arch.placement import remap_pim_dbc
 from repro.core.isa import CpimInstruction
+from repro.core.nmr import ModularRedundancy
+from repro.resilience.breaker import AdaptiveProtection, ProtectionLevel
 from repro.resilience.detector import FaultDetector
-from repro.resilience.errors import DataLossError, UncorrectableFaultError
+from repro.resilience.errors import (
+    DataLossError,
+    ResilienceError,
+    UncorrectableFaultError,
+)
 from repro.resilience.health import DBCHealthRegistry, dbc_key
 from repro.resilience.policy import RetryPolicy
+from repro.utils.bitops import bits_from_int
 
 
 @dataclass
@@ -41,6 +55,9 @@ class RecoveryStats:
     retries: int = 0
     escalations: int = 0
     escalation_corrected: int = 0
+    nmr_ops: int = 0
+    nmr_widenings: int = 0
+    hw_votes: int = 0
     faults_detected: int = 0
     faults_corrected_inline: int = 0
     misalignments_repaired: int = 0
@@ -69,6 +86,28 @@ def result_signature(result: Any) -> Any:
     return repr(result)
 
 
+def result_row_bits(
+    result: Any, blocksize: int, tracks: int
+) -> Optional[List[int]]:
+    """An op result as one DBC-wide bit row, or None if not row-shaped.
+
+    Used to realise the escalation vote through the in-memory majority
+    (C') circuit: bulk results expose their row directly; ADD results
+    are re-packed from the per-block sums at ``blocksize`` tracks each.
+    """
+    bits = getattr(result, "bits", None)
+    if bits is not None and len(bits) == tracks:
+        return list(bits)
+    values = getattr(result, "values", None)
+    if values is not None and blocksize >= 1:
+        row: List[int] = []
+        for value in values:
+            row.extend(bits_from_int(value % (1 << blocksize), blocksize))
+        if len(row) <= tracks:
+            return row + [0] * (tracks - len(row))
+    return None
+
+
 class ResilientExecutor:
     """Detect/retry/escalate wrapper around a :class:`MemoryController`."""
 
@@ -77,6 +116,7 @@ class ResilientExecutor:
         controller: MemoryController,
         policy: Optional[RetryPolicy] = None,
         registry: Optional[DBCHealthRegistry] = None,
+        breaker: Optional[AdaptiveProtection] = None,
     ) -> None:
         self.controller = controller
         self.policy = policy or RetryPolicy()
@@ -85,6 +125,7 @@ class ResilientExecutor:
             fail_after=self.policy.fail_after,
         )
         self.detector = FaultDetector(self.policy)
+        self.breaker = breaker
         self.stats = RecoveryStats()
 
     # ------------------------------------------------------------------
@@ -94,16 +135,50 @@ class ResilientExecutor:
 
         Returns the same result object :meth:`MemoryController.execute`
         would; raises :class:`UncorrectableFaultError` only after retries
-        and NMR escalation are both exhausted.
+        and NMR escalation are both exhausted. Background maintenance
+        hooks (scrubbing) are deferred until the transaction commits.
         """
-        instruction = self._remap(instruction)
-        key = dbc_key(instruction.src)
-        dbc = self.controller._dbc(instruction.src)
-        self.stats.operations += 1
+        with self.controller.deferred_hooks():
+            instruction = self._remap(instruction)
+            key = dbc_key(instruction.src)
+            dbc = self.controller._dbc(instruction.src)
+            self.stats.operations += 1
+            level: Optional[ProtectionLevel] = None
+            if self.breaker is not None:
+                level = self.breaker.level(key)
+            faults = 0
+            try:
+                if level is ProtectionLevel.NMR:
+                    result, faults = self._nmr_op(instruction, dbc)
+                else:
+                    result, faults = self._ladder_op(
+                        instruction, dbc, key, level
+                    )
+                return result
+            except ResilienceError:
+                faults += 1
+                raise
+            finally:
+                if self.breaker is not None:
+                    self.breaker.record(key, faults > 0)
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _ladder_op(
+        self,
+        instruction: CpimInstruction,
+        dbc,
+        key,
+        level: Optional[ProtectionLevel],
+    ) -> Tuple[Any, int]:
+        """The detect -> retry -> escalate ladder for one instruction."""
         snapshot = dbc.snapshot()
-        self.detector.arm(dbc)
+        reads = 1 if level is ProtectionLevel.BARE else None
+        self.detector.arm(dbc, reads=reads)
         op_start = dbc.stats.cycles
         first_attempt_base: Optional[int] = None
+        faults = 0
 
         for attempt in range(1, self.policy.max_attempts + 1):
             if attempt > 1:
@@ -120,11 +195,13 @@ class ResilientExecutor:
                 # unrecoverable in place, but the snapshot restores it.
                 self.stats.data_loss_events += 1
                 self.stats.faults_detected += 1
+                faults += 1
                 self.registry.record_transient(key)
                 continue
             report = self.detector.scan(dbc)
             self.stats.faults_detected += report.faults_detected
             self.stats.faults_corrected_inline += report.corrected
+            faults += report.faults_detected
             if report.misaligned_tracks:
                 dbc.realign()
                 self.stats.misalignments_repaired += len(
@@ -144,55 +221,154 @@ class ResilientExecutor:
                 self._commit(dbc, op_start, first_attempt_base)
                 if attempt > 1:
                     self.registry.record_transient(key)
-                return result
+                return result, faults
             self.registry.record_transient(key)
 
-        result = self._escalate(instruction, dbc, snapshot)
+        result, nmr_faults, _ = self._nmr_execute(
+            instruction, dbc, snapshot, reactive=True
+        )
+        faults += nmr_faults
         self._commit(dbc, op_start, first_attempt_base or 0)
-        return result
+        return result, faults
 
-    # ------------------------------------------------------------------
-    # internals
+    def _nmr_op(self, instruction: CpimInstruction, dbc) -> Tuple[Any, int]:
+        """Proactively NMR-redundant execution (the ladder's open state)."""
+        snapshot = dbc.snapshot()
+        self.detector.arm(dbc)
+        op_start = dbc.stats.cycles
+        self.stats.nmr_ops += 1
+        result, faults, base = self._nmr_execute(
+            instruction, dbc, snapshot, reactive=False
+        )
+        self._commit(dbc, op_start, base)
+        return result, faults
 
     def _commit(self, dbc, op_start: int, base_cycles: int) -> None:
         """Charge everything beyond one clean execution as overhead."""
         total = dbc.stats.cycles - op_start
         self.stats.overhead_cycles += max(0, total - base_cycles)
 
-    def _escalate(self, instruction: CpimInstruction, dbc, snapshot):
-        """NMR re-execution: majority over result signatures or give up."""
+    def _nmr_execute(
+        self, instruction: CpimInstruction, dbc, snapshot, reactive: bool
+    ) -> Tuple[Any, int, int]:
+        """NMR re-execution: majority over result signatures or give up.
+
+        ``reactive`` marks the retry ladder's escalation rung (counted as
+        an escalation, always charged as a transient on success); the
+        proactive path is the adaptive ladder's NMR mode. Returns
+        ``(result, faults_seen, base_cycles)`` where ``base_cycles`` is
+        one clean replica's compute cost (for overhead accounting).
+        """
         key = dbc_key(instruction.src)
-        self.stats.escalations += 1
+        if reactive:
+            self.stats.escalations += 1
         n = self.policy.escalation_nmr
-        outcomes = []
-        for _ in range(n):
-            dbc.restore(snapshot)
-            self.detector.mark(dbc)
-            try:
-                replica = self.controller.execute(instruction)
-            except DataLossError:
-                self.stats.data_loss_events += 1
+        # Adaptive NMR widening: when the starting redundancy degree
+        # can't form a majority, widen through the supported degrees
+        # before giving the op up as uncorrectable.
+        widths = [n] + [w for w in ModularRedundancy.SUPPORTED if w > n]
+        faults = 0
+        base_cycles = 0
+        for width in widths:
+            if width != n:
+                self.stats.nmr_widenings += 1
+            outcomes = []
+            for _ in range(width):
+                # A replica slot that detects its own fault (data loss,
+                # misalignment, unresolved sense vote) re-runs rather
+                # than abstaining: hardware NMR realigns and re-executes
+                # the module, it does not vote with a missing input.
+                replica = None
+                for _ in range(max(1, self.policy.max_attempts)):
+                    dbc.restore(snapshot)
+                    self.detector.mark(dbc)
+                    start = dbc.stats.cycles
+                    vote_overhead_start = dbc.vote_stats.overhead_cycles
+                    unresolved_before = dbc.vote_stats.unresolved
+                    try:
+                        candidate = self.controller.execute(instruction)
+                    except DataLossError:
+                        self.stats.data_loss_events += 1
+                        faults += 1
+                        continue
+                    if (
+                        self.policy.position_check
+                        and dbc.position_error_check()
+                    ):
+                        dbc.realign()
+                        faults += 1
+                        continue
+                    if dbc.vote_stats.unresolved > unresolved_before:
+                        faults += 1
+                        continue
+                    replica = candidate
+                    break
+                if replica is None:
+                    continue
+                if not base_cycles:
+                    vote_extra = (
+                        dbc.vote_stats.overhead_cycles - vote_overhead_start
+                    )
+                    base_cycles = dbc.stats.cycles - start - vote_extra
+                outcomes.append((result_signature(replica), replica))
+            if not outcomes:
                 continue
-            if self.policy.position_check and dbc.position_error_check():
-                dbc.realign()
-                continue
-            outcomes.append((result_signature(replica), replica))
-        if outcomes:
             counts = Counter(signature for signature, _ in outcomes)
             signature, votes = counts.most_common(1)[0]
-            if votes > n // 2:
-                self.stats.escalation_corrected += 1
-                self.registry.record_transient(key)
-                return next(
-                    r for s, r in outcomes if s == signature
+            if len(counts) > 1:
+                # Replica divergence is itself a detected fault, even
+                # though the majority resolves it.
+                faults += 1
+                self.stats.faults_detected += 1
+            if votes > width // 2:
+                winner = next(r for s, r in outcomes if s == signature)
+                self._hardware_vote(
+                    dbc, snapshot, instruction, [r for _, r in outcomes]
                 )
+                if reactive:
+                    self.stats.escalation_corrected += 1
+                    self.registry.record_transient(key)
+                elif faults:
+                    self.registry.record_transient(key)
+                return winner, faults, base_cycles
         self.stats.uncorrectable += 1
         status = self.registry.record_uncorrectable(key)
         raise UncorrectableFaultError(
             f"cpim {instruction.op.name} on DBC {key} failed "
-            f"{self.policy.max_attempts} attempts and {n}-MR escalation "
-            f"(DBC now {status.value})"
+            f"{self.policy.max_attempts} attempts and up to "
+            f"{widths[-1]}-MR escalation (DBC now {status.value})"
         )
+
+    def _hardware_vote(
+        self,
+        dbc,
+        snapshot,
+        instruction: CpimInstruction,
+        replicas: Sequence[Any],
+    ) -> None:
+        """Realise the replica vote through the in-memory C' circuit.
+
+        When every replica result can be expressed as a DBC row and the
+        redundancy degree fits the TR window, the majority is recomputed
+        by :class:`~repro.core.nmr.ModularRedundancy` — the paper's NMR
+        path — so its staging and TR cost land in the DBC stats. A
+        strict signature majority guarantees the bitwise vote agrees, so
+        only the accounting (not the result) depends on this step.
+        """
+        rows = [
+            result_row_bits(r, instruction.blocksize, dbc.tracks)
+            for r in replicas
+        ]
+        if any(row is None for row in rows):
+            return
+        if len(rows) not in ModularRedundancy.SUPPORTED:
+            return
+        voter = ModularRedundancy(dbc)
+        if not voter._fits(len(rows)):
+            return
+        dbc.restore(snapshot)
+        voter.vote(rows)
+        self.stats.hw_votes += 1
 
     def _remap(self, instruction: CpimInstruction) -> CpimInstruction:
         """Move the instruction off a FAILED DBC, if its home is retired."""

@@ -23,9 +23,11 @@ from repro.core.nmr import ModularRedundancy, VoteResult
 from repro.core.pim_logic import BulkOp
 from repro.device.faults import FaultConfig, FaultInjector
 from repro.device.parameters import DeviceParameters
+from repro.resilience.breaker import AdaptiveProtection, BreakerConfig
 from repro.resilience.executor import ResilientExecutor
 from repro.resilience.health import DBCHealthRegistry
 from repro.resilience.policy import RetryPolicy
+from repro.resilience.scrub import ScrubEngine
 
 
 class CoruscantSystem:
@@ -41,6 +43,15 @@ class CoruscantSystem:
             retry/escalation through :attr:`executor`, and health-aware
             remapping of failed DBCs. ``False`` keeps the bare,
             fault-oblivious pipeline (faults silently corrupt results).
+        scrub_interval: when set, run a background alignment scrub pass
+            over every materialised DBC each ``scrub_interval`` memory
+            operations (:attr:`scrubber`). Works with or without the
+            resilient executor.
+        adaptive: ``True`` (default :class:`BreakerConfig`) or a config
+            object to run the per-DBC adaptive protection ladder
+            (:attr:`breaker`): BARE -> VOTED -> NMR escalation on
+            sustained faults, half-open de-escalation when a cluster
+            calms down. Requires ``resilience``.
     """
 
     def __init__(
@@ -49,6 +60,8 @@ class CoruscantSystem:
         geometry: Optional[MemoryGeometry] = None,
         fault_config: Optional[FaultConfig] = None,
         resilience: Union[bool, RetryPolicy] = False,
+        scrub_interval: Optional[int] = None,
+        adaptive: Union[bool, BreakerConfig] = False,
     ) -> None:
         if trd not in (3, 5, 7):
             raise ValueError(f"trd must be 3, 5 or 7, got {trd}")
@@ -62,6 +75,16 @@ class CoruscantSystem:
         if resilience is True:
             resilience = RetryPolicy()
         self.policy: Optional[RetryPolicy] = resilience or None
+        if adaptive and self.policy is None:
+            raise ValueError(
+                "adaptive protection requires the resilient executor; "
+                "pass resilience=True (or a RetryPolicy) as well"
+            )
+        if adaptive is True:
+            adaptive = BreakerConfig()
+        self.breaker: Optional[AdaptiveProtection] = (
+            AdaptiveProtection(adaptive) if adaptive else None
+        )
         # The health registry is always on: even a non-resilient system
         # must route PIM work around DBCs an external BIST retired.
         if self.policy is not None:
@@ -70,11 +93,17 @@ class CoruscantSystem:
                 fail_after=self.policy.fail_after,
             )
             self.executor: Optional[ResilientExecutor] = ResilientExecutor(
-                self.controller, self.policy, self.health
+                self.controller, self.policy, self.health, self.breaker
             )
         else:
             self.health = DBCHealthRegistry()
             self.executor = None
+        self.scrubber: Optional[ScrubEngine] = None
+        if scrub_interval is not None:
+            self.scrubber = ScrubEngine(
+                self.memory, scrub_interval, registry=self.health
+            )
+            self.controller.add_op_hook(self.scrubber.on_ops)
 
     # ------------------------------------------------------------------
 

@@ -68,6 +68,61 @@ class TestCampaignCommand:
         assert "recovery_off" in out
         assert "recovery_on" not in out
 
+    def test_scrub_and_adaptive_flags_reported(self, capsys):
+        assert main(
+            ["campaign", "--ops", "40", "--fault-rate", "0.01",
+             "--shift-fault-rate", "0.001", "--scrub-interval", "8",
+             "--adaptive", "--storm-ops", "20",
+             "--calm-fault-rate", "1e-5", "--storage-rows", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "proactive_catches" in out
+        assert "escalations" in out
+        assert "storage_wrong" in out
+
+    def test_uncorrectable_faults_exit_nonzero(self, capsys):
+        # At 45% per-TR faults the vote frequently ends three-way split
+        # and even 7-MR escalation cannot assemble a majority.
+        assert main(
+            ["campaign", "--ops", "4", "--fault-rate", "0.45",
+             "--seed", "0"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "campaign ended with uncorrectable faults" in out
+
+    def test_bare_corruption_does_not_fail_exit_code(self, capsys):
+        # Without recovery nothing is *detected*, so the run exits 0:
+        # the exit code reports uncorrectable faults, not silent ones.
+        assert main(
+            ["campaign", "--ops", "4", "--fault-rate", "0.45",
+             "--seed", "0", "--no-resilience"]
+        ) == 0
+
+    def test_checkpoint_resume_flow(self, tmp_path, capsys):
+        path = str(tmp_path / "journal.json")
+        base = ["campaign", "--ops", "30", "--fault-rate", "0.01",
+                "--checkpoint", path, "--checkpoint-every", "5"]
+        assert main(base + ["--stop-after", "10"]) == 0
+        first = capsys.readouterr().out
+        assert "completed: False" in first
+        assert main(base) == 0
+        second = capsys.readouterr().out
+        assert "resumed_from: 10" in second
+        assert "completed: True" in second
+
+    def test_new_flag_validation(self):
+        bad = [
+            ["campaign", "--adaptive", "--no-resilience"],
+            ["campaign", "--scrub-interval", "0"],
+            ["campaign", "--checkpoint-every", "0"],
+            ["campaign", "--stop-after", "-1"],
+            ["campaign", "--storage-rows", "-2"],
+            ["campaign", "--calm-fault-rate", "1.5"],
+        ]
+        for argv in bad:
+            with pytest.raises(SystemExit):
+                main(argv)
+
 
 class TestTableCommands:
     @pytest.mark.parametrize("command", ["table3", "table4", "table5", "table6"])

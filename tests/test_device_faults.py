@@ -68,3 +68,60 @@ class TestShiftPerturbation:
         outcomes = {injector.perturb_shift(1) for _ in range(100)}
         assert outcomes <= {0, 2}
         assert injector.shift_faults_injected == 100
+
+
+class TestIntrinsicRate:
+    """Satellite: one source of truth for the paper's intrinsic TR rate."""
+
+    def test_intrinsic_config_uses_tr_faults_constant(self):
+        from repro.reliability.tr_faults import TR_FAULT_RATE
+
+        config = FaultConfig.intrinsic(seed=4)
+        assert config.tr_fault_rate == TR_FAULT_RATE
+        assert config.shift_fault_rate == 0.0
+        assert config.seed == 4
+
+    def test_device_parameters_share_the_constant(self):
+        from repro.device.parameters import DeviceParameters
+        from repro.reliability.tr_faults import TR_FAULT_RATE
+
+        assert DeviceParameters().tr_fault_rate == TR_FAULT_RATE
+
+
+class TestRateSwitchAndState:
+    def test_set_rates_preserves_rng_stream(self):
+        reference = FaultInjector(FaultConfig(tr_fault_rate=0.5, seed=6))
+        switched = FaultInjector(FaultConfig(tr_fault_rate=0.5, seed=6))
+        for _ in range(10):
+            reference.perturb_tr_level(3, 7)
+            switched.perturb_tr_level(3, 7)
+        switched.set_rates(tr_fault_rate=0.5)  # same rate, fresh config
+        seq_a = [reference.perturb_tr_level(3, 7) for _ in range(20)]
+        seq_b = [switched.perturb_tr_level(3, 7) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_set_rates_changes_only_given_rates(self):
+        injector = FaultInjector(
+            FaultConfig(tr_fault_rate=0.5, shift_fault_rate=0.25, seed=0)
+        )
+        injector.set_rates(tr_fault_rate=0.0)
+        assert injector.config.tr_fault_rate == 0.0
+        assert injector.config.shift_fault_rate == 0.25
+
+    def test_state_roundtrip_resumes_stream_and_counters(self):
+        injector = FaultInjector(
+            FaultConfig(tr_fault_rate=0.5, shift_fault_rate=0.5, seed=8)
+        )
+        for _ in range(25):
+            injector.perturb_tr_level(3, 7)
+            injector.perturb_shift(1)
+        saved = injector.state()
+        clone = FaultInjector(
+            FaultConfig(tr_fault_rate=0.5, shift_fault_rate=0.5, seed=999)
+        )
+        clone.restore_state(saved)
+        assert clone.tr_faults_injected == injector.tr_faults_injected
+        assert clone.shift_faults_injected == injector.shift_faults_injected
+        seq_a = [injector.perturb_tr_level(3, 7) for _ in range(30)]
+        seq_b = [clone.perturb_tr_level(3, 7) for _ in range(30)]
+        assert seq_a == seq_b

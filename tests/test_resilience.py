@@ -451,3 +451,55 @@ class TestSystemDegradation:
         assert bare_wrong > 0
         assert resilient_wrong < bare_wrong
         assert system.pim_dbc().vote_stats.corrected > 0
+
+
+class TestProactiveNmr:
+    """Satellite: NMR voting corrects injected TR faults end-to-end."""
+
+    def make_nmr_system(self, rate, seed):
+        from repro.resilience.breaker import BreakerConfig, ProtectionLevel
+
+        return CoruscantSystem(
+            trd=7,
+            geometry=MemoryGeometry(tracks_per_dbc=16),
+            fault_config=FaultConfig(tr_fault_rate=rate, seed=seed),
+            resilience=RetryPolicy(),
+            adaptive=BreakerConfig(initial=ProtectionLevel.NMR),
+        )
+
+    def staged_add(self, system):
+        dbc = system.pim_dbc()
+        MultiOperandAdder(dbc).stage_words([3, 4], 8, zero_extend_to=16)
+        return add_instruction()
+
+    def test_nmr_outvotes_faulty_replica(self):
+        # At 5% / seed 0 one replica diverges and the 3-MR majority
+        # (realised through the in-memory C' vote) discards it.
+        system = self.make_nmr_system(rate=0.05, seed=0)
+        result = system.execute(self.staged_add(system))
+        assert result.values[0] == 7
+        stats = system.executor.stats
+        assert stats.nmr_ops == 1
+        assert stats.faults_detected >= 1
+        assert stats.hw_votes == 1
+        assert stats.uncorrectable == 0
+
+    def test_no_majority_widens_redundancy(self):
+        # At 8% / seed 1 the 3 replicas split three ways; widening to
+        # 5-MR assembles a majority and still lands the right answer.
+        system = self.make_nmr_system(rate=0.08, seed=1)
+        result = system.execute(self.staged_add(system))
+        assert result.values[0] == 7
+        stats = system.executor.stats
+        assert stats.nmr_widenings == 1
+        assert stats.uncorrectable == 0
+
+    def test_widening_exhaustion_is_uncorrectable(self):
+        # At 20% even 7-MR cannot agree: the op fails loudly, after
+        # trying every supported redundancy degree.
+        system = self.make_nmr_system(rate=0.2, seed=0)
+        with pytest.raises(UncorrectableFaultError, match="7-MR"):
+            system.execute(self.staged_add(system))
+        stats = system.executor.stats
+        assert stats.nmr_widenings == 2  # tried 5-MR and 7-MR too
+        assert stats.uncorrectable == 1

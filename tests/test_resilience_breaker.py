@@ -1,0 +1,164 @@
+"""Tests for the adaptive protection ladder (circuit breaker)."""
+
+import pytest
+
+from repro.resilience.breaker import (
+    AdaptiveProtection,
+    BreakerConfig,
+    ProtectionLevel,
+)
+
+KEY = (0, 0, 0, 0)
+
+
+def make_breaker(**overrides):
+    defaults = dict(
+        window=8,
+        min_samples=4,
+        escalate_threshold=0.5,
+        cooldown=4,
+        probe_ops=2,
+        initial=ProtectionLevel.BARE,
+    )
+    defaults.update(overrides)
+    return AdaptiveProtection(BreakerConfig(**defaults))
+
+
+def feed(breaker, outcomes, key=KEY):
+    for faulty in outcomes:
+        breaker.record(key, faulty)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        config = BreakerConfig()
+        assert config.initial is ProtectionLevel.VOTED
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"min_samples": 0},
+            {"min_samples": 9, "window": 8},
+            {"escalate_threshold": 0.0},
+            {"escalate_threshold": 1.5},
+            {"cooldown": 0},
+            {"probe_ops": 0},
+        ],
+    )
+    def test_bad_thresholds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerConfig(**kwargs)
+
+
+class TestEscalation:
+    def test_new_dbc_starts_at_initial(self):
+        assert make_breaker().level(KEY) is ProtectionLevel.BARE
+        assert (
+            make_breaker(initial=ProtectionLevel.NMR).level(KEY)
+            is ProtectionLevel.NMR
+        )
+
+    def test_sustained_faults_climb_one_rung(self):
+        breaker = make_breaker()
+        feed(breaker, [True] * 4)
+        assert breaker.level(KEY) is ProtectionLevel.VOTED
+        state = breaker.state(KEY)
+        assert state.escalations == 1
+        assert not state.window  # history resets at the new rung
+
+    def test_rate_below_threshold_holds(self):
+        breaker = make_breaker()
+        feed(breaker, [True, False, False, False] * 4)  # 25% < 50%
+        assert breaker.level(KEY) is ProtectionLevel.BARE
+
+    def test_too_few_samples_never_escalate(self):
+        breaker = make_breaker()
+        feed(breaker, [True] * 3)  # min_samples is 4
+        assert breaker.level(KEY) is ProtectionLevel.BARE
+
+    def test_ladder_tops_out_at_nmr(self):
+        breaker = make_breaker()
+        feed(breaker, [True] * 50)
+        assert breaker.level(KEY) is ProtectionLevel.NMR
+        assert breaker.state(KEY).escalations == 2
+
+    def test_dbcs_are_tracked_independently(self):
+        breaker = make_breaker()
+        other = (0, 0, 0, 1)
+        feed(breaker, [True] * 4)
+        assert breaker.level(KEY) is ProtectionLevel.VOTED
+        assert breaker.level(other) is ProtectionLevel.BARE
+
+
+class TestHalfOpenProbe:
+    def escalated(self):
+        """A breaker driven to VOTED and then fed a clean cooldown."""
+        breaker = make_breaker()
+        feed(breaker, [True] * 4)
+        feed(breaker, [False] * 4)  # cooldown reached -> probing
+        return breaker
+
+    def test_cooldown_opens_probe_at_lower_rung(self):
+        breaker = self.escalated()
+        state = breaker.state(KEY)
+        assert state.probing
+        assert state.probes == 1
+        assert state.level is ProtectionLevel.VOTED
+        assert breaker.level(KEY) is ProtectionLevel.BARE  # trial rung
+
+    def test_clean_probe_commits_deescalation(self):
+        breaker = self.escalated()
+        feed(breaker, [False] * 2)  # probe_ops clean ops
+        state = breaker.state(KEY)
+        assert not state.probing
+        assert state.level is ProtectionLevel.BARE
+        assert state.deescalations == 1
+
+    def test_faulty_probe_snaps_back(self):
+        breaker = self.escalated()
+        feed(breaker, [False, True])
+        state = breaker.state(KEY)
+        assert not state.probing
+        assert state.level is ProtectionLevel.VOTED
+        assert state.probe_failures == 1
+        assert state.deescalations == 0
+        # The clean streak restarts: no immediate re-probe.
+        breaker.record(KEY, False)
+        assert not breaker.state(KEY).probing
+
+    def test_bare_dbc_never_probes(self):
+        breaker = make_breaker()
+        feed(breaker, [False] * 20)
+        assert not breaker.state(KEY).probing
+        assert breaker.level(KEY) is ProtectionLevel.BARE
+
+
+class TestReporting:
+    def test_transitions_log_full_cycle(self):
+        breaker = make_breaker()
+        feed(breaker, [True] * 4 + [False] * 6)
+        moves = [(src, dst) for _, _, src, dst in breaker.transitions]
+        assert moves == [("BARE", "VOTED"), ("VOTED", "BARE")]
+
+    def test_summary_aggregates_counters(self):
+        breaker = make_breaker()
+        feed(breaker, [True] * 4)
+        feed(breaker, [True] * 4, key=(0, 0, 0, 1))
+        summary = breaker.summary()
+        assert summary["escalations"] == 2
+        assert summary["deescalations"] == 0
+        assert set(summary["levels"].values()) == {"VOTED"}
+        assert len(summary["transitions"]) == 2
+
+    def test_serialize_restore_roundtrip(self):
+        breaker = make_breaker()
+        feed(breaker, [True] * 4 + [False] * 5)  # mid-probe state
+        saved = breaker.serialize()
+        clone = make_breaker()
+        clone.restore(saved)
+        assert clone.serialize() == saved
+        assert clone.state(KEY).probing == breaker.state(KEY).probing
+        # The clone continues exactly where the original would.
+        assert clone.record(KEY, False) == breaker.record(KEY, False)
+        assert clone.level(KEY) is breaker.level(KEY)

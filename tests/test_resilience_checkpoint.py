@@ -1,0 +1,195 @@
+"""Tests for crash-safe checkpointing and bit-identical resume.
+
+The tentpole guarantee: a campaign interrupted at any point and resumed
+from its journal produces exactly the final report of the uninterrupted
+run — RNG streams, fault counters, and device state all survive the
+round trip through JSON.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.reliability.campaign import (
+    CampaignConfig,
+    resume_add_campaign,
+    run_add_campaign,
+)
+from repro.reliability.montecarlo import FaultCampaign
+from repro.resilience import checkpoint as ckpt
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    CheckpointMismatchError,
+)
+
+
+def storm_config(seed=0, ops=60):
+    return CampaignConfig(
+        ops=ops,
+        tr_fault_rate=1e-2,
+        shift_fault_rate=1e-3,
+        seed=seed,
+        recovery=True,
+        adaptive=True,
+        scrub_interval=8,
+        storm_ops=ops // 2,
+        calm_tr_fault_rate=1e-5,
+        storage_rows=4,
+    )
+
+
+class TestPrimitives:
+    def test_rng_state_json_roundtrip(self):
+        rng = random.Random(1234)
+        rng.random()
+        state = ckpt.rng_state_to_json(rng.getstate())
+        # Survives an actual JSON round trip (tuples become lists).
+        state = json.loads(json.dumps(state))
+        clone = random.Random()
+        clone.setstate(ckpt.rng_state_from_json(state))
+        assert [clone.random() for _ in range(5)] == [
+            rng.random() for _ in range(5)
+        ]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        ckpt.save_checkpoint(path, {"hello": [1, 2, 3]})
+        document = ckpt.load_checkpoint(path)
+        assert document["hello"] == [1, 2, 3]
+        assert document["format"] == ckpt.FORMAT_VERSION
+
+    def test_save_is_atomic_replace(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        ckpt.save_checkpoint(path, {"n": 1})
+        ckpt.save_checkpoint(path, {"n": 2})
+        assert ckpt.load_checkpoint(path)["n"] == 2
+        assert list(tmp_path.iterdir()) == [tmp_path / "ck.json"]
+
+    def test_unknown_format_version_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"format": ckpt.FORMAT_VERSION + 1}))
+        with pytest.raises(CheckpointError):
+            ckpt.load_checkpoint(str(path))
+
+    def test_fingerprint_mismatch_raises(self):
+        document = {"fingerprint": {"seed": 0}}
+        ckpt.verify_fingerprint(document, {"seed": 0}, "ck.json")
+        with pytest.raises(CheckpointMismatchError):
+            ckpt.verify_fingerprint(document, {"seed": 1}, "ck.json")
+
+
+class TestCampaignResume:
+    @pytest.mark.parametrize("seed", [0, 5])
+    @pytest.mark.parametrize("stop_after", [1, 23, 59])
+    def test_resume_is_bit_identical(self, tmp_path, seed, stop_after):
+        config = storm_config(seed=seed)
+        baseline = run_add_campaign(config).summary()
+        path = str(tmp_path / "campaign.json")
+        partial = run_add_campaign(
+            config,
+            checkpoint_path=path,
+            checkpoint_every=7,
+            stop_after=stop_after,
+        )
+        assert not partial.completed
+        resumed = resume_add_campaign(
+            config, checkpoint_path=path, checkpoint_every=7
+        )
+        assert resumed.completed
+        assert resumed.resumed_from == stop_after
+        summary = resumed.summary()
+        summary.pop("resumed_from")
+        assert summary == baseline
+
+    def test_multi_leg_resume(self, tmp_path):
+        config = storm_config(seed=3)
+        baseline = run_add_campaign(config).summary()
+        path = str(tmp_path / "campaign.json")
+        legs = 0
+        result = run_add_campaign(
+            config, checkpoint_path=path, checkpoint_every=5, stop_after=13
+        )
+        while not result.completed:
+            legs += 1
+            result = resume_add_campaign(
+                config, checkpoint_path=path,
+                checkpoint_every=5, stop_after=13,
+            )
+        assert legs >= 4
+        summary = result.summary()
+        summary.pop("resumed_from")
+        assert summary == baseline
+
+    def test_resume_of_finished_run_is_idempotent(self, tmp_path):
+        config = storm_config(seed=1, ops=20)
+        path = str(tmp_path / "campaign.json")
+        first = run_add_campaign(config, checkpoint_path=path)
+        again = resume_add_campaign(config, checkpoint_path=path)
+        assert again.resumed_from == config.ops
+        summary = again.summary()
+        summary.pop("resumed_from")
+        assert summary == first.summary()
+
+    def test_resume_without_journal_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            resume_add_campaign(
+                storm_config(), str(tmp_path / "missing.json")
+            )
+
+    def test_journal_of_other_config_rejected(self, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        run_add_campaign(
+            storm_config(seed=0), checkpoint_path=path, stop_after=5
+        )
+        with pytest.raises(CheckpointMismatchError):
+            run_add_campaign(storm_config(seed=1), checkpoint_path=path)
+
+
+class TestMonteCarloResume:
+    def campaign(self, seed=0):
+        return FaultCampaign(trd=7, fault_rate=5e-3, seed=seed)
+
+    @pytest.mark.parametrize("stop_after", [1, 17, 39])
+    def test_additions_resume_identical(self, tmp_path, stop_after):
+        baseline = self.campaign().run_additions(trials=40)
+        path = str(tmp_path / "mc.json")
+        partial = self.campaign().run_additions(
+            trials=40,
+            checkpoint_path=path,
+            checkpoint_every=10,
+            stop_after=stop_after,
+        )
+        assert not partial.completed
+        resumed = self.campaign().run_additions(
+            trials=40, checkpoint_path=path, checkpoint_every=10
+        )
+        assert resumed.completed
+        assert (resumed.trials, resumed.errors) == (
+            baseline.trials,
+            baseline.errors,
+        )
+        assert resumed.error_rate == baseline.error_rate
+
+    def test_multiplies_resume_identical(self, tmp_path):
+        baseline = self.campaign(seed=2).run_multiplies(trials=25)
+        path = str(tmp_path / "mc.json")
+        self.campaign(seed=2).run_multiplies(
+            trials=25, checkpoint_path=path,
+            checkpoint_every=5, stop_after=8,
+        )
+        resumed = self.campaign(seed=2).run_multiplies(
+            trials=25, checkpoint_path=path, checkpoint_every=5
+        )
+        assert (resumed.trials, resumed.errors) == (
+            baseline.trials,
+            baseline.errors,
+        )
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "mc.json")
+        self.campaign().run_additions(
+            trials=10, checkpoint_path=path, stop_after=3
+        )
+        with pytest.raises(CheckpointMismatchError):
+            self.campaign().run_multiplies(trials=10, checkpoint_path=path)
