@@ -1,0 +1,60 @@
+"""The benchmark fixture writes well-formed, schema-stable JSON."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from benchmarks.bench_pim_ops import SCHEMA, run_benchmarks
+
+REQUIRED_KERNEL_KEYS = {
+    "name",
+    "trd",
+    "repeats",
+    "sim_cycles",
+    "sim_energy_pj",
+    "spans",
+    "wall_seconds_min",
+    "wall_seconds_mean",
+}
+
+
+def test_run_benchmarks_schema():
+    document = run_benchmarks(repeats=1)
+    assert document["schema"] == SCHEMA
+    assert document["repeats"] == 1
+    names = [k["name"] for k in document["kernels"]]
+    assert names == ["add2_trd3", "add5_trd7", "mult8_trd7", "max5_trd7"]
+    for kernel in document["kernels"]:
+        assert REQUIRED_KERNEL_KEYS <= set(kernel)
+        assert kernel["sim_cycles"] > 0
+        assert kernel["sim_energy_pj"] > 0
+        assert kernel["spans"] >= 1
+        assert kernel["wall_seconds_min"] > 0
+
+
+def test_sim_numbers_deterministic():
+    a = run_benchmarks(repeats=1)
+    b = run_benchmarks(repeats=2)
+    for ka, kb in zip(a["kernels"], b["kernels"]):
+        assert ka["sim_cycles"] == kb["sim_cycles"]
+        assert ka["sim_energy_pj"] == kb["sim_energy_pj"]
+        assert ka["spans"] == kb["spans"]
+
+
+def test_fixture_script_writes_valid_json(tmp_path):
+    out = tmp_path / "BENCH_pim_ops.json"
+    script = Path(__file__).with_name("bench_pim_ops.py")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(script.parent.parent / "src")
+    proc = subprocess.run(
+        [sys.executable, str(script), "--out", str(out), "--repeats", "1"],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    document = json.loads(out.read_text())
+    assert document["schema"] == SCHEMA
+    assert len(document["kernels"]) == 4

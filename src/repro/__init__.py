@@ -32,6 +32,14 @@ from repro.resilience import (
     TransientFaultError,
     UncorrectableFaultError,
 )
+from repro.telemetry import (
+    MetricsRegistry,
+    NullTracer,
+    TelemetryHub,
+    Tracer,
+    chrome_trace,
+    write_chrome_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -45,10 +53,16 @@ __all__ = [
     "DomainBlockCluster",
     "FaultConfig",
     "MemoryGeometry",
+    "MetricsRegistry",
     "Nanowire",
+    "NullTracer",
     "ResilientExecutor",
     "RetryPolicy",
+    "TelemetryHub",
+    "Tracer",
     "TransientFaultError",
     "UncorrectableFaultError",
+    "chrome_trace",
+    "write_chrome_trace",
     "__version__",
 ]

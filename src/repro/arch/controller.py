@@ -41,11 +41,30 @@ class ControllerStats:
     reads: int = 0
     writes: int = 0
     pim_ops: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
     memory_cycles: int = 0
     command_log: List[Command] = field(default_factory=list)
 
     def log(self, command: Command) -> None:
         self.command_log.append(command)
+
+    @property
+    def row_hit_rate(self) -> float:
+        accesses = self.row_hits + self.row_misses
+        return self.row_hits / accesses if accesses else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Non-destructive counter snapshot (the command log is omitted)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "pim_ops": self.pim_ops,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "row_hit_rate": self.row_hit_rate,
+            "memory_cycles": self.memory_cycles,
+        }
 
 
 class MemoryController:
@@ -54,10 +73,17 @@ class MemoryController:
     def __init__(self, memory: Optional[MainMemory] = None) -> None:
         self.memory = memory or MainMemory()
         self.stats = ControllerStats()
+        # Optional TelemetryHub; attach_telemetry() wires it. None keeps
+        # every access on the bare (un-instrumented) path.
+        self.telemetry = None
         self._open_rows: Dict[tuple, int] = {}
         self._op_hooks: List[Callable[[int], None]] = []
         self._hooks_suspended = False
         self._pending_ops = 0
+
+    def attach_telemetry(self, hub) -> None:
+        """Publish accesses/cpim dispatch into ``hub`` from now on."""
+        self.telemetry = hub
 
     # ------------------------------------------------------------------
     # operation hooks (background maintenance: scrubbing, telemetry)
@@ -108,9 +134,11 @@ class MemoryController:
         dbc = self._dbc(address)
         shifts = dbc.align(address.row, port_index=0)
         bits = dbc.read_row(port_index=0)
-        self._account_access(address, shifts, is_write=False)
+        hit = self._account_access(address, shifts, is_write=False)
         self.stats.reads += 1
         self.stats.log(self._command(CommandKind.READ, address))
+        if self.telemetry is not None:
+            self.telemetry.memory_access(is_write=False, row_hit=hit)
         self._notify_op()
         return bits
 
@@ -119,9 +147,11 @@ class MemoryController:
         dbc = self._dbc(address)
         shifts = dbc.align(address.row, port_index=0)
         dbc.write_row(list(bits), port_index=0)
-        self._account_access(address, shifts, is_write=True)
+        hit = self._account_access(address, shifts, is_write=True)
         self.stats.writes += 1
         self.stats.log(self._command(CommandKind.WRITE, address))
+        if self.telemetry is not None:
+            self.telemetry.memory_access(is_write=True, row_hit=hit)
         self._notify_op()
 
     # ------------------------------------------------------------------
@@ -133,8 +163,31 @@ class MemoryController:
         Bulk-bitwise ops return a :class:`~repro.core.bulk_bitwise.BulkResult`;
         ADD returns an :class:`~repro.core.addition.AdditionResult` computed
         per ``blocksize`` segment; other ops return their unit's result type.
+        With telemetry attached the dispatch runs inside a ``cpim.<op>``
+        span annotated with the DBC's cycle/energy deltas and feeds the
+        per-op TR-count histogram.
         """
-        result = self._dispatch(instruction)
+        hub = self.telemetry
+        if hub is None:
+            result = self._dispatch(instruction)
+            self._notify_op()
+            return result
+        op_name = instruction.op.name.lower()
+        dbc = self._dbc(instruction.src)
+        with hub.tracer.span(f"cpim.{op_name}", category="cpim") as span:
+            cycles_before = dbc.stats.cycles
+            energy_before = dbc.stats.energy_pj
+            trs_before = dbc.stats.count("transverse_read")
+            result = self._dispatch(instruction)
+            cycles = dbc.stats.cycles - cycles_before
+            energy = dbc.stats.energy_pj - energy_before
+            trs = dbc.stats.count("transverse_read") - trs_before
+            span.annotate(
+                cycles=cycles,
+                energy_pj=round(energy, 3),
+                transverse_reads=trs,
+            )
+            hub.cpim_op(op_name, cycles, energy, trs)
         self._notify_op()
         return result
 
@@ -199,20 +252,28 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def _dbc(self, address: Address):
-        return (
+        dbc = (
             self.memory.bank(address.bank)
             .subarray(address.subarray)
             .tile(address.tile)
             .dbc(address.dbc)
         )
+        if self.telemetry is not None and dbc.stats.sink is None:
+            # Lazily-materialised clusters join the telemetry stream the
+            # first time the controller touches them.
+            dbc.stats.sink = self.telemetry
+            dbc.tracer = self.telemetry.tracer
+        return dbc
 
     def _account_access(
         self, address: Address, shifts: int, is_write: bool
-    ) -> None:
+    ) -> bool:
+        """Charge one access's cycles; returns True on a row-buffer hit."""
         timings = self.memory.timings
         key = (address.bank, address.subarray, address.tile, address.dbc)
         open_row = self._open_rows.get(key)
-        if open_row == address.row:
+        hit = open_row == address.row
+        if hit:
             # Row hits skip activation for writes too: only the column
             # access (reads) or write recovery (writes) is due.
             cycles = (
@@ -220,12 +281,16 @@ class MemoryController:
                 if is_write
                 else timings.row_hit_read_cycles()
             )
+            self.stats.row_hits += 1
         elif is_write:
             cycles = timings.row_miss_write_cycles(shifts)
+            self.stats.row_misses += 1
         else:
             cycles = timings.row_miss_read_cycles(shifts)
+            self.stats.row_misses += 1
         self._open_rows[key] = address.row
         self.stats.memory_cycles += cycles
+        return hit
 
     @staticmethod
     def _command(kind: CommandKind, address: Address) -> Command:

@@ -22,6 +22,7 @@ from repro.device.faults import FaultInjector
 from repro.device.nanowire import AccessPort, Nanowire
 from repro.device.parameters import DeviceParameters
 from repro.device.stats import DeviceStats
+from repro.telemetry.spans import NULL_TRACER
 
 
 @dataclass
@@ -105,6 +106,9 @@ class DomainBlockCluster:
             for _ in range(tracks)
         ]
         self.stats = DeviceStats()
+        # Telemetry attachment point: core units open phase spans on the
+        # cluster they compute in. NULL_TRACER makes every span a no-op.
+        self.tracer = NULL_TRACER
         self._commanded_offset = 0
         # Re-read voting in the sense path: 1 disables, an odd n > 1
         # repeats every TR n times and majority-votes per track.

@@ -74,6 +74,18 @@ class SchedulerStats:
         total = self.service_cycles + self.queue_cycles
         return self.queue_cycles / total if total else 0.0
 
+    def as_dict(self) -> Dict[str, float]:
+        """Non-destructive counter snapshot for JSON export."""
+        return {
+            "requests": self.requests,
+            "row_hits": self.row_hits,
+            "hit_rate": self.hit_rate,
+            "total_cycles": self.total_cycles,
+            "service_cycles": self.service_cycles,
+            "queue_cycles": self.queue_cycles,
+            "queue_fraction": self.queue_fraction,
+        }
+
 
 class CommandScheduler:
     """Replays a request stream against per-bank state machines."""
@@ -83,6 +95,7 @@ class CommandScheduler:
         timings: DDRTimings,
         banks: int = 32,
         shift_distance_fn=None,
+        telemetry=None,
     ) -> None:
         if banks < 1:
             raise ValueError("banks must be >= 1")
@@ -91,6 +104,9 @@ class CommandScheduler:
         # Distance the DWM bank shifts to align a new row; defaults to
         # the gap between consecutive row numbers (placement locality).
         self.shift_distance_fn = shift_distance_fn or self._default_shift
+        # Optional TelemetryHub; each run() feeds per-request queueing
+        # histograms and replay-level hit-rate gauges when set.
+        self.telemetry = telemetry
 
     @staticmethod
     def _default_shift(old_row: Optional[int], new_row: int) -> int:
@@ -123,6 +139,7 @@ class CommandScheduler:
         waits for it. ``SchedulerStats.row_hits`` equals the sum of the
         per-bank ``BankState.row_hits`` deltas of this replay.
         """
+        hub = self.telemetry
         stats = SchedulerStats()
         for request in requests:
             if not 0 <= request.bank < len(self.banks):
@@ -141,6 +158,10 @@ class CommandScheduler:
             stats.service_cycles += service
             stats.queue_cycles += queue
             stats.total_cycles = max(stats.total_cycles, finish)
+            if hub is not None:
+                hub.scheduler_request(queue)
+        if hub is not None and stats.requests:
+            hub.scheduler_replay(stats.hit_rate, stats.queue_fraction)
         return stats
 
 

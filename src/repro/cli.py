@@ -16,94 +16,185 @@ operations for exploration:
     python -m repro mult 173 219    # one PIM multiplication
     python -m repro campaign --fault-rate 1e-3 --ops 1000
                                     # fault campaign, recovery on vs off
+    python -m repro trace mult --out trace.json
+                                    # Chrome-trace one kernel end to end
+
+Every table/figure command accepts ``--json`` to emit its result as one
+JSON document on stdout instead of the text tables, and
+``--metrics-json PATH`` to dump the telemetry metrics registry gathered
+while the command ran.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 
-def _print_kv(title: str, data: dict) -> None:
-    print(f"\n== {title} ==")
-    for key, value in data.items():
-        if isinstance(value, dict):
-            print(f"  {key}:")
-            for k2, v2 in value.items():
-                print(f"    {k2}: {v2}")
-        else:
-            print(f"  {key}: {value}")
+class OutputWriter:
+    """Routes command output to text (stdout) or one JSON document.
+
+    Text mode prints the familiar ``== title ==`` tables immediately;
+    JSON mode accumulates every section into a single payload that
+    :meth:`close` dumps to the stream. All ``_run_*`` helpers write
+    through this so ``--json`` works uniformly across subcommands.
+    """
+
+    def __init__(self, json_mode: bool = False, stream=None) -> None:
+        self.json_mode = json_mode
+        self.stream = stream if stream is not None else sys.stdout
+        self.payload: Dict[str, Any] = {}
+
+    def section(self, title: str, data: Dict[str, Any]) -> None:
+        """One titled key/value table."""
+        if self.json_mode:
+            self.payload[title] = data
+            return
+        print(f"\n== {title} ==", file=self.stream)
+        for key, value in data.items():
+            if isinstance(value, dict):
+                print(f"  {key}:", file=self.stream)
+                for k2, v2 in value.items():
+                    print(f"    {k2}: {v2}", file=self.stream)
+            else:
+                print(f"  {key}: {value}", file=self.stream)
+
+    def rows(
+        self,
+        title: str,
+        records: List[Dict[str, Any]],
+        lines: List[str],
+    ) -> None:
+        """One titled list: preformatted lines (text) or records (JSON)."""
+        if self.json_mode:
+            self.payload[title] = records
+            return
+        print(f"\n== {title} ==", file=self.stream)
+        for line in lines:
+            print(line, file=self.stream)
+
+    def text(self, title: str, body: str) -> None:
+        """Free-form text block (the report); stored verbatim in JSON."""
+        if self.json_mode:
+            self.payload[title] = body
+            return
+        print(body, file=self.stream)
+
+    def line(self, text: str, **record: Any) -> None:
+        """One standalone result line (the add/mult one-off commands)."""
+        if self.json_mode:
+            self.payload.update(record)
+            return
+        print(text, file=self.stream)
+
+    def close(self) -> None:
+        if self.json_mode:
+            json.dump(self.payload, self.stream, indent=2, sort_keys=False)
+            self.stream.write("\n")
 
 
-def _run_table1() -> None:
+def _run_table1(writer: OutputWriter) -> None:
     from repro.sim.experiments import area_table
 
-    _print_kv("Table I: area overhead (%)", area_table())
+    writer.section("Table I: area overhead (%)", area_table())
 
 
-def _run_table3() -> None:
+def _run_table3(writer: OutputWriter) -> None:
     from repro.sim.experiments import operation_comparison, operation_speedups
 
-    _print_kv("Table III: operations", operation_comparison())
-    _print_kv("Table III: headline ratios vs SPIM", operation_speedups())
+    writer.section("Table III: operations", operation_comparison())
+    writer.section(
+        "Table III: headline ratios vs SPIM", operation_speedups()
+    )
 
 
-def _run_table4() -> None:
+def _run_table4(writer: OutputWriter) -> None:
     from repro.sim.experiments import cnn_experiment
 
-    _print_kv("Table IV: CNN inference (FPS)", cnn_experiment())
+    writer.section("Table IV: CNN inference (FPS)", cnn_experiment())
 
 
-def _run_table5() -> None:
+def _run_table5(writer: OutputWriter) -> None:
     from repro.sim.experiments import reliability_table
 
-    _print_kv("Table V: reliability", reliability_table())
+    writer.section("Table V: reliability", reliability_table())
 
 
-def _run_table6() -> None:
+def _run_table6(writer: OutputWriter) -> None:
     from repro.sim.experiments import cnn_nmr_experiment
 
-    _print_kv("Table VI: CNN with NMR (FPS)", cnn_nmr_experiment())
+    writer.section("Table VI: CNN with NMR (FPS)", cnn_nmr_experiment())
 
 
-def _run_fig10() -> None:
+def _run_fig10(writer: OutputWriter) -> None:
     from repro.sim.experiments import polybench_experiment, polybench_summary
 
     results = polybench_experiment()
-    print("\n== Fig. 10: Polybench normalized latency ==")
-    for r in results:
-        print(
+    writer.rows(
+        "Fig. 10: Polybench normalized latency",
+        [
+            {
+                "name": r.name,
+                "latency_dram_cpu": r.latency_dram_cpu,
+                "latency_dwm": 1.0,
+                "latency_pim": r.latency_pim,
+                "speedup_vs_dwm": r.speedup_vs_dwm,
+            }
+            for r in results
+        ],
+        [
             f"  {r.name:10s} DRAM {r.latency_dram_cpu:5.2f}  DWM 1.00  "
             f"PIM {r.latency_pim:5.2f}  (speedup {r.speedup_vs_dwm:.2f}x)"
-        )
-    _print_kv("summary", polybench_summary(results))
+            for r in results
+        ],
+    )
+    writer.section("summary", polybench_summary(results))
 
 
-def _run_fig11() -> None:
+def _run_fig11(writer: OutputWriter) -> None:
     from repro.sim.experiments import polybench_experiment
 
-    print("\n== Fig. 11: Polybench energy reduction ==")
-    for r in polybench_experiment():
-        print(f"  {r.name:10s} {r.energy_reduction:6.1f}x")
+    results = polybench_experiment()
+    writer.rows(
+        "Fig. 11: Polybench energy reduction",
+        [
+            {"name": r.name, "energy_reduction": r.energy_reduction}
+            for r in results
+        ],
+        [f"  {r.name:10s} {r.energy_reduction:6.1f}x" for r in results],
+    )
 
 
-def _run_fig12() -> None:
+def _run_fig12(writer: OutputWriter) -> None:
     from repro.sim.experiments import bitmap_experiment
 
-    print("\n== Fig. 12: bitmap query speedups ==")
-    for r in bitmap_experiment():
-        print(
+    results = bitmap_experiment()
+    writer.rows(
+        "Fig. 12: bitmap query speedups",
+        [
+            {
+                "weeks": r.weeks,
+                "speedup_ambit": r.speedup_ambit,
+                "speedup_elp2im": r.speedup_elp2im,
+                "speedup_coruscant": r.speedup_coruscant,
+            }
+            for r in results
+        ],
+        [
             f"  w={r.weeks}: Ambit {r.speedup_ambit:6.1f}x  "
             f"ELP2IM {r.speedup_elp2im:6.1f}x  "
             f"CORUSCANT {r.speedup_coruscant:6.1f}x"
-        )
+            for r in results
+        ],
+    )
 
 
-def _run_report() -> None:
+def _run_report(writer: OutputWriter) -> None:
     from repro.sim.report import generate_report
 
-    print(generate_report())
+    writer.text("report", generate_report())
 
 
 _EXPERIMENTS = {
@@ -119,7 +210,7 @@ _EXPERIMENTS = {
 }
 
 
-def _run_add(values: List[int], trd: int) -> None:
+def _run_add(writer: OutputWriter, values: List[int], trd: int) -> None:
     from repro import CoruscantSystem, MemoryGeometry
 
     system = CoruscantSystem(
@@ -127,11 +218,37 @@ def _run_add(values: List[int], trd: int) -> None:
     )
     n_bits = max(8, max(values).bit_length())
     result = system.add(values, n_bits=n_bits)
-    print(f"{' + '.join(map(str, values))} = {result.value} "
-          f"[{result.cycles} cycles, TRD={trd}]")
+    writer.line(
+        f"{' + '.join(map(str, values))} = {result.value} "
+        f"[{result.cycles} cycles, TRD={trd}]",
+        operands=values,
+        value=result.value,
+        cycles=result.cycles,
+        trd=trd,
+    )
 
 
-def _run_campaign(args) -> int:
+def _run_mult(writer: OutputWriter, a: int, b: int, trd: int) -> None:
+    from repro import CoruscantSystem, MemoryGeometry
+
+    system = CoruscantSystem(
+        trd=trd, geometry=MemoryGeometry(tracks_per_dbc=64)
+    )
+    n_bits = max(8, a.bit_length(), b.bit_length())
+    result = system.multiply(a, b, n_bits=n_bits)
+    writer.line(
+        f"{a} * {b} = {result.value} "
+        f"[{result.cycles} cycles, TRD={trd}, {result.breakdown}]",
+        a=a,
+        b=b,
+        value=result.value,
+        cycles=result.cycles,
+        trd=trd,
+        breakdown=result.breakdown,
+    )
+
+
+def _run_campaign(writer: OutputWriter, args, telemetry=None) -> int:
     from repro.reliability.campaign import (
         CampaignConfig,
         run_add_campaign,
@@ -162,32 +279,112 @@ def _run_campaign(args) -> int:
                 checkpoint_path=args.checkpoint,
                 checkpoint_every=args.checkpoint_every,
                 stop_after=args.stop_after,
+                telemetry=telemetry,
             )
         }
     elif args.resilience:
-        runs = run_recovery_comparison(config)
+        runs = run_recovery_comparison(config, telemetry=telemetry)
     else:
-        runs = {"recovery_off": run_add_campaign(config)}
+        runs = {
+            "recovery_off": run_add_campaign(config, telemetry=telemetry)
+        }
     exit_code = 0
     for name, result in runs.items():
-        _print_kv(f"Fault campaign ({name})", result.summary())
+        writer.section(f"Fault campaign ({name})", result.summary())
         if result.recovery and result.uncorrectable > 0:
             exit_code = 1
     if exit_code:
-        print("\ncampaign ended with uncorrectable faults")
+        writer.line(
+            "\ncampaign ended with uncorrectable faults",
+            uncorrectable_exit=True,
+        )
     return exit_code
 
 
-def _run_mult(a: int, b: int, trd: int) -> None:
-    from repro import CoruscantSystem, MemoryGeometry
+# ----------------------------------------------------------------------
+# trace command
 
+_TRACE_KERNELS = ("add", "mult", "max", "bulk")
+
+
+def _run_trace(writer: OutputWriter, args) -> int:
+    """Trace one kernel end to end and write a Chrome trace file."""
+    from repro import CoruscantSystem, MemoryGeometry
+    from repro.core.addition import MultiOperandAdder
+    from repro.core.isa import Address, CpimInstruction, CpimOp
+    from repro.core.pim_logic import BulkOp
+    from repro.telemetry import TelemetryHub, write_chrome_trace
+
+    kernel = args.operands[0] if args.operands else "mult"
+    if kernel not in _TRACE_KERNELS:
+        raise SystemExit(
+            f"unknown trace kernel {kernel!r}; "
+            f"pick one of {', '.join(_TRACE_KERNELS)}"
+        )
+    hub = TelemetryHub()
     system = CoruscantSystem(
-        trd=trd, geometry=MemoryGeometry(tracks_per_dbc=64)
+        trd=args.trd,
+        geometry=MemoryGeometry(tracks_per_dbc=64),
+        resilience=True,
+        telemetry=hub,
     )
-    n_bits = max(8, a.bit_length(), b.bit_length())
-    result = system.multiply(a, b, n_bits=n_bits)
-    print(f"{a} * {b} = {result.value} "
-          f"[{result.cycles} cycles, TRD={trd}, {result.breakdown}]")
+    if kernel == "mult":
+        result = system.multiply(173, 219, n_bits=8)
+        outcome = {"value": result.value, "cycles": result.cycles}
+    elif kernel == "add":
+        # Dispatch through the controller so the trace shows the full
+        # resilience.op > cpim.add > add.walk nesting.
+        dbc = system.pim_dbc()
+        adder = MultiOperandAdder(dbc)
+        words = [13, 200, 7, 31, 42][: adder.max_operands]
+        adder.stage_words(words, 8, zero_extend_to=16)
+        address = Address(bank=0, subarray=0, tile=0, dbc=0, row=0)
+        result = system.execute(
+            CpimInstruction(
+                op=CpimOp.ADD,
+                blocksize=16,
+                src=address,
+                dest=address,
+                operands=len(words),
+            )
+        )
+        outcome = {"value": result.values[0], "cycles": result.cycles}
+    elif kernel == "max":
+        result = system.maximum([13, 200, 7, 31, 42], n_bits=8)
+        outcome = {"value": result.value, "cycles": result.cycles}
+    else:  # bulk
+        rows = [[1, 0, 1, 1, 0, 0, 1, 0], [1, 1, 0, 1, 0, 1, 1, 0]]
+        result = system.bulk_op(BulkOp.AND, rows)
+        outcome = {"cycles": result.cycles}
+    document = write_chrome_trace(hub.tracer, args.out)
+    writer.line(
+        f"traced kernel {kernel!r}: {hub.tracer.span_count()} spans "
+        f"-> {args.out} ({len(document['traceEvents'])} events)",
+        kernel=kernel,
+        out=args.out,
+        spans=hub.tracer.span_count(),
+        events=len(document["traceEvents"]),
+        **outcome,
+    )
+    if args.metrics_json:
+        _dump_metrics(hub, args.metrics_json)
+        writer.line(
+            f"metrics -> {args.metrics_json}", metrics_json=args.metrics_json
+        )
+    return 0
+
+
+def _dump_metrics(hub, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(hub.metrics_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _int_operands(parser, args, command: str) -> List[int]:
+    try:
+        return [int(v) for v in args.operands]
+    except ValueError:
+        parser.error(f"{command} operands must be integers")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -197,11 +394,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=sorted(_EXPERIMENTS) + ["all", "add", "mult", "campaign"],
+        choices=sorted(_EXPERIMENTS) + ["all", "add", "mult", "campaign",
+                                        "trace"],
         help="experiment to regenerate, or a one-off PIM operation",
     )
     parser.add_argument(
-        "operands", nargs="*", type=int, help="operands for add/mult"
+        "operands", nargs="*",
+        help="operands for add/mult, or the kernel name for trace "
+             f"({', '.join(_TRACE_KERNELS)})",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the command's result as one JSON document on stdout",
+    )
+    parser.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="dump the telemetry metrics registry gathered while the "
+             "command ran to PATH (trace, campaign, report)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default="trace.json",
+        help="Chrome trace output path for the trace command "
+             "(default trace.json)",
     )
     parser.add_argument(
         "--trd", type=int, default=7, choices=(3, 5, 7),
@@ -272,7 +486,12 @@ def main(argv: Optional[List[str]] = None) -> int:
              "rows (exercises the scrubber)",
     )
     args = parser.parse_args(argv)
+    writer = OutputWriter(json_mode=args.json)
 
+    if args.command == "trace":
+        code = _run_trace(writer, args)
+        writer.close()
+        return code
     if args.command == "campaign":
         if args.ops < 1:
             parser.error("--ops must be >= 1")
@@ -296,22 +515,46 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--stop-after must be >= 0")
         if args.storage_rows < 0:
             parser.error("--storage-rows must be >= 0")
-        return _run_campaign(args)
+        hub = None
+        if args.metrics_json:
+            from repro.telemetry import TelemetryHub
+
+            hub = TelemetryHub()
+        code = _run_campaign(writer, args, telemetry=hub)
+        if hub is not None:
+            _dump_metrics(hub, args.metrics_json)
+        writer.close()
+        return code
     if args.command == "all":
         for run in _EXPERIMENTS.values():
-            run()
+            run(writer)
+        writer.close()
         return 0
     if args.command == "add":
         if len(args.operands) < 2:
             parser.error("add needs at least two operands")
-        _run_add(args.operands, args.trd)
+        _run_add(writer, _int_operands(parser, args, "add"), args.trd)
+        writer.close()
         return 0
     if args.command == "mult":
         if len(args.operands) != 2:
             parser.error("mult needs exactly two operands")
-        _run_mult(args.operands[0], args.operands[1], args.trd)
+        values = _int_operands(parser, args, "mult")
+        _run_mult(writer, values[0], values[1], args.trd)
+        writer.close()
         return 0
-    _EXPERIMENTS[args.command]()
+    if args.metrics_json:
+        # Experiment commands build DBCs internally; the process-wide
+        # active hub catches their device-level stats.
+        from repro.telemetry import TelemetryHub, runtime
+
+        hub = TelemetryHub()
+        with runtime.activated(hub):
+            _EXPERIMENTS[args.command](writer)
+        _dump_metrics(hub, args.metrics_json)
+    else:
+        _EXPERIMENTS[args.command](writer)
+    writer.close()
     return 0
 
 

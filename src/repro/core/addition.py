@@ -139,21 +139,25 @@ class MultiOperandAdder:
         """
         k = self._check_operand_count(len(words))
         before = self.dbc.stats.cycles
-        rows = []
-        for word in words:
-            bits = bits_from_int(word, n_bits)
-            rows.append(bits + [0] * (self.dbc.tracks - n_bits))
-        for i, row in enumerate(reversed(rows)):
-            self.dbc.write_row(row, port_index=0)
-            last = i == k - 1
-            if not last or self.uses_super_carry:
-                self.dbc.shift(1)
-        # Non-operand window slots come from the Fig. 7 zero preset —
-        # zero cost, the preset rows are maintained between operations.
-        base = self.operand_base_slot
-        for slot in range(self.trd):
-            if not base <= slot < base + k:
-                self._poke_block_slot(slot, [], 0, self.dbc.tracks)
+        with self.dbc.tracer.span(
+            "add.stage", category="core", operands=k
+        ) as span:
+            rows = []
+            for word in words:
+                bits = bits_from_int(word, n_bits)
+                rows.append(bits + [0] * (self.dbc.tracks - n_bits))
+            for i, row in enumerate(reversed(rows)):
+                self.dbc.write_row(row, port_index=0)
+                last = i == k - 1
+                if not last or self.uses_super_carry:
+                    self.dbc.shift(1)
+            # Non-operand window slots come from the Fig. 7 zero preset —
+            # zero cost, the preset rows are maintained between operations.
+            base = self.operand_base_slot
+            for slot in range(self.trd):
+                if not base <= slot < base + k:
+                    self._poke_block_slot(slot, [], 0, self.dbc.tracks)
+            span.annotate(cycles=self.dbc.stats.cycles - before)
         return self.dbc.stats.cycles - before
 
     # ------------------------------------------------------------------
@@ -181,15 +185,21 @@ class MultiOperandAdder:
         if last > self.dbc.tracks:
             raise ValueError("blocks extend past the DBC's tracks")
         before = self.dbc.stats.cycles
-        for step in range(result_bits):
-            tracks = [start_track + b * stride + step for b in range(blocks)]
-            levels = self.dbc.transverse_read_tracks(tracks)
-            for b, (track, level) in enumerate(zip(tracks, levels)):
-                s, c, c_prime = adder_outputs(level)
-                block_end = start_track + b * stride + result_bits
-                self._write_outputs(track, s, c, c_prime, block_end)
-            self.dbc.tick(1, "carry_write")
-        cycles = self.dbc.stats.cycles - before
+        with self.dbc.tracer.span(
+            "add.walk", category="core", operands=n_operands, blocks=blocks
+        ) as span:
+            for step in range(result_bits):
+                tracks = [
+                    start_track + b * stride + step for b in range(blocks)
+                ]
+                levels = self.dbc.transverse_read_tracks(tracks)
+                for b, (track, level) in enumerate(zip(tracks, levels)):
+                    s, c, c_prime = adder_outputs(level)
+                    block_end = start_track + b * stride + result_bits
+                    self._write_outputs(track, s, c, c_prime, block_end)
+                self.dbc.tick(1, "carry_write")
+            cycles = self.dbc.stats.cycles - before
+            span.annotate(cycles=cycles)
         values = []
         for b in range(blocks):
             base = start_track + b * stride

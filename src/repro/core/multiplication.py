@@ -67,8 +67,11 @@ class Multiplier:
         width = self._width(n_bits, result_bits)
         self._check_operand(a, n_bits, "a")
         self._check_operand(b, n_bits, "b")
+        tracer = self.dbc.tracer
         before = self.dbc.stats.cycles
-        rows, pp_cycles = self._partial_products(a, b, n_bits, width)
+        with tracer.span("mult.partial_products", category="core") as span:
+            rows, pp_cycles = self._partial_products(a, b, n_bits, width)
+            span.annotate(cycles=pp_cycles, rows=len(rows))
         breakdown = {"partial_products": pp_cycles}
         if len(rows) == 0:
             return MultiplyResult(0, self.dbc.stats.cycles - before, breakdown)
@@ -79,17 +82,21 @@ class Multiplier:
                 self.dbc.stats.cycles - before,
                 breakdown,
             )
-        red_before = self.dbc.stats.cycles
-        # Rows beyond the window are staged in as reduction frees slots:
-        # one read + one write each through the row buffer.
-        overflow = max(0, len(rows) - self.trd)
-        if overflow:
-            self.dbc.tick(2 * overflow, "row_staging")
-        reduced = self.reducer.reduce_to(rows)
-        breakdown["reduction"] = self.dbc.stats.cycles - red_before
-        add_before = self.dbc.stats.cycles
-        value = self._final_add(reduced.rows, width)
-        breakdown["final_add"] = self.dbc.stats.cycles - add_before
+        with tracer.span("mult.reduction", category="core") as span:
+            red_before = self.dbc.stats.cycles
+            # Rows beyond the window are staged in as reduction frees
+            # slots: one read + one write each through the row buffer.
+            overflow = max(0, len(rows) - self.trd)
+            if overflow:
+                self.dbc.tick(2 * overflow, "row_staging")
+            reduced = self.reducer.reduce_to(rows)
+            breakdown["reduction"] = self.dbc.stats.cycles - red_before
+            span.annotate(cycles=breakdown["reduction"])
+        with tracer.span("mult.final_add", category="core") as span:
+            add_before = self.dbc.stats.cycles
+            value = self._final_add(reduced.rows, width)
+            breakdown["final_add"] = self.dbc.stats.cycles - add_before
+            span.annotate(cycles=breakdown["final_add"])
         return MultiplyResult(
             value, self.dbc.stats.cycles - before, breakdown
         )

@@ -215,7 +215,7 @@ class CampaignResult:
         return summary
 
 
-def _campaign_system(config: CampaignConfig):
+def _campaign_system(config: CampaignConfig, telemetry=None):
     """Build the system under test (import deferred to avoid cycles)."""
     from repro.arch.geometry import MemoryGeometry
     from repro.sim.system import CoruscantSystem
@@ -234,6 +234,7 @@ def _campaign_system(config: CampaignConfig):
         adaptive=(
             (config.breaker or True) if config.adaptive else False
         ),
+        telemetry=telemetry or False,
     )
 
 
@@ -245,6 +246,7 @@ def run_add_campaign(
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 100,
     stop_after: Optional[int] = None,
+    telemetry=None,
 ) -> CampaignResult:
     """Replay ``config.ops`` multi-operand additions under faults.
 
@@ -264,6 +266,8 @@ def run_add_campaign(
         stop_after: execute at most this many ops in *this* invocation
             and return with ``completed=False`` — an orderly stand-in
             for a crash in tests and sliced long runs.
+        telemetry: optional :class:`~repro.telemetry.TelemetryHub`; the
+            campaign system publishes traces and metrics into it.
 
     A run interrupted at any point and resumed from its journal produces
     a final report bit-identical to the uninterrupted run.
@@ -271,7 +275,7 @@ def run_add_campaign(
     from repro.core.addition import MultiOperandAdder
     from repro.resilience.errors import UncorrectableFaultError
 
-    system = _campaign_system(config)
+    system = _campaign_system(config, telemetry=telemetry)
     dbc = system.pim_dbc()
     adder = MultiOperandAdder(dbc)
     if config.operands > adder.max_operands:
@@ -617,15 +621,18 @@ def run_cnn_campaign(
 
 def run_recovery_comparison(
     config: CampaignConfig,
+    telemetry=None,
 ) -> Dict[str, CampaignResult]:
     """The same campaign with recovery on and off, for side-by-side.
 
     The bare baseline also drops the adaptive ladder and the background
     scrubber — it is the fault-oblivious pipeline the protected run is
-    measured against.
+    measured against. A shared ``telemetry`` hub (when given) collects
+    both runs' traces and metrics.
     """
-    on = run_add_campaign(replace(config, recovery=True))
+    on = run_add_campaign(replace(config, recovery=True), telemetry=telemetry)
     off = run_add_campaign(
-        replace(config, recovery=False, adaptive=False, scrub_interval=None)
+        replace(config, recovery=False, adaptive=False, scrub_interval=None),
+        telemetry=telemetry,
     )
     return {"recovery_on": on, "recovery_off": off}

@@ -111,6 +111,13 @@ class AdaptiveProtection:
         self._states: Dict[DBCKey, BreakerState] = {}
         self.transitions: List[Tuple[int, DBCKey, str, str]] = []
         self._ops = 0
+        # Optional TelemetryHub; when set, committed level changes emit
+        # a ``breaker.transition`` instant and count transitions.
+        self.telemetry = None
+
+    def attach_telemetry(self, hub) -> None:
+        """Publish level transitions into ``hub`` from now on."""
+        self.telemetry = hub
 
     # ------------------------------------------------------------------
 
@@ -185,6 +192,16 @@ class AdaptiveProtection:
         else:
             state.deescalations += 1
         self.transitions.append((self._ops, key, state.level.name, to.name))
+        hub = self.telemetry
+        if hub is not None:
+            hub.tracer.instant(
+                "breaker.transition",
+                category="resilience",
+                dbc=str(list(key)),
+                src=state.level.name,
+                dst=to.name,
+            )
+            hub.breaker_transition(state.level.name, to.name)
         state.level = to
         state.window.clear()
         state.clean_streak = 0

@@ -81,6 +81,8 @@ def restore_dbc_state(dbc: DomainBlockCluster, state: Dict[str, Any]) -> None:
 def device_stats_state(stats: DeviceStats) -> Dict[str, Any]:
     return {
         "op_counts": dict(stats.op_counts),
+        "op_cycles": dict(stats.op_cycles),
+        "op_energy_pj": dict(stats.op_energy_pj),
         "cycles": stats.cycles,
         "energy_pj": stats.energy_pj,
     }
@@ -88,6 +90,9 @@ def device_stats_state(stats: DeviceStats) -> Dict[str, Any]:
 
 def restore_device_stats(stats: DeviceStats, state: Dict[str, Any]) -> None:
     stats.op_counts = dict(state["op_counts"])
+    # Journals written before per-op breakdowns existed lack these keys.
+    stats.op_cycles = dict(state.get("op_cycles", {}))
+    stats.op_energy_pj = dict(state.get("op_energy_pj", {}))
     stats.cycles = state["cycles"]
     stats.energy_pj = state["energy_pj"]
 

@@ -43,6 +43,7 @@ from repro.resilience.errors import (
 )
 from repro.resilience.health import DBCHealthRegistry, dbc_key
 from repro.resilience.policy import RetryPolicy
+from repro.telemetry.spans import NULL_TRACER
 from repro.utils.bitops import bits_from_int
 
 
@@ -70,6 +71,14 @@ class RecoveryStats:
     def faults_corrected(self) -> int:
         """Faults neutralised by any rung of the ladder."""
         return self.faults_corrected_inline + self.misalignments_repaired
+
+    def as_dict(self) -> dict:
+        """Non-destructive counter snapshot for JSON export."""
+        from dataclasses import asdict
+
+        snapshot = asdict(self)
+        snapshot["faults_corrected"] = self.faults_corrected
+        return snapshot
 
 
 def result_signature(result: Any) -> Any:
@@ -127,8 +136,19 @@ class ResilientExecutor:
         self.detector = FaultDetector(self.policy)
         self.breaker = breaker
         self.stats = RecoveryStats()
+        # Optional TelemetryHub; when set, every execute() runs inside a
+        # ``resilience.op`` span annotated with its fault verdict.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
+
+    def attach_telemetry(self, hub) -> None:
+        """Trace/measure every operation through ``hub`` from now on."""
+        self.telemetry = hub
+
+    def _tracer(self):
+        hub = self.telemetry
+        return hub.tracer if hub is not None else NULL_TRACER
 
     def execute(self, instruction: CpimInstruction):
         """Run one cpim instruction under the recovery ladder.
@@ -137,7 +157,44 @@ class ResilientExecutor:
         would; raises :class:`UncorrectableFaultError` only after retries
         and NMR escalation are both exhausted. Background maintenance
         hooks (scrubbing) are deferred until the transaction commits.
+        With telemetry attached the whole ladder runs inside a
+        ``resilience.op`` span whose ``verdict`` attribute records how
+        the op resolved (clean / retried / escalated / uncorrectable).
         """
+        hub = self.telemetry
+        if hub is None:
+            return self._execute_inner(instruction)
+        before_attempts = self.stats.attempts
+        before_retries = self.stats.retries
+        before_escalations = self.stats.escalations
+        before_nmr = self.stats.nmr_ops
+        op_name = instruction.op.name.lower()
+        with hub.tracer.span(
+            "resilience.op", category="resilience", op=op_name
+        ) as span:
+            try:
+                result = self._execute_inner(instruction)
+            except ResilienceError:
+                attempts = max(1, self.stats.attempts - before_attempts)
+                span.annotate(attempts=attempts, verdict="uncorrectable")
+                hub.resilient_op(attempts, "uncorrectable")
+                raise
+            attempts = max(1, self.stats.attempts - before_attempts)
+            escalated = (
+                self.stats.escalations > before_escalations
+                or self.stats.nmr_ops > before_nmr
+            )
+            if escalated:
+                verdict = "escalated"
+            elif self.stats.retries > before_retries:
+                verdict = "retried"
+            else:
+                verdict = "clean"
+            span.annotate(attempts=attempts, verdict=verdict)
+            hub.resilient_op(attempts, verdict)
+            return result
+
+    def _execute_inner(self, instruction: CpimInstruction):
         with self.controller.deferred_hooks():
             instruction = self._remap(instruction)
             key = dbc_key(instruction.src)
@@ -184,6 +241,12 @@ class ResilientExecutor:
             if attempt > 1:
                 dbc.restore(snapshot)
                 self.stats.retries += 1
+                self._tracer().instant(
+                    "resilience.retry",
+                    category="resilience",
+                    attempt=attempt,
+                    op=instruction.op.name.lower(),
+                )
             self.stats.attempts += 1
             self.detector.mark(dbc)
             start = dbc.stats.cycles
@@ -249,6 +312,22 @@ class ResilientExecutor:
         self.stats.overhead_cycles += max(0, total - base_cycles)
 
     def _nmr_execute(
+        self, instruction: CpimInstruction, dbc, snapshot, reactive: bool
+    ) -> Tuple[Any, int, int]:
+        """Span-wrapped entry to :meth:`_nmr_execute_inner`."""
+        with self._tracer().span(
+            "resilience.nmr",
+            category="resilience",
+            reactive=reactive,
+            op=instruction.op.name.lower(),
+        ) as span:
+            result, faults, base = self._nmr_execute_inner(
+                instruction, dbc, snapshot, reactive
+            )
+            span.annotate(faults=faults)
+            return result, faults, base
+
+    def _nmr_execute_inner(
         self, instruction: CpimInstruction, dbc, snapshot, reactive: bool
     ) -> Tuple[Any, int, int]:
         """NMR re-execution: majority over result signatures or give up.

@@ -85,7 +85,14 @@ class ScrubEngine:
         self.registry = registry
         self.repair = repair
         self.stats = ScrubStats()
+        # Optional TelemetryHub; when set, each pass runs inside a
+        # ``scrub.pass`` span and feeds the scrub.* counters.
+        self.telemetry = None
         self._since = 0
+
+    def attach_telemetry(self, hub) -> None:
+        """Trace/measure every scrub pass through ``hub`` from now on."""
+        self.telemetry = hub
 
     # ------------------------------------------------------------------
 
@@ -104,6 +111,29 @@ class ScrubEngine:
         each DBC's own stats (the memory pays for its scrubbing) and are
         mirrored into :attr:`stats` for attribution.
         """
+        hub = self.telemetry
+        if hub is None:
+            return self._run_pass_inner()
+        checked = self.stats.dbcs_checked
+        misaligned = self.stats.misaligned_dbcs
+        repaired = self.stats.repaired_tracks
+        cycles = self.stats.scrub_cycles
+        with hub.tracer.span("scrub.pass", category="scrub") as span:
+            found = self._run_pass_inner()
+            d_checked = self.stats.dbcs_checked - checked
+            d_misaligned = self.stats.misaligned_dbcs - misaligned
+            d_repaired = self.stats.repaired_tracks - repaired
+            d_cycles = self.stats.scrub_cycles - cycles
+            span.annotate(
+                dbcs_checked=d_checked,
+                misaligned=d_misaligned,
+                repaired=d_repaired,
+                cycles=d_cycles,
+            )
+            hub.scrub_pass(d_checked, d_misaligned, d_repaired, d_cycles)
+        return found
+
+    def _run_pass_inner(self) -> List[Tuple[DBCKey, List[int]]]:
         found: List[Tuple[DBCKey, List[int]]] = []
         self.stats.passes += 1
         for key, dbc in self.memory.iter_materialized_dbcs():

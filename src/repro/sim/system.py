@@ -8,6 +8,7 @@ point `examples/` build on.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.arch.controller import MemoryController
@@ -28,6 +29,7 @@ from repro.resilience.executor import ResilientExecutor
 from repro.resilience.health import DBCHealthRegistry
 from repro.resilience.policy import RetryPolicy
 from repro.resilience.scrub import ScrubEngine
+from repro.telemetry.hub import TelemetryHub
 
 
 class CoruscantSystem:
@@ -52,6 +54,12 @@ class CoruscantSystem:
             (:attr:`breaker`): BARE -> VOTED -> NMR escalation on
             sustained faults, half-open de-escalation when a cluster
             calms down. Requires ``resilience``.
+        telemetry: ``True`` (a fresh :class:`TelemetryHub`) or a hub
+            object to trace and measure every layer: the facade's
+            ``pim.<op>`` spans nest the controller's ``cpim.<op>`` and
+            the core units' phase spans, and the device / resilience /
+            scrub counters publish into the hub's metrics registry.
+            ``False`` (default) keeps the zero-overhead null path.
     """
 
     def __init__(
@@ -62,6 +70,7 @@ class CoruscantSystem:
         resilience: Union[bool, RetryPolicy] = False,
         scrub_interval: Optional[int] = None,
         adaptive: Union[bool, BreakerConfig] = False,
+        telemetry: Union[bool, TelemetryHub] = False,
     ) -> None:
         if trd not in (3, 5, 7):
             raise ValueError(f"trd must be 3, 5 or 7, got {trd}")
@@ -104,6 +113,17 @@ class CoruscantSystem:
                 self.memory, scrub_interval, registry=self.health
             )
             self.controller.add_op_hook(self.scrubber.on_ops)
+        if telemetry is True:
+            telemetry = TelemetryHub()
+        self.telemetry: Optional[TelemetryHub] = telemetry or None
+        if self.telemetry is not None:
+            self.controller.attach_telemetry(self.telemetry)
+            if self.executor is not None:
+                self.executor.attach_telemetry(self.telemetry)
+            if self.scrubber is not None:
+                self.scrubber.attach_telemetry(self.telemetry)
+            if self.breaker is not None:
+                self.breaker.attach_telemetry(self.telemetry)
 
     # ------------------------------------------------------------------
 
@@ -127,7 +147,26 @@ class CoruscantSystem:
         dbc = self.memory.pim_dbc(bank=bank, subarray=subarray)
         if self.policy is not None:
             dbc.tr_vote_reads = self.policy.tr_vote_reads
+        if self.telemetry is not None and dbc.stats.sink is None:
+            dbc.stats.sink = self.telemetry
+            dbc.tracer = self.telemetry.tracer
         return dbc
+
+    @contextmanager
+    def _traced(self, op: str, dbc: DomainBlockCluster):
+        """``pim.<op>`` span around one facade operation on ``dbc``."""
+        hub = self.telemetry
+        if hub is None:
+            yield
+            return
+        cycles_before = dbc.stats.cycles
+        energy_before = dbc.stats.energy_pj
+        with hub.tracer.span(f"pim.{op}", category="pim") as span:
+            yield
+            cycles = dbc.stats.cycles - cycles_before
+            energy = dbc.stats.energy_pj - energy_before
+            span.annotate(cycles=cycles, energy_pj=round(energy, 3))
+            hub.pim_op(op, cycles, energy)
 
     def execute(self, instruction):
         """Run a cpim instruction, resiliently when a policy is set."""
@@ -146,8 +185,9 @@ class CoruscantSystem:
         dbc = self.pim_dbc(bank, subarray)
         unit = BulkBitwiseUnit(dbc)
         rows = [self._pad_row(dbc, r) for r in operands]
-        unit.stage_operands(op, rows)
-        return unit.execute(op, len(rows))
+        with self._traced(f"bulk_{op.name.lower()}", dbc):
+            unit.stage_operands(op, rows)
+            return unit.execute(op, len(rows))
 
     def add(
         self,
@@ -161,7 +201,8 @@ class CoruscantSystem:
         dbc = self.pim_dbc(bank, subarray)
         adder = MultiOperandAdder(dbc)
         result_bits = None if exact else n_bits
-        return adder.add_words(words, n_bits, result_bits=result_bits)
+        with self._traced("add", dbc):
+            return adder.add_words(words, n_bits, result_bits=result_bits)
 
     def multiply(
         self,
@@ -173,7 +214,8 @@ class CoruscantSystem:
     ) -> MultiplyResult:
         """Optimized (carry-save) multiplication."""
         dbc = self.pim_dbc(bank, subarray)
-        return Multiplier(dbc).multiply(a, b, n_bits)
+        with self._traced("mult", dbc):
+            return Multiplier(dbc).multiply(a, b, n_bits)
 
     def multiply_constant(
         self,
@@ -186,9 +228,10 @@ class CoruscantSystem:
     ) -> MultiplyResult:
         """Compile-time constant multiplication via CSD planning."""
         dbc = self.pim_dbc(bank, subarray)
-        return Multiplier(dbc).multiply_constant(
-            a, constant, n_bits, result_bits=result_bits
-        )
+        with self._traced("mult_const", dbc):
+            return Multiplier(dbc).multiply_constant(
+                a, constant, n_bits, result_bits=result_bits
+            )
 
     def maximum(
         self,
@@ -199,7 +242,8 @@ class CoruscantSystem:
     ) -> MaxResult:
         """Max of up to TRD words via the TW subroutine."""
         dbc = self.pim_dbc(bank, subarray)
-        return MaxUnit(dbc).run(words, n_bits)
+        with self._traced("max", dbc):
+            return MaxUnit(dbc).run(words, n_bits)
 
     def vote(
         self,
@@ -210,7 +254,8 @@ class CoruscantSystem:
         """N-modular-redundancy majority vote of result rows."""
         dbc = self.pim_dbc(bank, subarray)
         rows = [self._pad_row(dbc, r) for r in replicas]
-        return ModularRedundancy(dbc).vote(rows)
+        with self._traced("vote", dbc):
+            return ModularRedundancy(dbc).vote(rows)
 
     def popcount(
         self, bits: Sequence[int], bank: int = 0, subarray: int = 0
@@ -219,7 +264,8 @@ class CoruscantSystem:
         from repro.core.popcount import PopcountUnit
 
         dbc = self.pim_dbc(bank, subarray)
-        return PopcountUnit(dbc).count_row(list(bits)).count
+        with self._traced("popcount", dbc):
+            return PopcountUnit(dbc).count_row(list(bits)).count
 
     def minimum(
         self,
@@ -232,7 +278,8 @@ class CoruscantSystem:
         from repro.core.compare import CompareUnit
 
         dbc = self.pim_dbc(bank, subarray)
-        return CompareUnit(dbc).minimum(words, n_bits)
+        with self._traced("min", dbc):
+            return CompareUnit(dbc).minimum(words, n_bits)
 
     # ------------------------------------------------------------------
 

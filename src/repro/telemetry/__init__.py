@@ -1,0 +1,69 @@
+"""Telemetry subsystem: structured tracing, metrics, Chrome-trace export.
+
+Three pieces, usable separately or together through
+:class:`TelemetryHub`:
+
+* :class:`Tracer` / :class:`NullTracer` — nested spans with wall-time
+  plus simulated cycles/energy attributes (``pim.add``, ``cpim.add``,
+  ``mult.reduction``, ``resilience.op``, ``scrub.pass``, ...).
+* :class:`MetricsRegistry` — counters, gauges, and fixed-bucket
+  histograms every layer publishes into.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — export the span
+  tree as Chrome ``trace_event`` JSON for ``chrome://tracing`` or
+  https://ui.perfetto.dev.
+
+Wire it end to end with ``CoruscantSystem(telemetry=True)`` or
+``CoruscantSystem(telemetry=TelemetryHub())``; scope a hub over code
+that builds its own clusters with :func:`activated`.
+"""
+
+from repro.telemetry.chrome import chrome_trace, write_chrome_trace
+from repro.telemetry.hub import (
+    OP_CYCLE_BUCKETS,
+    QUEUE_CYCLE_BUCKETS,
+    RETRY_DEPTH_BUCKETS,
+    TR_PER_OP_BUCKETS,
+    TelemetryHub,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.runtime import (
+    activate,
+    activated,
+    active_hub,
+    deactivate,
+)
+from repro.telemetry.spans import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "OP_CYCLE_BUCKETS",
+    "QUEUE_CYCLE_BUCKETS",
+    "RETRY_DEPTH_BUCKETS",
+    "Span",
+    "TR_PER_OP_BUCKETS",
+    "TelemetryHub",
+    "Tracer",
+    "activate",
+    "activated",
+    "active_hub",
+    "chrome_trace",
+    "deactivate",
+    "write_chrome_trace",
+]

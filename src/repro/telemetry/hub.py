@@ -1,0 +1,138 @@
+"""The telemetry hub: one tracer + one metrics registry, shared stack-wide.
+
+A :class:`TelemetryHub` is what ``CoruscantSystem(telemetry=...)`` wires
+through the device, arch, core, and resilience layers. Each layer calls
+the narrow publishing helpers here (``device_op``, ``memory_access``,
+``cpim_op``, ...) so instrument names and bucket edges stay consistent
+no matter who publishes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.telemetry.chrome import chrome_trace, write_chrome_trace
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Tracer
+
+# Fixed bucket edges (inclusive upper bounds) for the stack's histograms.
+TR_PER_OP_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+OP_CYCLE_BUCKETS = (8, 16, 32, 64, 128, 256, 512, 1024)
+RETRY_DEPTH_BUCKETS = (1, 2, 3, 4, 5, 8)
+QUEUE_CYCLE_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+class TelemetryHub:
+    """Tracer + metrics registry + the publishing helpers layers call."""
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = Tracer() if tracer is None else tracer
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+
+    # ------------------------------------------------------------------
+    # device layer
+
+    def device_op(
+        self, op: str, cycles: int, energy_pj: float, count: int = 1
+    ) -> None:
+        """One :meth:`DeviceStats.record` call's worth of device activity."""
+        m = self.metrics
+        m.counter("device.ops").inc(count)
+        m.counter(f"device.{op}.count").inc(count)
+        m.counter("device.cycles").inc(cycles)
+        m.counter("device.energy_pj").inc(energy_pj)
+
+    # ------------------------------------------------------------------
+    # memory controller / scheduler
+
+    def memory_access(self, is_write: bool, row_hit: bool) -> None:
+        m = self.metrics
+        m.counter("mem.writes" if is_write else "mem.reads").inc()
+        m.counter("mem.row_hits" if row_hit else "mem.row_misses").inc()
+        hits = m.counter("mem.row_hits").value
+        total = hits + m.counter("mem.row_misses").value
+        m.gauge("mem.row_buffer_hit_rate").set(hits / total if total else 0.0)
+
+    def cpim_op(
+        self, op: str, cycles: int, energy_pj: float, trs: int
+    ) -> None:
+        m = self.metrics
+        m.counter("cpim.ops").inc()
+        m.counter(f"cpim.{op}.count").inc()
+        m.counter("cpim.cycles").inc(cycles)
+        m.counter("cpim.energy_pj").inc(energy_pj)
+        m.histogram("cpim.tr_per_op", TR_PER_OP_BUCKETS).observe(trs)
+        m.histogram("cpim.op_cycles", OP_CYCLE_BUCKETS).observe(cycles)
+
+    def scheduler_request(self, queue_cycles: int) -> None:
+        self.metrics.counter("sched.requests").inc()
+        self.metrics.histogram(
+            "sched.queue_cycles", QUEUE_CYCLE_BUCKETS
+        ).observe(queue_cycles)
+
+    def scheduler_replay(
+        self, hit_rate: float, queue_fraction: float
+    ) -> None:
+        self.metrics.gauge("sched.row_hit_rate").set(hit_rate)
+        self.metrics.gauge("sched.queue_fraction").set(queue_fraction)
+
+    # ------------------------------------------------------------------
+    # facade (pim.*) operations
+
+    def pim_op(self, op: str, cycles: int, energy_pj: float) -> None:
+        m = self.metrics
+        m.counter("pim.ops").inc()
+        m.counter(f"pim.{op}.count").inc()
+        m.counter("pim.cycles").inc(cycles)
+        m.counter("pim.energy_pj").inc(energy_pj)
+
+    # ------------------------------------------------------------------
+    # resilience layers
+
+    def resilient_op(self, attempts: int, verdict: str) -> None:
+        m = self.metrics
+        m.counter("resilience.ops").inc()
+        m.counter(f"resilience.verdict.{verdict}").inc()
+        m.histogram(
+            "resilience.retry_depth", RETRY_DEPTH_BUCKETS
+        ).observe(attempts)
+
+    def scrub_pass(
+        self, dbcs_checked: int, misaligned: int, repaired: int, cycles: int
+    ) -> None:
+        m = self.metrics
+        m.counter("scrub.passes").inc()
+        m.counter("scrub.dbcs_checked").inc(dbcs_checked)
+        m.counter("scrub.misaligned_dbcs").inc(misaligned)
+        m.counter("scrub.repaired_tracks").inc(repaired)
+        m.counter("scrub.cycles").inc(cycles)
+
+    def breaker_transition(self, src: str, dst: str) -> None:
+        self.metrics.counter("breaker.transitions").inc()
+        self.metrics.counter(f"breaker.to_{dst.lower()}").inc()
+
+    # ------------------------------------------------------------------
+    # export
+
+    def metrics_dict(self) -> Dict[str, Any]:
+        """Non-destructive snapshot of the whole registry."""
+        return self.metrics.as_dict()
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        return chrome_trace(self.tracer)
+
+    def write_chrome_trace(self, path: str) -> Dict[str, Any]:
+        return write_chrome_trace(self.tracer, path)
+
+
+__all__ = [
+    "OP_CYCLE_BUCKETS",
+    "QUEUE_CYCLE_BUCKETS",
+    "RETRY_DEPTH_BUCKETS",
+    "TR_PER_OP_BUCKETS",
+    "TelemetryHub",
+]

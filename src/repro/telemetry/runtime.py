@@ -1,0 +1,56 @@
+"""Process-wide active telemetry hub.
+
+Most wiring is explicit — ``CoruscantSystem(telemetry=hub)`` attaches
+the hub to the objects it owns. Experiment regenerators, however, build
+:class:`~repro.arch.dbc.DomainBlockCluster` objects internally with no
+injection point; for those, :func:`activated` installs a hub that
+:meth:`DeviceStats.record <repro.device.stats.DeviceStats.record>`
+consults whenever a stats object has no sink of its own::
+
+    hub = TelemetryHub()
+    with activated(hub):
+        generate_report()          # every DBC built inside publishes
+    hub.metrics_dict()
+
+When nothing is activated the cost is one module-global ``None`` check
+per record call.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_ACTIVE = None  # type: Optional[object]
+
+
+def activate(hub) -> None:
+    """Install ``hub`` as the process-wide default telemetry sink."""
+    global _ACTIVE
+    _ACTIVE = hub
+
+
+def deactivate() -> None:
+    """Remove the process-wide default sink."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_hub():
+    """The currently installed hub, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def activated(hub) -> Iterator[object]:
+    """Scope ``hub`` as the active sink, restoring the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = hub
+    try:
+        yield hub
+    finally:
+        _ACTIVE = previous
+
+
+__all__ = ["activate", "activated", "active_hub", "deactivate"]

@@ -1,0 +1,238 @@
+"""Structured tracing: nested spans over the PIM stack.
+
+A :class:`Span` is one traced operation — a facade-level ``pim.mult``, a
+controller-level ``cpim.add``, a core phase like ``mult.reduction``, or
+a maintenance pass like ``scrub.pass``. Spans nest by wall-clock
+containment (the tracer keeps an explicit stack) and carry free-form
+attributes; the convention across the stack is that every span is
+annotated with its *simulated* cost (``cycles``/``energy_pj``) while its
+``start_us``/``duration_us`` record host wall time.
+
+The default tracer everywhere is :data:`NULL_TRACER`, whose ``span()``
+returns a shared no-op singleton: no span objects are allocated, no
+lists grow, so un-instrumented runs pay only an attribute read per
+potential span site.
+
+This module is dependency-free (stdlib only) so every layer of the
+simulator can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One traced operation: name, wall interval, attributes, children."""
+
+    __slots__ = (
+        "name",
+        "category",
+        "start_us",
+        "duration_us",
+        "attrs",
+        "children",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str = "pim",
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.start_us = 0.0
+        self.duration_us = 0.0
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.children: List["Span"] = []
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def finished(self) -> bool:
+        return self.duration_us > 0.0 or self not in self._tracer._stack
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._exit(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, dur_us={self.duration_us:.1f}, "
+            f"attrs={self.attrs}, children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Collects nested spans and instant events.
+
+    Use :meth:`span` as a context manager::
+
+        tracer = Tracer()
+        with tracer.span("pim.mult", n_bits=8) as span:
+            ...
+            span.annotate(cycles=64)
+
+    Spans entered while another span is open become its children.
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._stack: List[Span] = []
+        self.roots: List[Span] = []
+        self.instants: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, category: str = "pim", **attrs: Any) -> Span:
+        """A new span, recorded once it is entered as a context manager."""
+        return Span(self, name, category, attrs)
+
+    def instant(self, name: str, category: str = "pim", **attrs: Any) -> None:
+        """Record a zero-duration event (retry, breaker transition, ...)."""
+        self.instants.append(
+            {
+                "name": name,
+                "category": category,
+                "ts_us": self._now_us(),
+                "attrs": attrs,
+            }
+        )
+
+    @property
+    def active(self) -> Optional[Span]:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def iter_spans(self) -> Iterator[Span]:
+        """All finished-or-open spans, depth-first in start order."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def span_count(self) -> int:
+        return sum(1 for _ in self.iter_spans())
+
+    def find(self, name: str) -> List[Span]:
+        """Every span with the given name, in start order."""
+        return [s for s in self.iter_spans() if s.name == name]
+
+    def clear(self) -> None:
+        """Drop all recorded spans and events (the stack must be empty)."""
+        if self._stack:
+            raise RuntimeError("cannot clear a tracer with open spans")
+        self.roots.clear()
+        self.instants.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._epoch) * 1e6
+
+    def _enter(self, span: Span) -> None:
+        span.start_us = self._now_us()
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(span)
+        self._stack.append(span)
+
+    def _exit(self, span: Span) -> None:
+        span.duration_us = max(0.0, self._now_us() - span.start_us)
+        # Tolerate mismatched exits (an inner span leaked by an
+        # exception): unwind down to - and including - this span.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+
+
+class _NullSpan:
+    """Shared no-op span: the zero-overhead stand-in for :class:`Span`."""
+
+    __slots__ = ()
+
+    name = None
+    category = None
+    start_us = 0.0
+    duration_us = 0.0
+    attrs: Dict[str, Any] = {}
+    children: tuple = ()
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """A tracer that records nothing and allocates nothing per span.
+
+    ``span()`` always returns the shared :data:`NULL_SPAN` singleton, so
+    instrumented code paths cost one method call and no allocation when
+    tracing is off — the default for every simulator object.
+    """
+
+    enabled = False
+    roots: tuple = ()
+    instants: tuple = ()
+    active = None
+    depth = 0
+
+    def span(self, name: str, category: str = "pim", **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def instant(self, name: str, category: str = "pim", **attrs: Any) -> None:
+        return None
+
+    def iter_spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def span_count(self) -> int:
+        return 0
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -129,3 +131,130 @@ class TestTableCommands:
     def test_tables_run(self, command, capsys):
         assert main([command]) == 0
         assert "==" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    @pytest.mark.parametrize(
+        "command",
+        ["table1", "table3", "table4", "table5", "table6",
+         "fig10", "fig11", "fig12"],
+    )
+    def test_experiments_emit_one_json_document(self, command, capsys):
+        assert main([command, "--json"]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out)
+        assert isinstance(document, dict)
+        assert document  # at least one titled section
+        assert "==" not in out
+
+    def test_table3_json_sections(self, capsys):
+        assert main(["table3", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "Table III: operations" in document
+        assert "Table III: headline ratios vs SPIM" in document
+
+    def test_fig10_json_records(self, capsys):
+        assert main(["fig10", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        rows = document["Fig. 10: Polybench normalized latency"]
+        assert isinstance(rows, list) and rows
+        assert {"name", "latency_pim", "speedup_vs_dwm"} <= set(rows[0])
+
+    def test_add_json(self, capsys):
+        assert main(["add", "13", "200", "7", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["value"] == 220
+        assert document["operands"] == [13, 200, 7]
+        assert document["cycles"] > 0
+
+    def test_mult_json(self, capsys):
+        assert main(["mult", "173", "219", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["value"] == 173 * 219
+        assert {"partial_products", "reduction", "final_add"} <= set(
+            document["breakdown"]
+        )
+
+    def test_campaign_json(self, capsys):
+        assert main(["campaign", "--ops", "20", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "Fault campaign (recovery_on)" in document
+        assert "Fault campaign (recovery_off)" in document
+
+    def test_metrics_json_for_experiment_command(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["table3", "--metrics-json", str(path)]) == 0
+        metrics = json.loads(path.read_text())
+        assert metrics["counters"]["device.cycles"] > 0
+
+
+class TestTraceCommand:
+    def test_trace_mult_writes_nested_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "mult", "--out", str(out)]) == 0
+        assert "traced kernel 'mult'" in capsys.readouterr().out
+        document = json.loads(out.read_text())
+        events = document["traceEvents"]
+        names = [e["name"] for e in events if e["ph"] == "X"]
+        assert "pim.mult" in names
+        assert "mult.partial_products" in names
+        assert "add.walk" in names
+        root = next(e for e in events if e["name"] == "pim.mult")
+        child = next(
+            e for e in events if e["name"] == "mult.partial_products"
+        )
+        assert root["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= root["ts"] + root["dur"]
+        assert root["args"]["cycles"] > 0
+
+    def test_trace_add_nests_resilience_over_cpim(self, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "add", "--out", str(out)]) == 0
+        names = [
+            e["name"]
+            for e in json.loads(out.read_text())["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        assert names.index("resilience.op") < names.index("cpim.add")
+        assert names.index("cpim.add") < names.index("add.walk")
+
+    def test_trace_default_kernel_is_mult(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--out", str(out)]) == 0
+        assert "'mult'" in capsys.readouterr().out
+
+    def test_trace_mult_metrics_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["trace", "mult", "--out", str(out),
+             "--metrics-json", str(metrics_path)]
+        ) == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["pim.mult.count"] == 1
+        assert metrics["counters"]["device.cycles"] > 0
+
+    def test_trace_add_metrics_json_has_cpim_histograms(self, tmp_path):
+        # The add kernel dispatches through the controller, which feeds
+        # the cpim histograms (the facade kernels do not).
+        out = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["trace", "add", "--out", str(out),
+             "--metrics-json", str(metrics_path)]
+        ) == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert "cpim.op_cycles" in metrics["histograms"]
+        assert "resilience.retry_depth" in metrics["histograms"]
+
+    def test_trace_json_mode(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "max", "--out", str(out), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kernel"] == "max"
+        assert document["spans"] >= 1
+        assert document["events"] >= document["spans"]
+
+    def test_trace_rejects_unknown_kernel(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "bogus", "--out", str(tmp_path / "t.json")])
