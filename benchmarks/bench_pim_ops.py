@@ -1,11 +1,14 @@
 """Benchmark fixture: per-op PIM cost plus wall-clock, as one JSON file.
 
-Runs the Table III kernels (multi-operand add at TRD 3/7, 8-bit
-multiplication) through the telemetry-instrumented system and writes
-``BENCH_pim_ops.json``: per-op simulated cycles and energy, the span
-counts the trace produced, and the host wall-clock per kernel repeat.
-CI's benchmark smoke job runs this and fails on malformed output, so the
-schema below is a stable contract (bump ``schema`` when it changes).
+Thin script wrapper around :mod:`repro.obs.bench` (the same runner that
+backs ``python -m repro bench``). Runs the Table III kernels through the
+telemetry-instrumented system and writes ``BENCH_pim_ops.json``:
+per-op simulated cycles and energy, the span counts the trace produced,
+and the host wall-clock stats per kernel. CI's benchmark smoke job runs
+this and fails on malformed output, so the document is a stable
+contract: the simulated metrics are asserted identical across repeats
+(schema ``coruscant-bench-pim-ops/2``; v1 silently kept the last
+repeat's values).
 
 Run directly::
 
@@ -16,76 +19,11 @@ from __future__ import annotations
 
 import argparse
 import json
-import time
-from typing import Any, Dict
 
-SCHEMA = "coruscant-bench-pim-ops/1"
+from repro.obs.bench import BENCH_SCHEMA, run_benchmarks
 
-
-def _bench_kernel(name: str, trd: int, repeats: int, run) -> Dict[str, Any]:
-    """Run ``run(system)`` ``repeats`` times on fresh instrumented systems."""
-    from repro import CoruscantSystem, MemoryGeometry, TelemetryHub
-
-    wall: list = []
-    cycles = energy = spans = 0
-    for _ in range(repeats):
-        hub = TelemetryHub()
-        system = CoruscantSystem(
-            trd=trd,
-            geometry=MemoryGeometry(tracks_per_dbc=64),
-            telemetry=hub,
-        )
-        t0 = time.perf_counter()
-        run(system)
-        wall.append(time.perf_counter() - t0)
-        counters = hub.metrics.as_dict()["counters"]
-        cycles = counters.get("device.cycles", 0)
-        energy = counters.get("device.energy_pj", 0.0)
-        spans = hub.tracer.span_count()
-    return {
-        "name": name,
-        "trd": trd,
-        "repeats": repeats,
-        "sim_cycles": cycles,
-        "sim_energy_pj": round(energy, 3),
-        "spans": spans,
-        "wall_seconds_min": min(wall),
-        "wall_seconds_mean": sum(wall) / len(wall),
-    }
-
-
-def run_benchmarks(repeats: int = 3) -> Dict[str, Any]:
-    """All kernels; deterministic sim numbers, host-dependent wall-clock."""
-    kernels = [
-        (
-            "add2_trd3",
-            3,
-            lambda s: s.add([173, 58], n_bits=8, exact=False),
-        ),
-        (
-            "add5_trd7",
-            7,
-            lambda s: s.add([173, 58, 99, 7, 255], n_bits=8, exact=False),
-        ),
-        (
-            "mult8_trd7",
-            7,
-            lambda s: s.multiply(173, 219, n_bits=8),
-        ),
-        (
-            "max5_trd7",
-            7,
-            lambda s: s.maximum([13, 200, 7, 31, 42], n_bits=8),
-        ),
-    ]
-    results = [
-        _bench_kernel(name, trd, repeats, run) for name, trd, run in kernels
-    ]
-    return {
-        "schema": SCHEMA,
-        "repeats": repeats,
-        "kernels": results,
-    }
+# Backwards-compatible alias: the fixture tests import SCHEMA from here.
+SCHEMA = BENCH_SCHEMA
 
 
 def main(argv=None) -> int:

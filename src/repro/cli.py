@@ -18,11 +18,16 @@ operations for exploration:
                                     # fault campaign, recovery on vs off
     python -m repro trace mult --out trace.json
                                     # Chrome-trace one kernel end to end
+    python -m repro report --format md
+                                    # reproduction-fidelity scoreboard
+    python -m repro bench --compare BENCH_history.jsonl
+                                    # bench + regression gate (exit 1 on
+                                    # regression vs the baseline)
 
 Every table/figure command accepts ``--json`` to emit its result as one
-JSON document on stdout instead of the text tables, and
-``--metrics-json PATH`` to dump the telemetry metrics registry gathered
-while the command ran.
+JSON document on stdout instead of the text tables (the document always
+carries the command's ``exit_status``), and ``--metrics-json PATH`` to
+dump the telemetry metrics registry gathered while the command ran.
 """
 
 from __future__ import annotations
@@ -89,8 +94,10 @@ class OutputWriter:
             return
         print(text, file=self.stream)
 
-    def close(self) -> None:
+    def close(self, exit_status: int = 0) -> None:
+        """Flush JSON output; the document always records the exit status."""
         if self.json_mode:
+            self.payload["exit_status"] = exit_status
             json.dump(self.payload, self.stream, indent=2, sort_keys=False)
             self.stream.write("\n")
 
@@ -195,6 +202,106 @@ def _run_report(writer: OutputWriter) -> None:
     from repro.sim.report import generate_report
 
     writer.text("report", generate_report())
+
+
+# ----------------------------------------------------------------------
+# observability commands (report scoreboard + bench regression gate)
+
+
+def _run_report_command(args) -> int:
+    """Fidelity scoreboard: paper-vs-measured records + hotspots."""
+    from repro.obs import RENDERERS, FidelitySuite
+
+    fmt = args.format or ("json" if args.json else "md")
+    suite = FidelitySuite()
+    report = suite.run()
+    if fmt == "json":
+        document = report.as_dict()
+        document["exit_status"] = 0
+        json.dump(document, sys.stdout, indent=2, sort_keys=False)
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(RENDERERS[fmt](report))
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(report.metrics, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0
+
+
+def _run_bench(writer: OutputWriter, args) -> int:
+    """Run the bench kernels, extend the history, gate on regressions."""
+    import time
+
+    from repro.obs import (
+        BenchHistory,
+        RegressionDetector,
+        load_baseline,
+        run_benchmarks,
+    )
+
+    current = run_benchmarks(args.repeats)
+    writer.rows(
+        "bench kernels",
+        current["kernels"],
+        [
+            f"  {k['name']:12s} {k['sim_cycles']:5d} cycles  "
+            f"{k['sim_energy_pj']:10.1f} pJ  "
+            f"{k['wall_seconds_min'] * 1e3:7.2f} ms"
+            for k in current["kernels"]
+        ],
+    )
+
+    if args.compare:
+        baseline = load_baseline(args.compare)
+        if baseline is None:
+            raise SystemExit(
+                f"--compare baseline {args.compare!r} does not exist"
+            )
+        baseline_source = args.compare
+    else:
+        # No explicit baseline: report (but never gate on) the drift
+        # against the previous history entry, when one exists.
+        baseline = (
+            BenchHistory(args.history).last()
+            if not args.no_history
+            else None
+        )
+        baseline_source = args.history if baseline is not None else None
+
+    code = 0
+    if baseline is not None:
+        detector = RegressionDetector(wall_tolerance=args.wall_tolerance)
+        comparison = detector.compare(current, baseline)
+        writer.rows(
+            "bench comparison",
+            [c.as_dict() for c in comparison.comparisons],
+            [
+                f"  {c.kernel:12s} {c.metric:18s} "
+                f"{c.verdict.value:9s} {c.note}"
+                for c in comparison.comparisons
+                if c.verdict.value != "unchanged"
+            ]
+            or ["  all metrics unchanged"],
+        )
+        summary = comparison.summary()
+        summary["baseline"] = baseline_source
+        writer.section("bench verdicts", summary)
+        if args.compare and comparison.has_regression:
+            code = 1
+            writer.line(
+                "\nbench regressed vs baseline", regressed=True
+            )
+
+    if not args.no_history:
+        BenchHistory(args.history).append(
+            current, meta={"recorded_unix": int(time.time())}
+        )
+    if args.bench_out:
+        with open(args.bench_out, "w", encoding="utf-8") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return code
 
 
 _EXPERIMENTS = {
@@ -395,8 +502,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "command",
         choices=sorted(_EXPERIMENTS) + ["all", "add", "mult", "campaign",
-                                        "trace"],
-        help="experiment to regenerate, or a one-off PIM operation",
+                                        "trace", "bench"],
+        help="experiment to regenerate, a one-off PIM operation, the "
+             "fidelity scoreboard (report), or the bench regression gate "
+             "(bench)",
     )
     parser.add_argument(
         "operands", nargs="*",
@@ -485,12 +594,55 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also drive validated regular reads/writes over N storage "
              "rows (exercises the scrubber)",
     )
+    parser.add_argument(
+        "--format", choices=("md", "html", "json"), default=None,
+        help="scoreboard format for the report command (default md)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="wall-clock repeats per bench kernel (default 3)",
+    )
+    parser.add_argument(
+        "--history", metavar="PATH", default="BENCH_history.jsonl",
+        help="bench history JSONL the bench command appends to and, "
+             "without --compare, reports drift against "
+             "(default BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="neither read nor extend the bench history file",
+    )
+    parser.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="gate the bench run against BASELINE (a bench history "
+             "JSONL or one BENCH_pim_ops.json document); exits 1 on "
+             "any regression verdict",
+    )
+    parser.add_argument(
+        "--bench-out", metavar="PATH", default=None,
+        help="also write the bench document to PATH",
+    )
+    parser.add_argument(
+        "--wall-tolerance", type=float, default=0.25, metavar="FRAC",
+        help="relative wall-clock noise band for bench verdicts "
+             "(default 0.25)",
+    )
     args = parser.parse_args(argv)
     writer = OutputWriter(json_mode=args.json)
 
+    if args.command == "report":
+        return _run_report_command(args)
+    if args.command == "bench":
+        if args.repeats < 1:
+            parser.error("--repeats must be >= 1")
+        if args.wall_tolerance < 0:
+            parser.error("--wall-tolerance must be >= 0")
+        code = _run_bench(writer, args)
+        writer.close(code)
+        return code
     if args.command == "trace":
         code = _run_trace(writer, args)
-        writer.close()
+        writer.close(code)
         return code
     if args.command == "campaign":
         if args.ops < 1:
@@ -523,7 +675,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         code = _run_campaign(writer, args, telemetry=hub)
         if hub is not None:
             _dump_metrics(hub, args.metrics_json)
-        writer.close()
+        writer.close(code)
         return code
     if args.command == "all":
         for run in _EXPERIMENTS.values():

@@ -1,0 +1,286 @@
+"""FidelitySuite: run every paper reproduction and score it.
+
+One call to :meth:`FidelitySuite.run` regenerates the paper's tables and
+figures through the instrumented simulator, binds each measured value to
+its :class:`~repro.obs.registry.PaperRef`, and returns a
+:class:`FidelityReport` — a schema-versioned document of
+``(metric, measured, paper, tolerance)`` records plus a device-level
+hotspot breakdown (cycles/energy attributed to shift vs transverse-read
+vs transverse-write vs write phases) extracted from the telemetry hub
+that was active while the experiments ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.registry import (
+    AREA_REFS,
+    BITMAP_REFS,
+    CNN_REFS,
+    FIDELITY_SCHEMA,
+    FidelityRecord,
+    POLYBENCH_REFS,
+    RELIABILITY_REFS,
+    SECTION_TITLES,
+    TABLE3_CYCLE_REFS,
+    TABLE3_HEADLINE_REFS,
+    record_for,
+)
+from repro.telemetry import TelemetryHub, runtime
+
+
+@dataclass
+class HotspotRow:
+    """Device-phase attribution: where the simulated cycles/energy went."""
+
+    op: str
+    count: int
+    cycles: int
+    energy_pj: float
+    cycles_share: float
+    energy_share: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "count": self.count,
+            "cycles": self.cycles,
+            "energy_pj": round(self.energy_pj, 3),
+            "cycles_share": round(self.cycles_share, 4),
+            "energy_share": round(self.energy_share, 4),
+        }
+
+
+@dataclass
+class FidelityReport:
+    """Every scoreboard record plus the hotspot table, JSON-ready."""
+
+    records: List[FidelityRecord] = field(default_factory=list)
+    hotspots: List[HotspotRow] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def sections(self) -> List[str]:
+        seen: List[str] = []
+        for record in self.records:
+            if record.section not in seen:
+                seen.append(record.section)
+        return seen
+
+    def section_records(self, section: str) -> List[FidelityRecord]:
+        return [r for r in self.records if r.section == section]
+
+    @property
+    def out_of_tolerance(self) -> List[FidelityRecord]:
+        return [r for r in self.records if not r.within]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "sections": len(self.sections),
+            "records": len(self.records),
+            "within_tolerance": sum(1 for r in self.records if r.within),
+            "out_of_tolerance": len(self.out_of_tolerance),
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": FIDELITY_SCHEMA,
+            "summary": self.summary(),
+            "sections": [
+                {
+                    "section": section,
+                    "title": SECTION_TITLES.get(section, section),
+                    "records": [
+                        r.as_dict() for r in self.section_records(section)
+                    ],
+                }
+                for section in self.sections
+            ],
+            "hotspots": [row.as_dict() for row in self.hotspots],
+        }
+
+
+class FidelitySuite:
+    """Regenerates every paper table/figure and scores the reproduction.
+
+    ``sections`` limits the run (e.g. ``["table3", "fig12"]``); the
+    default covers Table I, Table III, Figs. 10–12, Table IV, and
+    Table V. A caller-supplied :class:`TelemetryHub` is activated
+    process-wide while the experiments run so device-level activity from
+    internally-built clusters lands in the hotspot table.
+    """
+
+    def __init__(
+        self,
+        sections: Optional[List[str]] = None,
+        telemetry: Optional[TelemetryHub] = None,
+    ) -> None:
+        self.sections = list(sections) if sections is not None else [
+            "table1", "table3", "fig10", "fig11", "fig12", "table4",
+            "table5",
+        ]
+        unknown = [s for s in self.sections if s not in self._RUNNERS]
+        if unknown:
+            raise ValueError(
+                f"unknown fidelity sections {unknown}; "
+                f"pick from {sorted(self._RUNNERS)}"
+            )
+        self.hub = telemetry if telemetry is not None else TelemetryHub()
+
+    # ------------------------------------------------------------------
+    # per-section measurement collectors
+
+    def _collect_table1(self, report: FidelityReport) -> None:
+        from repro.sim.experiments import area_table
+
+        table = area_table()
+        for ref in AREA_REFS:
+            report.records.append(record_for(ref, table[ref.metric]))
+
+    def _collect_table3(self, report: FidelityReport) -> None:
+        from repro.sim.experiments import (
+            operation_comparison,
+            operation_speedups,
+        )
+
+        rows = operation_comparison()
+        for ref in TABLE3_CYCLE_REFS:
+            row, column = ref.metric.rsplit(".", 1)
+            report.records.append(record_for(ref, rows[row][column]))
+        speedups = operation_speedups()
+        for ref in TABLE3_HEADLINE_REFS:
+            report.records.append(record_for(ref, speedups[ref.metric]))
+
+    def _collect_polybench(self, report: FidelityReport) -> None:
+        from repro.sim.experiments import (
+            polybench_experiment,
+            polybench_summary,
+        )
+
+        summary = polybench_summary(polybench_experiment())
+        wanted = {
+            s for s in ("fig10", "fig11") if s in self.sections
+        }
+        for ref in POLYBENCH_REFS:
+            if ref.section in wanted:
+                report.records.append(record_for(ref, summary[ref.metric]))
+
+    def _collect_fig12(self, report: FidelityReport) -> None:
+        from repro.sim.experiments import bitmap_experiment
+
+        by_weeks = {r.weeks: r for r in bitmap_experiment()}
+        for ref in BITMAP_REFS:
+            weeks = int(ref.metric.rsplit(".w", 1)[1])
+            report.records.append(
+                record_for(ref, by_weeks[weeks].coruscant_vs_elp2im)
+            )
+
+    def _collect_table4(self, report: FidelityReport) -> None:
+        from repro.sim.experiments import cnn_experiment
+
+        tables = cnn_experiment()
+        for ref in CNN_REFS:
+            net, scheme = ref.metric.split(".", 1)
+            report.records.append(record_for(ref, tables[net][scheme]))
+
+    def _collect_table5(self, report: FidelityReport) -> None:
+        from repro.sim.experiments import reliability_table
+
+        table = reliability_table()
+        for ref in RELIABILITY_REFS:
+            op, column = ref.metric.rsplit(".", 1)
+            report.records.append(record_for(ref, table[op][column]))
+
+    # fig10 and fig11 share one polybench run; the runner map points both
+    # at the same collector and run() deduplicates.
+    _RUNNERS = {
+        "table1": _collect_table1,
+        "table3": _collect_table3,
+        "fig10": _collect_polybench,
+        "fig11": _collect_polybench,
+        "fig12": _collect_fig12,
+        "table4": _collect_table4,
+        "table5": _collect_table5,
+    }
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> FidelityReport:
+        """Regenerate the selected sections and score every record."""
+        report = FidelityReport()
+        with runtime.activated(self.hub):
+            with self.hub.tracer.span("fidelity.run", category="obs"):
+                ran = set()
+                for section in self.sections:
+                    runner = self._RUNNERS[section]
+                    if runner in ran:
+                        continue
+                    ran.add(runner)
+                    with self.hub.tracer.span(
+                        f"fidelity.{section}", category="obs"
+                    ):
+                        runner(self, report)
+        report.metrics = self.hub.metrics_dict()
+        report.hotspots = extract_hotspots(report.metrics)
+        return report
+
+
+# Device phases the hotspot table attributes costs to, in display order.
+HOTSPOT_OPS = (
+    "shift",
+    "transverse_read",
+    "transverse_write",
+    "write",
+    "read",
+    "write_bit",
+    "pim_logic",
+)
+
+
+def extract_hotspots(metrics: Dict[str, Any]) -> List[HotspotRow]:
+    """Per-device-op cycle/energy attribution from a metrics snapshot.
+
+    Reads the ``device.<op>.count`` / ``device.<op>.cycles`` /
+    ``device.<op>.energy_pj`` counters the hub publishes and turns them
+    into share-of-total rows, largest cycle consumer first. Ops that
+    never ran are omitted.
+    """
+    counters = metrics.get("counters", {})
+    known = set(HOTSPOT_OPS) | {
+        name.split(".", 2)[1]
+        for name in counters
+        if name.startswith("device.") and name.endswith(".count")
+    }
+    rows = []
+    for op in sorted(known):
+        count = counters.get(f"device.{op}.count", 0)
+        cycles = counters.get(f"device.{op}.cycles", 0)
+        energy = counters.get(f"device.{op}.energy_pj", 0.0)
+        if count or cycles or energy:
+            rows.append((op, count, cycles, energy))
+    total_cycles = sum(r[2] for r in rows)
+    total_energy = sum(r[3] for r in rows)
+    hotspots = [
+        HotspotRow(
+            op=op,
+            count=count,
+            cycles=cycles,
+            energy_pj=energy,
+            cycles_share=cycles / total_cycles if total_cycles else 0.0,
+            energy_share=energy / total_energy if total_energy else 0.0,
+        )
+        for op, count, cycles, energy in rows
+    ]
+    hotspots.sort(key=lambda r: (-r.cycles, -r.energy_pj, r.op))
+    return hotspots
+
+
+__all__ = [
+    "FidelityReport",
+    "FidelitySuite",
+    "HOTSPOT_OPS",
+    "HotspotRow",
+    "extract_hotspots",
+]

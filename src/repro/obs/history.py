@@ -1,0 +1,113 @@
+"""Bench-history store: an append-only JSONL trajectory of bench runs.
+
+Every ``repro bench`` invocation appends one line to
+``BENCH_history.jsonl`` — the full benchmark document wrapped in a
+schema-versioned envelope with a monotonically increasing sequence
+number — so the repo accumulates a comparable performance record across
+commits. :func:`load_baseline` accepts either such a history file (the
+last entry wins) or a bare ``BENCH_pim_ops.json`` document, so CI can
+gate against whichever artifact survived.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+HISTORY_SCHEMA = "coruscant-bench-history/1"
+
+
+class BenchHistory:
+    """Append-only JSONL store of benchmark documents."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def load(self) -> List[Dict[str, Any]]:
+        """Every entry, oldest first; missing file means no history."""
+        if not os.path.exists(self.path):
+            return []
+        entries: List[Dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{self.path}:{lineno}: corrupt history line: {exc}"
+                    ) from exc
+                if entry.get("schema") != HISTORY_SCHEMA:
+                    raise ValueError(
+                        f"{self.path}:{lineno}: unexpected schema "
+                        f"{entry.get('schema')!r} (want {HISTORY_SCHEMA})"
+                    )
+                entries.append(entry)
+        return entries
+
+    def last(self) -> Optional[Dict[str, Any]]:
+        """The most recent entry's benchmark document, or None."""
+        entries = self.load()
+        return entries[-1]["bench"] if entries else None
+
+    def append(
+        self,
+        bench: Dict[str, Any],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Wrap ``bench`` in an envelope and append it; returns the envelope."""
+        entries = self.load()
+        envelope: Dict[str, Any] = {
+            "schema": HISTORY_SCHEMA,
+            "seq": entries[-1]["seq"] + 1 if entries else 1,
+            "bench": bench,
+        }
+        if meta:
+            envelope["meta"] = dict(meta)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(envelope, sort_keys=True) + "\n")
+        return envelope
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+
+def load_baseline(path: str) -> Optional[Dict[str, Any]]:
+    """A benchmark document from ``path``, history or bare format.
+
+    ``path`` may be a ``BENCH_history.jsonl`` written by
+    :class:`BenchHistory` (the newest entry is returned) or one
+    ``BENCH_pim_ops.json`` document. Returns None when the file does not
+    exist; raises :class:`ValueError` on unrecognisable content.
+    """
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        head = fh.read(1)
+    if not head:
+        return None
+    first_line = ""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if line.strip():
+                first_line = line.strip()
+                break
+    try:
+        first = json.loads(first_line)
+    except json.JSONDecodeError:
+        first = None
+    if isinstance(first, dict) and first.get("schema") == HISTORY_SCHEMA:
+        return BenchHistory(path).last()
+    with open(path, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    if not isinstance(document, dict) or "kernels" not in document:
+        raise ValueError(
+            f"{path}: neither a bench history nor a bench document"
+        )
+    return document
+
+
+__all__ = ["BenchHistory", "HISTORY_SCHEMA", "load_baseline"]

@@ -1,0 +1,331 @@
+"""Paper-reference registry: every published number the repo reproduces.
+
+Until this layer existed, the paper's reference values lived as ad-hoc
+asserts scattered across ``benchmarks/test_table*.py`` and
+``test_fig*.py``. This module is the one home for those constants: each
+:class:`PaperRef` names a metric in dotted ``section.metric`` form,
+carries the paper's published value, and a tolerance describing how
+close the reproduction is expected to land. The benchmark tests and the
+:class:`~repro.obs.fidelity.FidelitySuite` both read from here, so the
+scoreboard and the test suite can never disagree about what "the paper
+says".
+
+Tolerances come in two kinds:
+
+* ``abs`` — ``|measured - paper| <= tolerance`` (area percentages,
+  cycle counts; a tolerance of 0 means exact).
+* ``rel`` — ``|measured - paper| / |paper| <= tolerance`` (ratios,
+  FPS values, error probabilities).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+FIDELITY_SCHEMA = "coruscant-fidelity/1"
+
+# Section identifiers (also the scoreboard's grouping keys).
+TABLE1 = "table1"
+TABLE3 = "table3"
+TABLE4 = "table4"
+TABLE5 = "table5"
+FIG10 = "fig10"
+FIG11 = "fig11"
+FIG12 = "fig12"
+
+SECTION_TITLES = {
+    TABLE1: "Table I — area overhead (%)",
+    TABLE3: "Table III — operation comparison",
+    TABLE4: "Table IV — CNN inference (FPS)",
+    TABLE5: "Table V — reliability",
+    FIG10: "Fig. 10 — Polybench latency",
+    FIG11: "Fig. 11 — Polybench energy",
+    FIG12: "Fig. 12 — bitmap indices",
+}
+
+
+@dataclass(frozen=True)
+class PaperRef:
+    """One published value: where it came from and how close we must land."""
+
+    section: str
+    metric: str
+    paper: float
+    tolerance: float
+    kind: str = "abs"  # "abs" or "rel"
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("abs", "rel"):
+            raise ValueError(f"unknown tolerance kind {self.kind!r}")
+        if self.tolerance < 0:
+            raise ValueError(f"{self.name}: tolerance must be >= 0")
+
+    @property
+    def name(self) -> str:
+        return f"{self.section}.{self.metric}"
+
+    def within(self, measured: float) -> bool:
+        if measured != measured or self.paper != self.paper:  # NaN
+            return False
+        delta = abs(measured - self.paper)
+        if self.kind == "rel":
+            if self.paper == 0:
+                return delta <= self.tolerance
+            return delta / abs(self.paper) <= self.tolerance
+        return delta <= self.tolerance
+
+
+@dataclass(frozen=True)
+class FidelityRecord:
+    """One scoreboard row: a measured value against its paper reference."""
+
+    section: str
+    metric: str
+    measured: float
+    paper: float
+    tolerance: float
+    kind: str
+    unit: str
+    within: bool
+
+    @property
+    def delta(self) -> float:
+        return self.measured - self.paper
+
+    @property
+    def rel_delta(self) -> Optional[float]:
+        """Signed relative delta, or None when the paper value is 0/NaN."""
+        if self.paper == 0 or self.paper != self.paper:
+            return None
+        return (self.measured - self.paper) / abs(self.paper)
+
+    def as_dict(self) -> Dict[str, Any]:
+        def _clean(value):
+            if isinstance(value, float) and not math.isfinite(value):
+                return None
+            return value
+
+        return {
+            "section": self.section,
+            "metric": self.metric,
+            "measured": _clean(self.measured),
+            "paper": _clean(self.paper),
+            "tolerance": self.tolerance,
+            "kind": self.kind,
+            "unit": self.unit,
+            "delta": _clean(self.delta),
+            "rel_delta": _clean(self.rel_delta),
+            "within": self.within,
+        }
+
+
+def record_for(ref: PaperRef, measured: float) -> FidelityRecord:
+    """Bind a measurement to its reference."""
+    return FidelityRecord(
+        section=ref.section,
+        metric=ref.metric,
+        measured=measured,
+        paper=ref.paper,
+        tolerance=ref.tolerance,
+        kind=ref.kind,
+        unit=ref.unit,
+        within=ref.within(measured),
+    )
+
+
+def _refs(
+    section: str,
+    entries: Dict[str, Tuple[float, float]],
+    kind: str,
+    unit: str = "",
+) -> Tuple[PaperRef, ...]:
+    return tuple(
+        PaperRef(section, metric, paper, tol, kind, unit)
+        for metric, (paper, tol) in entries.items()
+    )
+
+
+# ----------------------------------------------------------------------
+# Table I — PIM area overhead (percent of base DWM array area).
+
+AREA_REFS = _refs(
+    TABLE1,
+    {
+        "ADD2": (3.7, 0.2),
+        "ADD5": (9.2, 0.2),
+        "MUL+ADD5": (9.4, 0.2),
+        "MUL+ADD5+BBO": (10.0, 0.2),
+    },
+    kind="abs",
+    unit="%",
+)
+
+# ----------------------------------------------------------------------
+# Table III — operation costs (measured simulator cycles must match the
+# paper's published cycle counts exactly) and the headline ratios the
+# abstract claims over SPIM.
+
+TABLE3_CYCLE_REFS = _refs(
+    TABLE3,
+    {
+        "coruscant_add2_trd3.cycles": (19, 0),
+        "coruscant_add2_trd7.cycles": (26, 0),
+        "coruscant_add5_trd7.cycles": (26, 0),
+        "coruscant_mult_trd7.cycles": (64, 0),
+    },
+    kind="abs",
+    unit="cycles",
+)
+
+TABLE3_HEADLINE_REFS = _refs(
+    TABLE3,
+    {
+        "add5_latency_vs_spim": (6.9, 0.4),
+        "add5_area_vs_spim": (9.4, 0.4),
+        "mult_vs_spim": (2.3, 0.2),
+        "add5_energy_vs_spim": (5.5, 0.3),
+        "mult_energy_vs_spim": (3.4, 0.2),
+    },
+    kind="abs",
+    unit="x",
+)
+
+# ----------------------------------------------------------------------
+# Figs. 10 & 11 — Polybench averages (Section V-C).
+
+POLYBENCH_REFS = _refs(
+    FIG10,
+    {
+        "avg_speedup_vs_dwm": (2.07, 0.2),
+        "avg_speedup_vs_dram": (2.20, 0.2),
+    },
+    kind="abs",
+    unit="x",
+) + _refs(
+    FIG11,
+    {"avg_energy_reduction": (25.2, 2.5)},
+    kind="abs",
+    unit="x",
+)
+
+# ----------------------------------------------------------------------
+# Fig. 12 — CORUSCANT-over-ELP2IM ratio per weekly-activity query.
+
+BITMAP_REFS = _refs(
+    FIG12,
+    {
+        "coruscant_vs_elp2im.w2": (1.6, 0.25),
+        "coruscant_vs_elp2im.w3": (2.2, 0.25),
+        "coruscant_vs_elp2im.w4": (3.4, 0.25),
+    },
+    kind="abs",
+    unit="x",
+)
+
+# ----------------------------------------------------------------------
+# Table IV — CNN inference FPS. The CORUSCANT-7 full-precision rows are
+# calibration anchors (5%); the remaining rows are modelled baselines
+# the reproduction tracks within 40% (our DRAM-baseline models diverge
+# most on LeNet-5, where the paper's own numbers are extrapolated).
+
+_TABLE4_PAPER = {
+    "alexnet": {
+        "SPIM (full)": 32.1,
+        "CORUSCANT-3 (full)": 71.1,
+        "CORUSCANT-5 (full)": 84.0,
+        "CORUSCANT-7 (full)": 90.5,
+        "ISAAC": 34.0,
+        "ambit (NID)": 227,
+        "elp2im (NID)": 253,
+        "ambit (DrAcc)": 84.8,
+        "elp2im (DrAcc)": 96.4,
+        "CORUSCANT-3 (DrAcc)": 358,
+        "CORUSCANT-5 (DrAcc)": 449,
+        "CORUSCANT-7 (DrAcc)": 490,
+    },
+    "lenet5": {
+        "SPIM (full)": 59,
+        "CORUSCANT-3 (full)": 131,
+        "CORUSCANT-5 (full)": 153,
+        "CORUSCANT-7 (full)": 163,
+        "ISAAC": 2581,
+        "ambit (NID)": 7525,
+        "elp2im (NID)": 9959,
+        "ambit (DrAcc)": 7697,
+        "elp2im (DrAcc)": 8330,
+        "CORUSCANT-3 (DrAcc)": 22172,
+        "CORUSCANT-5 (DrAcc)": 26453,
+        "CORUSCANT-7 (DrAcc)": 32075,
+    },
+}
+
+_TABLE4_ANCHORS = {"CORUSCANT-7 (full)", "CORUSCANT-7 (DrAcc)"}
+
+CNN_REFS = tuple(
+    PaperRef(
+        TABLE4,
+        f"{net}.{scheme}",
+        float(paper),
+        0.05 if scheme in _TABLE4_ANCHORS else 0.40,
+        kind="rel",
+        unit="fps",
+    )
+    for net, schemes in _TABLE4_PAPER.items()
+    for scheme, paper in schemes.items()
+)
+
+# ----------------------------------------------------------------------
+# Table V — error probabilities at p_TR = 1e-6 (25% relative band, the
+# same 0.8x–1.25x window the benchmark suite enforces).
+
+_TABLE5_PAPER = {
+    "and_per_bit": {"C3": 3.3e-7, "C5": 2.0e-7, "C7": 1.4e-7},
+    "xor_per_bit": {"C3": 1.0e-6, "C5": 1.0e-6, "C7": 1.0e-6},
+    "carry_per_bit": {"C3": 3.3e-7, "C5": 4.0e-7, "C7": 4.3e-7},
+    "add_per_8bit": {"C3": 8.0e-6, "C5": 8.0e-6, "C7": 8.0e-6},
+    "multiply_per_8bit": {"C3": 4.1e-4, "C5": 2.1e-4, "C7": 7.6e-5},
+}
+
+RELIABILITY_REFS = tuple(
+    PaperRef(TABLE5, f"{op}.{col}", paper, 0.25, kind="rel")
+    for op, cols in _TABLE5_PAPER.items()
+    for col, paper in cols.items()
+)
+
+PAPER_REFERENCES: Tuple[PaperRef, ...] = (
+    AREA_REFS
+    + TABLE3_CYCLE_REFS
+    + TABLE3_HEADLINE_REFS
+    + POLYBENCH_REFS
+    + BITMAP_REFS
+    + CNN_REFS
+    + RELIABILITY_REFS
+)
+
+REFERENCES_BY_NAME: Dict[str, PaperRef] = {
+    ref.name: ref for ref in PAPER_REFERENCES
+}
+
+if len(REFERENCES_BY_NAME) != len(PAPER_REFERENCES):  # pragma: no cover
+    raise AssertionError("duplicate metric name in PAPER_REFERENCES")
+
+
+__all__ = [
+    "AREA_REFS",
+    "BITMAP_REFS",
+    "CNN_REFS",
+    "FIDELITY_SCHEMA",
+    "FidelityRecord",
+    "PAPER_REFERENCES",
+    "POLYBENCH_REFS",
+    "PaperRef",
+    "REFERENCES_BY_NAME",
+    "RELIABILITY_REFS",
+    "SECTION_TITLES",
+    "TABLE3_CYCLE_REFS",
+    "TABLE3_HEADLINE_REFS",
+    "record_for",
+]

@@ -1,0 +1,228 @@
+"""Scoreboard renderers: the fidelity report as markdown, HTML, or JSON.
+
+The markdown scoreboard is what ``python -m repro report --format md``
+prints and what CI uploads as a build artifact: one table per paper
+table/figure with measured, paper-reference, and delta columns, a
+device-phase hotspot table, and — when a regression comparison ran — a
+bench verdict table.
+"""
+
+from __future__ import annotations
+
+import html
+import io
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.fidelity import FidelityReport
+from repro.obs.regression import RegressionReport
+
+FORMATS = ("md", "html", "json")
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value != 0 and (abs(value) >= 10000 or abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _fmt_delta(record: Dict[str, Any]) -> str:
+    delta = record.get("delta")
+    if delta is None:
+        return "-"
+    rel = record.get("rel_delta")
+    text = f"{delta:+.3g}"
+    if rel is not None:
+        text += f" ({rel:+.1%})"
+    return text
+
+
+def _md_table(
+    out: io.StringIO,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> None:
+    out.write("| " + " | ".join(str(h) for h in headers) + " |\n")
+    out.write("|" + "---|" * len(headers) + "\n")
+    for row in rows:
+        out.write("| " + " | ".join(str(c) for c in row) + " |\n")
+    out.write("\n")
+
+
+def _scoreboard_rows(document: Dict[str, Any]):
+    """Yield ``(section_title, rows)`` pairs for every report section."""
+    for section in document["sections"]:
+        rows = [
+            (
+                record["metric"],
+                _fmt(record["measured"]),
+                _fmt(record["paper"]),
+                _fmt_delta(record),
+                "yes" if record["within"] else "**NO**",
+            )
+            for record in section["records"]
+        ]
+        yield section.get("title", section["section"]), rows
+
+
+_SCOREBOARD_HEADERS = ("metric", "measured", "paper", "delta", "within tol")
+_HOTSPOT_HEADERS = (
+    "device phase", "count", "cycles", "cycles %", "energy pJ", "energy %",
+)
+_VERDICT_HEADERS = ("kernel", "metric", "baseline", "current", "verdict",
+                    "note")
+
+
+def _hotspot_rows(document: Dict[str, Any]) -> List[Sequence[Any]]:
+    return [
+        (
+            row["op"],
+            row["count"],
+            row["cycles"],
+            f"{row['cycles_share']:.1%}",
+            _fmt(row["energy_pj"]),
+            f"{row['energy_share']:.1%}",
+        )
+        for row in document.get("hotspots", [])
+    ]
+
+
+def _verdict_rows(regression: Dict[str, Any]) -> List[Sequence[Any]]:
+    rows: List[Sequence[Any]] = [
+        (
+            c["kernel"],
+            c["metric"],
+            _fmt(c["baseline"]),
+            _fmt(c["current"]),
+            c["verdict"].upper() if c["verdict"] == "regressed"
+            else c["verdict"],
+            c["note"],
+        )
+        for c in regression["comparisons"]
+    ]
+    for name in regression["summary"].get("removed_kernels", []):
+        rows.append((name, "*", "-", "-", "REGRESSED",
+                     "kernel removed from bench"))
+    return rows
+
+
+def render_markdown(
+    report: FidelityReport,
+    regression: Optional[RegressionReport] = None,
+) -> str:
+    """The scoreboard as one markdown document."""
+    document = report.as_dict()
+    out = io.StringIO()
+    out.write("# CORUSCANT reproduction-fidelity scoreboard\n\n")
+    summary = document["summary"]
+    out.write(
+        f"{summary['records']} metrics across {summary['sections']} paper "
+        f"tables/figures; {summary['within_tolerance']} within tolerance, "
+        f"{summary['out_of_tolerance']} outside.\n\n"
+    )
+    for title, rows in _scoreboard_rows(document):
+        out.write(f"## {title}\n\n")
+        _md_table(out, _SCOREBOARD_HEADERS, rows)
+    hotspots = _hotspot_rows(document)
+    if hotspots:
+        out.write("## Hotspots — device-phase attribution\n\n")
+        _md_table(out, _HOTSPOT_HEADERS, hotspots)
+    if regression is not None:
+        out.write("## Bench comparison\n\n")
+        _md_table(out, _VERDICT_HEADERS,
+                  _verdict_rows(regression.as_dict()))
+    return out.getvalue()
+
+
+def render_html(
+    report: FidelityReport,
+    regression: Optional[RegressionReport] = None,
+) -> str:
+    """The scoreboard as a standalone HTML page."""
+    document = report.as_dict()
+    out = io.StringIO()
+    out.write(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        "<title>CORUSCANT fidelity scoreboard</title>\n"
+        "<style>\n"
+        "body{font-family:sans-serif;margin:2em;}\n"
+        "table{border-collapse:collapse;margin-bottom:1.5em;}\n"
+        "th,td{border:1px solid #999;padding:0.3em 0.7em;"
+        "text-align:right;}\n"
+        "th{background:#eee;}td:first-child{text-align:left;}\n"
+        ".bad{background:#fdd;font-weight:bold;}\n"
+        "</style></head><body>\n"
+        "<h1>CORUSCANT reproduction-fidelity scoreboard</h1>\n"
+    )
+    summary = document["summary"]
+    out.write(
+        f"<p>{summary['records']} metrics across {summary['sections']} "
+        f"paper tables/figures; {summary['within_tolerance']} within "
+        f"tolerance, {summary['out_of_tolerance']} outside.</p>\n"
+    )
+
+    def _html_table(headers, rows, bad_when=None):
+        out.write("<table><tr>")
+        for header in headers:
+            out.write(f"<th>{html.escape(str(header))}</th>")
+        out.write("</tr>\n")
+        for row in rows:
+            css = " class=\"bad\"" if bad_when and bad_when(row) else ""
+            out.write(f"<tr{css}>")
+            for cell in row:
+                out.write(f"<td>{html.escape(str(cell))}</td>")
+            out.write("</tr>\n")
+        out.write("</table>\n")
+
+    for title, rows in _scoreboard_rows(document):
+        out.write(f"<h2>{html.escape(title)}</h2>\n")
+        # Markdown emphasis has no meaning in HTML cells.
+        rows = [
+            tuple("NO" if c == "**NO**" else c for c in row) for row in rows
+        ]
+        _html_table(_SCOREBOARD_HEADERS, rows,
+                    bad_when=lambda row: row[-1] == "NO")
+    hotspots = _hotspot_rows(document)
+    if hotspots:
+        out.write("<h2>Hotspots — device-phase attribution</h2>\n")
+        _html_table(_HOTSPOT_HEADERS, hotspots)
+    if regression is not None:
+        out.write("<h2>Bench comparison</h2>\n")
+        _html_table(_VERDICT_HEADERS,
+                    _verdict_rows(regression.as_dict()),
+                    bad_when=lambda row: row[4] == "REGRESSED")
+    out.write("</body></html>\n")
+    return out.getvalue()
+
+
+def render_json(
+    report: FidelityReport,
+    regression: Optional[RegressionReport] = None,
+) -> str:
+    """The scoreboard document (plus any regression report) as JSON."""
+    document = report.as_dict()
+    if regression is not None:
+        document["regression"] = regression.as_dict()
+    return json.dumps(document, indent=2, sort_keys=False) + "\n"
+
+
+RENDERERS = {
+    "md": render_markdown,
+    "html": render_html,
+    "json": render_json,
+}
+
+
+__all__ = [
+    "FORMATS",
+    "RENDERERS",
+    "render_html",
+    "render_json",
+    "render_markdown",
+]

@@ -1,8 +1,11 @@
 """Markdown report generation for the full reproduction run.
 
 Collects every experiment regenerator's output into one document with
-measured-vs-paper columns — what a CI job would publish as the nightly
-reproduction record. Exposed through ``python -m repro report``.
+measured-vs-paper columns — the long-form companion to the scoreboard
+``python -m repro report`` renders (this full dump is part of
+``python -m repro all``). Paper reference values come from the
+observability layer's registry (:mod:`repro.obs.registry`) so the two
+can never disagree.
 """
 
 from __future__ import annotations
@@ -10,6 +13,7 @@ from __future__ import annotations
 import io
 from typing import Mapping, Sequence
 
+from repro.obs.registry import AREA_REFS, BITMAP_REFS, POLYBENCH_REFS
 from repro.sim.experiments import (
     area_table,
     bitmap_experiment,
@@ -22,13 +26,11 @@ from repro.sim.experiments import (
     reliability_table,
 )
 
-PAPER_AREA = {"ADD2": 3.7, "ADD5": 9.2, "MUL+ADD5": 9.4, "MUL+ADD5+BBO": 10.0}
-PAPER_BITMAP_RATIOS = {2: 1.6, 3: 2.2, 4: 3.4}
-PAPER_POLYBENCH = {
-    "avg_speedup_vs_dwm": 2.07,
-    "avg_speedup_vs_dram": 2.20,
-    "avg_energy_reduction": 25.2,
+PAPER_AREA = {ref.metric: ref.paper for ref in AREA_REFS}
+PAPER_BITMAP_RATIOS = {
+    int(ref.metric.rsplit(".w", 1)[1]): ref.paper for ref in BITMAP_REFS
 }
+PAPER_POLYBENCH = {ref.metric: ref.paper for ref in POLYBENCH_REFS}
 
 
 def _table(

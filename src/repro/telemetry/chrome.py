@@ -31,20 +31,18 @@ def _span_event(span) -> Dict[str, Any]:
 
 
 def chrome_trace(tracer, process_name: str = PROCESS_NAME) -> Dict[str, Any]:
-    """The tracer's spans and instants as a ``trace_event`` document."""
-    events: List[Dict[str, Any]] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 0,
-            "tid": 0,
-            "args": {"name": process_name},
-        }
+    """The tracer's spans and instants as a ``trace_event`` document.
+
+    Events are emitted in timestamp order (metadata first), so instants
+    land interleaved with the spans they occurred inside of rather than
+    tacked onto the end; the sort is stable, so spans sharing a rounded
+    timestamp keep their parent-before-child depth-first order.
+    """
+    timed: List[Dict[str, Any]] = [
+        _span_event(span) for span in tracer.iter_spans()
     ]
-    for span in tracer.iter_spans():
-        events.append(_span_event(span))
     for instant in tracer.instants:
-        events.append(
+        timed.append(
             {
                 "name": instant["name"],
                 "cat": instant["category"],
@@ -56,6 +54,17 @@ def chrome_trace(tracer, process_name: str = PROCESS_NAME) -> Dict[str, Any]:
                 "args": dict(instant["attrs"]),
             }
         )
+    timed.sort(key=lambda event: event["ts"])
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    events.extend(timed)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -39,10 +39,18 @@ class TelemetryHub:
     def device_op(
         self, op: str, cycles: int, energy_pj: float, count: int = 1
     ) -> None:
-        """One :meth:`DeviceStats.record` call's worth of device activity."""
+        """One :meth:`DeviceStats.record` call's worth of device activity.
+
+        Publishes totals plus per-op breakdowns; the per-op cycle and
+        energy counters are what the observability layer's hotspot table
+        (:func:`repro.obs.fidelity.extract_hotspots`) attributes costs
+        from.
+        """
         m = self.metrics
         m.counter("device.ops").inc(count)
         m.counter(f"device.{op}.count").inc(count)
+        m.counter(f"device.{op}.cycles").inc(cycles)
+        m.counter(f"device.{op}.energy_pj").inc(energy_pj)
         m.counter("device.cycles").inc(cycles)
         m.counter("device.energy_pj").inc(energy_pj)
 

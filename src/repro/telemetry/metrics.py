@@ -91,6 +91,38 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Linearly interpolates within the bucket holding the target rank,
+        the way ``histogram_quantile`` does: bucket ``i`` is assumed
+        uniform over ``(edges[i-1], edges[i]]``. The first bucket's
+        lower bound is the observed minimum and the overflow bucket's
+        upper bound is the observed maximum (so estimates never leave
+        the observed range). Returns ``None`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        assert self.min is not None and self.max is not None
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                lower = self.min if i == 0 else self.edges[i - 1]
+                upper = self.max if i == len(self.edges) else self.edges[i]
+                # Clamp to the observed range: the min/max may sit
+                # strictly inside this bucket's nominal bounds.
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return float(upper)
+                fraction = (rank - (cumulative - bucket_count)) / bucket_count
+                return float(lower + (upper - lower) * min(1.0, fraction))
+        return float(self.max)  # pragma: no cover - defensive
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "edges": list(self.edges),
@@ -99,6 +131,9 @@ class Histogram:
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -188,6 +188,183 @@ class TestJsonOutput:
         assert metrics["counters"]["device.cycles"] > 0
 
 
+class TestReportCommand:
+    def test_markdown_scoreboard_covers_paper_tables(self, capsys):
+        assert main(["report", "--format", "md"]) == 0
+        out = capsys.readouterr().out
+        assert "# CORUSCANT reproduction-fidelity scoreboard" in out
+        # >= 5 paper tables/figures, each a section with measured /
+        # paper / delta columns.
+        for section in (
+            "Table I", "Table III", "Fig. 10", "Fig. 11", "Fig. 12",
+            "Table IV", "Table V",
+        ):
+            assert section in out, section
+        assert "| metric | measured | paper | delta | within tol |" in out
+        assert "Hotspots" in out
+
+    def test_default_format_is_markdown(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# CORUSCANT reproduction-fidelity")
+
+    def test_html_format(self, capsys):
+        assert main(["report", "--format", "html"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<!DOCTYPE html>")
+        assert "</html>" in out
+
+    def test_json_format_round_trips_with_exit_status(self, capsys):
+        assert main(["report", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "coruscant-fidelity/1"
+        assert document["exit_status"] == 0
+        assert len(document["sections"]) >= 5
+
+    def test_json_flag_implies_json_format(self, capsys):
+        assert main(["report", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "coruscant-fidelity/1"
+
+    def test_metrics_json_written(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["report", "--metrics-json", str(path)]) == 0
+        capsys.readouterr()
+        metrics = json.loads(path.read_text())
+        assert metrics["counters"]["device.cycles"] > 0
+
+
+class TestBenchCommand:
+    def _history(self, tmp_path):
+        return str(tmp_path / "BENCH_history.jsonl")
+
+    def test_bench_appends_history(self, tmp_path, capsys):
+        from repro.obs import BenchHistory
+
+        history = self._history(tmp_path)
+        args = ["bench", "--repeats", "1", "--history", history]
+        assert main(args) == 0
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "bench kernels" in out
+        assert "bench verdicts" in out  # second run compared to first
+        assert len(BenchHistory(history)) == 2
+
+    def test_bench_no_history_runs_standalone(self, tmp_path, capsys):
+        history = self._history(tmp_path)
+        assert main(
+            ["bench", "--repeats", "1", "--history", history,
+             "--no-history"]
+        ) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "BENCH_history.jsonl").exists()
+
+    def test_bench_out_writes_document(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(
+            ["bench", "--repeats", "1", "--no-history",
+             "--bench-out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text())
+        assert document["schema"] == "coruscant-bench-pim-ops/2"
+        assert len(document["kernels"]) == 4
+
+    def test_compare_clean_run_exits_zero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["bench", "--repeats", "1", "--no-history",
+             "--bench-out", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["bench", "--repeats", "1", "--no-history",
+             "--compare", str(baseline)]
+        ) == 0
+        assert "has_regression: False" in capsys.readouterr().out
+
+    def test_injected_cycle_regression_exits_nonzero(
+        self, tmp_path, capsys
+    ):
+        # The acceptance check: doctor the baseline so the current run's
+        # deterministic sim_cycles look like a regression, and the gate
+        # must fail the build.
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["bench", "--repeats", "1", "--no-history",
+             "--bench-out", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(baseline.read_text())
+        document["kernels"][1]["sim_cycles"] -= 1  # we now look slower
+        baseline.write_text(json.dumps(document))
+        assert main(
+            ["bench", "--repeats", "1", "--no-history",
+             "--compare", str(baseline)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "regressed" in out
+        assert "bench regressed vs baseline" in out
+
+    def test_compare_json_reports_exit_status_and_verdicts(
+        self, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["bench", "--repeats", "1", "--no-history",
+             "--bench-out", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(baseline.read_text())
+        document["kernels"][0]["sim_cycles"] -= 1
+        baseline.write_text(json.dumps(document))
+        assert main(
+            ["bench", "--repeats", "1", "--no-history",
+             "--compare", str(baseline), "--json"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_status"] == 1
+        assert payload["regressed"] is True
+        verdicts = payload["bench verdicts"]["verdicts"]
+        assert verdicts["regressed"] >= 1
+
+    def test_compare_missing_baseline_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--repeats", "1", "--no-history",
+                  "--compare", str(tmp_path / "nope.json")])
+
+    def test_bad_bench_args_rejected(self):
+        for argv in (
+            ["bench", "--repeats", "0"],
+            ["bench", "--wall-tolerance", "-0.5"],
+        ):
+            with pytest.raises(SystemExit):
+                main(argv)
+
+
+class TestJsonExitStatus:
+    def test_experiment_json_carries_exit_status(self, capsys):
+        assert main(["table1", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["exit_status"] == 0
+
+    def test_add_json_carries_exit_status(self, capsys):
+        assert main(["add", "1", "2", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["exit_status"] == 0
+
+    def test_trace_json_carries_exit_status(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "mult", "--out", str(out), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["exit_status"] == 0
+
+    def test_campaign_json_exit_status_matches_return(self, capsys):
+        code = main(
+            ["campaign", "--ops", "4", "--fault-rate", "0.45",
+             "--seed", "0", "--json"]
+        )
+        assert code == 1
+        assert json.loads(capsys.readouterr().out)["exit_status"] == 1
+
+
 class TestTraceCommand:
     def test_trace_mult_writes_nested_chrome_trace(self, tmp_path, capsys):
         out = tmp_path / "trace.json"

@@ -1,0 +1,184 @@
+"""Tests for the fidelity scoreboard: registry, suite, and renderers."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    FIDELITY_SCHEMA,
+    FidelitySuite,
+    PAPER_REFERENCES,
+    PaperRef,
+    REFERENCES_BY_NAME,
+    extract_hotspots,
+    record_for,
+    render_html,
+    render_json,
+    render_markdown,
+)
+
+
+class TestPaperRef:
+    def test_abs_tolerance(self):
+        ref = PaperRef("table1", "ADD2", 3.7, 0.2, kind="abs")
+        assert ref.within(3.7)
+        assert ref.within(3.9)
+        assert not ref.within(3.95)
+
+    def test_rel_tolerance(self):
+        ref = PaperRef("table5", "x", 1.0e-6, 0.25, kind="rel")
+        assert ref.within(1.2e-6)
+        assert not ref.within(1.3e-6)
+
+    def test_exact_tolerance(self):
+        ref = PaperRef("table3", "cycles", 26, 0, kind="abs")
+        assert ref.within(26)
+        assert not ref.within(27)
+
+    def test_nan_measurement_is_never_within(self):
+        ref = PaperRef("table1", "x", 1.0, 10.0)
+        assert not ref.within(float("nan"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            PaperRef("table1", "x", 1.0, 0.1, kind="fuzzy")
+
+    def test_registry_names_are_unique_and_dotted(self):
+        assert len(REFERENCES_BY_NAME) == len(PAPER_REFERENCES)
+        for ref in PAPER_REFERENCES:
+            assert ref.name == f"{ref.section}.{ref.metric}"
+
+    def test_registry_covers_all_required_sections(self):
+        sections = {ref.section for ref in PAPER_REFERENCES}
+        assert {
+            "table1", "table3", "table4", "table5",
+            "fig10", "fig11", "fig12",
+        } <= sections
+
+
+class TestFidelityRecord:
+    def test_delta_and_rel_delta(self):
+        ref = PaperRef("table1", "x", 4.0, 1.0)
+        record = record_for(ref, 5.0)
+        assert record.delta == 1.0
+        assert record.rel_delta == 0.25
+        assert record.within
+
+    def test_nan_paper_serialises_to_null(self):
+        ref = PaperRef("table1", "x", float("nan"), 1.0)
+        d = record_for(ref, 2.0).as_dict()
+        assert d["paper"] is None
+        assert d["delta"] is None
+        assert d["rel_delta"] is None
+        json.dumps(d)  # must be JSON-serialisable
+
+    def test_zero_paper_has_no_rel_delta(self):
+        ref = PaperRef("table1", "x", 0.0, 1.0)
+        assert record_for(ref, 0.5).rel_delta is None
+
+
+class TestFidelitySuite:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return FidelitySuite().run()
+
+    def test_covers_all_default_sections(self, report):
+        assert report.sections == [
+            "table1", "table3", "fig10", "fig11", "fig12", "table4",
+            "table5",
+        ]
+        assert len(report.sections) >= 5
+
+    def test_every_record_is_within_tolerance(self, report):
+        bad = [
+            (r.metric, r.measured, r.paper) for r in report.out_of_tolerance
+        ]
+        assert not bad, f"reproduction drifted from the paper: {bad}"
+
+    def test_document_schema(self, report):
+        document = report.as_dict()
+        assert document["schema"] == FIDELITY_SCHEMA
+        assert document["summary"]["records"] == len(report.records)
+        for section in document["sections"]:
+            assert section["records"], section["section"]
+            for record in section["records"]:
+                assert {
+                    "metric", "measured", "paper", "delta", "within",
+                } <= set(record)
+        json.dumps(document)  # JSON-clean end to end
+
+    def test_hotspots_attribute_device_phases(self, report):
+        ops = {row.op for row in report.hotspots}
+        assert "transverse_read" in ops
+        assert "shift" in ops
+        shares = sum(row.cycles_share for row in report.hotspots)
+        assert math.isclose(shares, 1.0, abs_tol=1e-6)
+        # Sorted by cycle consumption, heaviest first.
+        cycles = [row.cycles for row in report.hotspots]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_section_subset_runs_only_those(self):
+        report = FidelitySuite(sections=["table3"]).run()
+        assert report.sections == ["table3"]
+        assert all(r.section == "table3" for r in report.records)
+
+    def test_fig10_fig11_share_one_polybench_run(self):
+        report = FidelitySuite(sections=["fig10", "fig11"]).run()
+        assert {r.section for r in report.records} == {"fig10", "fig11"}
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError):
+            FidelitySuite(sections=["table99"])
+
+
+class TestExtractHotspots:
+    def test_empty_metrics_yield_no_rows(self):
+        assert extract_hotspots({"counters": {}}) == []
+
+    def test_shares_and_order(self):
+        metrics = {
+            "counters": {
+                "device.shift.count": 4,
+                "device.shift.cycles": 40,
+                "device.shift.energy_pj": 1.0,
+                "device.write.count": 2,
+                "device.write.cycles": 60,
+                "device.write.energy_pj": 3.0,
+            }
+        }
+        rows = extract_hotspots(metrics)
+        assert [r.op for r in rows] == ["write", "shift"]
+        assert rows[0].cycles_share == 0.6
+        assert rows[1].energy_share == 0.25
+
+
+class TestRenderers:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return FidelitySuite().run()
+
+    def test_markdown_scoreboard_has_required_columns(self, report):
+        md = render_markdown(report)
+        assert "# CORUSCANT reproduction-fidelity scoreboard" in md
+        assert "| metric | measured | paper | delta | within tol |" in md
+        # At least 5 paper tables/figures as sections.
+        assert sum(1 for line in md.splitlines()
+                   if line.startswith("## ")) >= 5
+        assert "## Hotspots" in md
+
+    def test_markdown_tables_are_well_formed(self, report):
+        for line in render_markdown(report).splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|"), line
+
+    def test_html_is_standalone_page(self, report):
+        page = render_html(report)
+        assert page.startswith("<!DOCTYPE html>")
+        assert page.count("<table>") >= 6
+        assert page.rstrip().endswith("</html>")
+
+    def test_json_round_trips(self, report):
+        document = json.loads(render_json(report))
+        assert document["schema"] == FIDELITY_SCHEMA
+        assert document["summary"]["out_of_tolerance"] == 0

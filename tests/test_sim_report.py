@@ -24,8 +24,21 @@ class TestReport:
             if line.startswith("|") and not line.startswith("|-"):
                 assert line.endswith("|"), line
 
-    def test_cli_report_command(self, capsys):
+    def test_cli_report_command_is_the_scoreboard(self, capsys):
+        # `repro report` now renders the fidelity scoreboard; the
+        # long-form dump tested above remains part of `repro all`.
         from repro.cli import main
 
         assert main(["report"]) == 0
-        assert "CORUSCANT reproduction report" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "CORUSCANT reproduction-fidelity scoreboard" in out
+
+    def test_paper_constants_come_from_obs_registry(self):
+        from repro.obs.registry import REFERENCES_BY_NAME
+        from repro.sim.report import PAPER_AREA, PAPER_POLYBENCH
+
+        assert PAPER_AREA["ADD2"] == REFERENCES_BY_NAME["table1.ADD2"].paper
+        assert (
+            PAPER_POLYBENCH["avg_energy_reduction"]
+            == REFERENCES_BY_NAME["fig11.avg_energy_reduction"].paper
+        )

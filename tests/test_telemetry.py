@@ -392,3 +392,152 @@ class TestTelemetryHub:
                 assert active_hub() is hub_b
             assert active_hub() is hub_a
         assert active_hub() is None
+
+    def test_device_op_per_op_cycles_and_energy(self):
+        hub = TelemetryHub()
+        hub.device_op("shift", cycles=3, energy_pj=0.6, count=3)
+        hub.device_op("transverse_read", cycles=2, energy_pj=0.1)
+        counters = hub.metrics_dict()["counters"]
+        assert counters["device.shift.cycles"] == 3
+        assert counters["device.shift.energy_pj"] == pytest.approx(0.6)
+        assert counters["device.transverse_read.cycles"] == 2
+        assert counters["device.cycles"] == 5
+
+
+# ----------------------------------------------------------------------
+# derived quantiles
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        h = Histogram("h", edges=(1, 2))
+        assert h.quantile(0.5) is None
+        d = h.as_dict()
+        assert d["p50"] is None and d["p90"] is None and d["p99"] is None
+
+    def test_quantile_bounds_validated(self):
+        h = Histogram("h", edges=(1,))
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_single_value_collapses_all_quantiles(self):
+        h = Histogram("h", edges=(10, 20))
+        h.observe(7)
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert h.quantile(q) == pytest.approx(7.0)
+
+    def test_interpolates_within_one_bucket(self):
+        # 100 observations uniform over (10, 20]: p50 should sit near
+        # the bucket's midpoint, p90 near its upper end.
+        h = Histogram("h", edges=(10, 20, 30))
+        for i in range(100):
+            h.observe(10.1 + i * 0.099)
+        assert h.quantile(0.5) == pytest.approx(15.0, abs=1.0)
+        assert h.quantile(0.9) == pytest.approx(19.0, abs=1.0)
+        assert h.quantile(1.0) == pytest.approx(h.max)
+
+    def test_quantiles_across_buckets(self):
+        h = Histogram("h", edges=(1, 2, 4, 8))
+        for value in (0.5, 1.5, 1.6, 3.0, 3.5, 3.9, 5.0, 6.0, 7.0, 8.0):
+            h.observe(value)
+        p50 = h.quantile(0.5)
+        assert 2 < p50 <= 4  # the 5th of 10 observations is 3.5
+        p90 = h.quantile(0.9)
+        assert 4 < p90 <= 8
+
+    def test_overflow_bucket_clamps_to_observed_max(self):
+        h = Histogram("h", edges=(1, 2))
+        for value in (5, 50, 500):
+            h.observe(value)
+        # All mass in the overflow bucket: estimates interpolate between
+        # the last edge and the observed max, never beyond.
+        assert h.quantile(0.99) <= 500
+        assert h.quantile(1.0) == pytest.approx(500)
+        assert h.quantile(0.01) >= 2  # overflow bucket's lower bound
+
+    def test_first_bucket_uses_observed_min_not_minus_infinity(self):
+        h = Histogram("h", edges=(10, 20))
+        h.observe(4)
+        h.observe(6)
+        p50 = h.quantile(0.5)
+        assert 4 <= p50 <= 6
+
+    def test_as_dict_exposes_p50_p90_p99(self):
+        h = Histogram("h", edges=(1, 2, 4, 8, 16))
+        for value in range(1, 11):
+            h.observe(value)
+        d = h.as_dict()
+        assert d["p50"] == pytest.approx(h.quantile(0.50))
+        assert d["p90"] == pytest.approx(h.quantile(0.90))
+        assert d["p99"] == pytest.approx(h.quantile(0.99))
+        assert d["p50"] <= d["p90"] <= d["p99"] <= h.max
+
+
+# ----------------------------------------------------------------------
+# chrome export edge cases
+
+
+class TestChromeTraceEdgeCases:
+    def test_empty_tracer_exports_only_metadata(self):
+        doc = chrome_trace(Tracer())
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M"]
+        json.dumps(doc)
+
+    def test_null_tracer_exports_only_metadata(self):
+        doc = chrome_trace(NULL_TRACER)
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M"]
+
+    def test_deeply_nested_spans_preserve_containment(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        depth = 40
+        spans = []
+        for i in range(depth):
+            span = tracer.span(f"level{i}")
+            span.__enter__()
+            spans.append(span)
+            clock.advance(1e-6)
+        for span in reversed(spans):
+            clock.advance(1e-6)
+            span.__exit__(None, None, None)
+        doc = chrome_trace(tracer)
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == depth
+        # Start-time sorted = outermost first; each child is contained
+        # within its parent's interval.
+        for parent, child in zip(events, events[1:]):
+            assert parent["ts"] <= child["ts"]
+            assert (
+                child["ts"] + child["dur"]
+                <= parent["ts"] + parent["dur"] + 1e-9
+            )
+
+    def test_instants_interleave_with_spans_by_timestamp(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        tracer.instant("before")  # ts 0
+        clock.advance(5e-6)
+        with tracer.span("work"):  # ts 5
+            clock.advance(2e-6)
+            tracer.instant("during")  # ts 7
+            clock.advance(2e-6)
+        clock.advance(1e-6)
+        tracer.instant("after")  # ts 10
+        doc = chrome_trace(tracer)
+        names = [e["name"] for e in doc["traceEvents"][1:]]
+        assert names == ["before", "work", "during", "after"]
+        timestamps = [e["ts"] for e in doc["traceEvents"][1:]]
+        assert timestamps == sorted(timestamps)
+
+    def test_equal_timestamps_keep_parent_before_child(self):
+        # Zero-duration nesting: the stable sort must not reorder a
+        # child before the parent that contains it.
+        tracer = Tracer(clock=lambda: 0.0)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        doc = chrome_trace(tracer)
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert names == ["outer", "inner"]
