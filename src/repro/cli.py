@@ -16,6 +16,14 @@ operations for exploration:
     python -m repro mult 173 219    # one PIM multiplication
     python -m repro campaign --fault-rate 1e-3 --ops 1000
                                     # fault campaign, recovery on vs off
+    python -m repro campaign --shards 4 --journal runs/c1
+                                    # sharded campaign: supervised worker
+                                    # processes, per-shard journals, and
+                                    # a merged report bit-identical to
+                                    # the single-process run (exit 3 on
+                                    # a degraded partial report)
+    python -m repro mc additions --trials 10000 --shards 2
+                                    # Monte Carlo fault injection, sharded
     python -m repro trace mult --out trace.json
                                     # Chrome-trace one kernel end to end
     python -m repro report --format md
@@ -93,6 +101,11 @@ class OutputWriter:
             self.payload.update(record)
             return
         print(text, file=self.stream)
+
+    def meta(self, **record: Any) -> None:
+        """Top-level JSON payload fields (schema ids etc.); silent in text."""
+        if self.json_mode:
+            self.payload.update(record)
 
     def close(self, exit_status: int = 0) -> None:
         """Flush JSON output; the document always records the exit status."""
@@ -355,14 +368,18 @@ def _run_mult(writer: OutputWriter, a: int, b: int, trd: int) -> None:
     )
 
 
-def _run_campaign(writer: OutputWriter, args, telemetry=None) -> int:
-    from repro.reliability.campaign import (
-        CampaignConfig,
-        run_add_campaign,
-        run_recovery_comparison,
-    )
+# Exit codes of the campaign/mc commands: EXIT_UNCORRECTABLE flags a
+# completed campaign whose recovery ladder still let faults through;
+# EXIT_INCOMPLETE_SHARDS flags a sharded run that had to degrade to a
+# partial report (some shard exhausted its retries). 2 is argparse's.
+EXIT_UNCORRECTABLE = 1
+EXIT_INCOMPLETE_SHARDS = 3
 
-    config = CampaignConfig(
+
+def _campaign_config(args):
+    from repro.reliability.campaign import CampaignConfig
+
+    return CampaignConfig(
         ops=args.ops,
         tr_fault_rate=args.fault_rate,
         shift_fault_rate=args.shift_fault_rate,
@@ -376,6 +393,185 @@ def _run_campaign(writer: OutputWriter, args, telemetry=None) -> int:
         calm_shift_fault_rate=args.calm_shift_fault_rate,
         storage_rows=args.storage_rows,
     )
+
+
+def _parse_crash(spec: Optional[str]):
+    """``SHARD:OP[:MODE]`` -> the sharded runner's crash dict."""
+    if spec is None:
+        return None
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise SystemExit(
+            f"--inject-worker-crash wants SHARD:OP[:MODE], got {spec!r}"
+        )
+    try:
+        crash = {"shard": int(parts[0]), "at_op": int(parts[1])}
+    except ValueError:
+        raise SystemExit(
+            f"--inject-worker-crash wants SHARD:OP[:MODE], got {spec!r}"
+        ) from None
+    if len(parts) == 3:
+        if parts[2] not in ("kill", "hang", "kill-always"):
+            raise SystemExit(
+                f"unknown crash mode {parts[2]!r} "
+                "(kill, hang, kill-always)"
+            )
+        crash["mode"] = parts[2]
+    return crash
+
+
+def _validate_shard_flags(parser, args) -> None:
+    """Shared validation for the sharded campaign/mc flags."""
+    if args.shards is not None and args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.workers is not None and args.workers < 0:
+        parser.error("--workers must be >= 0")
+    if args.shard_timeout is not None and args.shard_timeout <= 0:
+        parser.error("--shard-timeout must be > 0")
+    if args.max_shard_retries < 0:
+        parser.error("--max-shard-retries must be >= 0")
+    if args.inject_worker_crash is not None:
+        if args.shards is None and not args.journal:
+            parser.error(
+                "--inject-worker-crash requires a sharded run (--shards N)"
+            )
+        if args.workers == 0:
+            parser.error(
+                "--inject-worker-crash needs worker processes "
+                "(--workers >= 1); in-process shards cannot be killed"
+            )
+
+
+def _run_sharded_campaign(writer: OutputWriter, args, telemetry=None) -> int:
+    from repro.reliability.sharded import (
+        CAMPAIGN_SCHEMA,
+        run_sharded_campaign,
+    )
+
+    config = _campaign_config(args)
+    result = run_sharded_campaign(
+        config,
+        shards=args.shards,
+        journal_dir=args.journal,
+        workers=args.workers,
+        shard_timeout=args.shard_timeout,
+        max_shard_retries=args.max_shard_retries,
+        checkpoint_every=args.checkpoint_every,
+        telemetry=telemetry,
+        crash=_parse_crash(args.inject_worker_crash),
+    )
+    summaries = result.shard_summaries()
+    writer.meta(schema=CAMPAIGN_SCHEMA, config=result.report["config"])
+    writer.section("Sharded campaign (merged)", result.report["merged"])
+    writer.rows(
+        "shards",
+        summaries,
+        [
+            f"  shard {s['shard']}: ops [{s['start']},{s['stop']})  "
+            f"injected {s['injected']}  escaped {s['escaped']}  "
+            f"retries {s['retries']}  "
+            f"attempts {s['supervisor_attempts']}  "
+            f"{s['wall_seconds']:.2f}s"
+            for s in summaries
+        ],
+    )
+    writer.rows(
+        "supervisor attempts",
+        [a.as_dict() for a in result.attempts],
+        [
+            f"  shard {a.shard} attempt {a.attempt}: {a.status} "
+            f"({a.wall_seconds:.2f}s)"
+            for a in result.attempts
+        ],
+    )
+    exit_code = 0
+    if not result.complete:
+        writer.rows(
+            "incomplete shards",
+            result.report["incomplete_shards"],
+            [
+                f"  shard {e['shard']}: {e['reason']}"
+                for e in result.report["incomplete_shards"]
+            ],
+        )
+        writer.line(
+            "\ncampaign degraded to a partial report "
+            f"(incomplete shards: {result.incomplete_shards})",
+            incomplete_shards=result.incomplete_shards,
+        )
+        exit_code = EXIT_INCOMPLETE_SHARDS
+    elif (
+        config.recovery
+        and result.report["merged"].get("uncorrectable", 0) > 0
+    ):
+        writer.line(
+            "\ncampaign ended with uncorrectable faults",
+            uncorrectable_exit=True,
+        )
+        exit_code = EXIT_UNCORRECTABLE
+    if args.journal:
+        writer.line(
+            f"\nmerged report -> {args.journal}/report.json",
+            report_path=f"{args.journal}/report.json",
+        )
+    return exit_code
+
+
+def _run_mc(writer: OutputWriter, args) -> int:
+    from repro.reliability.sharded import MC_KINDS, MC_SCHEMA, run_sharded_mc
+
+    kind = args.operands[0] if args.operands else "additions"
+    if kind not in MC_KINDS:
+        raise SystemExit(
+            f"unknown mc kind {kind!r}; pick one of {', '.join(MC_KINDS)}"
+        )
+    result = run_sharded_mc(
+        kind,
+        trials=args.trials,
+        shards=args.shards or 1,
+        fault_rate=args.fault_rate,
+        trd=args.trd,
+        seed=args.seed,
+        journal_dir=args.journal,
+        workers=args.workers,
+        shard_timeout=args.shard_timeout,
+        max_shard_retries=args.max_shard_retries,
+        checkpoint_every=args.checkpoint_every,
+    )
+    summaries = result.shard_summaries()
+    writer.meta(schema=MC_SCHEMA, config=result.report["config"])
+    writer.section(f"Monte Carlo ({kind}, merged)", result.report["merged"])
+    writer.rows(
+        "shards",
+        summaries,
+        [
+            f"  shard {s['shard']}: trials [{s['start']},{s['stop']})  "
+            f"errors {s['errors']}  "
+            f"attempts {s['supervisor_attempts']}  "
+            f"{s['wall_seconds']:.2f}s"
+            for s in summaries
+        ],
+    )
+    if not result.complete:
+        writer.rows(
+            "incomplete shards",
+            result.report["incomplete_shards"],
+            [
+                f"  shard {e['shard']}: {e['reason']}"
+                for e in result.report["incomplete_shards"]
+            ],
+        )
+        return EXIT_INCOMPLETE_SHARDS
+    return 0
+
+
+def _run_campaign(writer: OutputWriter, args, telemetry=None) -> int:
+    from repro.reliability.campaign import (
+        run_add_campaign,
+        run_recovery_comparison,
+    )
+
+    config = _campaign_config(args)
     if args.checkpoint:
         # Journaled (and resumable) runs are single-leg: a bare baseline
         # sharing the journal would corrupt the resume stream.
@@ -395,11 +591,14 @@ def _run_campaign(writer: OutputWriter, args, telemetry=None) -> int:
         runs = {
             "recovery_off": run_add_campaign(config, telemetry=telemetry)
         }
+    from repro.reliability.sharded import CAMPAIGN_SCHEMA
+
+    writer.meta(schema=CAMPAIGN_SCHEMA)
     exit_code = 0
     for name, result in runs.items():
         writer.section(f"Fault campaign ({name})", result.summary())
         if result.recovery and result.uncorrectable > 0:
-            exit_code = 1
+            exit_code = EXIT_UNCORRECTABLE
     if exit_code:
         writer.line(
             "\ncampaign ended with uncorrectable faults",
@@ -502,15 +701,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "command",
         choices=sorted(_EXPERIMENTS) + ["all", "add", "mult", "campaign",
-                                        "trace", "bench"],
+                                        "mc", "trace", "bench"],
         help="experiment to regenerate, a one-off PIM operation, the "
-             "fidelity scoreboard (report), or the bench regression gate "
-             "(bench)",
+             "fidelity scoreboard (report), the bench regression gate "
+             "(bench), a fault campaign (campaign), or Monte Carlo "
+             "fault-injection trials (mc)",
     )
     parser.add_argument(
         "operands", nargs="*",
-        help="operands for add/mult, or the kernel name for trace "
-             f"({', '.join(_TRACE_KERNELS)})",
+        help="operands for add/mult, the kernel name for trace "
+             f"({', '.join(_TRACE_KERNELS)}), or the trial kind for mc "
+             "(additions, multiplies, tmr_additions)",
     )
     parser.add_argument(
         "--json", action="store_true",
@@ -566,7 +767,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--checkpoint", metavar="PATH", default=None,
-        help="journal campaign state to PATH; resumes from it if present",
+        help="journal campaign state to PATH; resumes from it if present "
+             "(single-process runs; sharded runs use --journal DIR)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="split the campaign/mc run into N supervised worker "
+             "processes with per-shard journals and a merged report "
+             "bit-identical to the single-process run",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes per wave for sharded runs (default: one "
+             "per shard; 0 runs the shards sequentially in-process)",
+    )
+    parser.add_argument(
+        "--journal", metavar="DIR", default=None,
+        help="directory for per-shard journals (journal.shard-K.json) "
+             "and the merged report.json; shards resume from it",
+    )
+    parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry a shard worker that runs longer than this",
+    )
+    parser.add_argument(
+        "--max-shard-retries", type=int, default=2, metavar="R",
+        help="retries per shard before the run degrades to a partial "
+             "report (default 2); exhausted shards are listed in "
+             "incomplete_shards and the command exits 3",
+    )
+    parser.add_argument(
+        "--inject-worker-crash", metavar="SHARD:OP[:MODE]", default=None,
+        help="test/CI hook: SIGKILL (kill), hang (hang), or repeatedly "
+             "kill (kill-always) the worker of SHARD at global op OP",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=1000, metavar="N",
+        help="Monte Carlo trials for the mc command (default 1000)",
     )
     parser.add_argument(
         "--checkpoint-every", type=int, default=100, metavar="OPS",
@@ -644,6 +881,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         code = _run_trace(writer, args)
         writer.close(code)
         return code
+    if args.command == "mc":
+        if args.trials < 1:
+            parser.error("--trials must be >= 1")
+        if not 0.0 < args.fault_rate <= 1.0:
+            parser.error("--fault-rate must be in (0, 1] for mc")
+        if args.inject_worker_crash:
+            parser.error("--inject-worker-crash applies to campaign only")
+        _validate_shard_flags(parser, args)
+        code = _run_mc(writer, args)
+        writer.close(code)
+        return code
     if args.command == "campaign":
         if args.ops < 1:
             parser.error("--ops must be >= 1")
@@ -667,12 +915,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--stop-after must be >= 0")
         if args.storage_rows < 0:
             parser.error("--storage-rows must be >= 0")
+        _validate_shard_flags(parser, args)
         hub = None
         if args.metrics_json:
             from repro.telemetry import TelemetryHub
 
             hub = TelemetryHub()
-        code = _run_campaign(writer, args, telemetry=hub)
+        if args.shards is not None or args.journal:
+            if args.checkpoint:
+                parser.error(
+                    "sharded campaigns journal per shard; use "
+                    "--journal DIR instead of --checkpoint"
+                )
+            if args.stop_after is not None:
+                parser.error(
+                    "--stop-after is the single-process crash stand-in; "
+                    "sharded runs are interrupted per worker instead"
+                )
+            args.shards = args.shards or 1
+            code = _run_sharded_campaign(writer, args, telemetry=hub)
+        else:
+            code = _run_campaign(writer, args, telemetry=hub)
         if hub is not None:
             _dump_metrics(hub, args.metrics_json)
         writer.close(code)

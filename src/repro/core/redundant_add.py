@@ -25,6 +25,7 @@ from repro.core.pim_logic import adder_outputs
 from repro.device.faults import FaultConfig, FaultInjector
 from repro.device.parameters import DeviceParameters
 from repro.utils.bitops import bits_to_int
+from repro.utils.streams import derive_seed
 
 
 class VotingMode(enum.Enum):
@@ -74,7 +75,9 @@ class RedundantAdder:
                     FaultConfig(
                         tr_fault_rate=fault_config.tr_fault_rate,
                         shift_fault_rate=fault_config.shift_fault_rate,
-                        seed=fault_config.seed + 1000 * i,
+                        seed=derive_seed(
+                            fault_config.seed, "nmr.replica", i
+                        ),
                     )
                 )
             self.replicas.append(

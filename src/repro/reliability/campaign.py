@@ -30,7 +30,7 @@ from __future__ import annotations
 import os
 import random
 from dataclasses import asdict, dataclass, fields, replace
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.isa import Address, CpimInstruction, CpimOp
 from repro.device.faults import FaultConfig
@@ -39,6 +39,7 @@ from repro.resilience import checkpoint as ckpt
 from repro.resilience.breaker import BreakerConfig
 from repro.resilience.policy import RetryPolicy
 from repro.utils.bitops import bits_from_int
+from repro.utils.streams import derive_seed, derive_stream
 
 
 @dataclass(frozen=True)
@@ -215,7 +216,24 @@ class CampaignResult:
         return summary
 
 
-def _campaign_system(config: CampaignConfig, telemetry=None):
+def shard_bounds(ops: int, shard: int, shards: int) -> Tuple[int, int]:
+    """The global op range ``[lo, hi)`` shard ``shard`` of ``shards`` runs.
+
+    Contiguous, gap-free, and balanced to within one op; the partition
+    is part of the sharded campaign's *definition*, so the same bounds
+    are used whether shards run in worker processes or sequentially in
+    one process.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if not 0 <= shard < shards:
+        raise ValueError(f"shard must be in [0, {shards}), got {shard}")
+    if shards > ops:
+        raise ValueError(f"cannot split {ops} ops into {shards} shards")
+    return shard * ops // shards, (shard + 1) * ops // shards
+
+
+def _campaign_system(config: CampaignConfig, shard: int = 0, telemetry=None):
     """Build the system under test (import deferred to avoid cycles)."""
     from repro.arch.geometry import MemoryGeometry
     from repro.sim.system import CoruscantSystem
@@ -227,7 +245,7 @@ def _campaign_system(config: CampaignConfig, telemetry=None):
         fault_config=FaultConfig(
             tr_fault_rate=config.tr_fault_rate,
             shift_fault_rate=config.shift_fault_rate,
-            seed=config.seed,
+            seed=derive_seed(config.seed, "campaign.faults", shard),
         ),
         resilience=policy if config.recovery else False,
         scrub_interval=config.scrub_interval,
@@ -247,6 +265,9 @@ def run_add_campaign(
     checkpoint_every: int = 100,
     stop_after: Optional[int] = None,
     telemetry=None,
+    shard: int = 0,
+    shards: int = 1,
+    on_op: Optional[Callable[[int], None]] = None,
 ) -> CampaignResult:
     """Replay ``config.ops`` multi-operand additions under faults.
 
@@ -268,6 +289,18 @@ def run_add_campaign(
             for a crash in tests and sliced long runs.
         telemetry: optional :class:`~repro.telemetry.TelemetryHub`; the
             campaign system publishes traces and metrics into it.
+        shard: which slice of the op range this invocation runs.
+        shards: total shard count the campaign is split into. Shard
+            ``shard`` runs global ops ``shard_bounds(config.ops, shard,
+            shards)`` on its own system, with operand and fault streams
+            derived per shard via
+            :func:`~repro.utils.streams.derive_stream` — so a shard's
+            result is a pure function of ``(config, shard, shards)``
+            regardless of which process runs it. The default (0 of 1)
+            is the plain single-process campaign.
+        on_op: test hook invoked with the global op index before each
+            executed op (used by the sharded supervisor's crash
+            injection; never set in production runs).
 
     A run interrupted at any point and resumed from its journal produces
     a final report bit-identical to the uninterrupted run.
@@ -275,7 +308,8 @@ def run_add_campaign(
     from repro.core.addition import MultiOperandAdder
     from repro.resilience.errors import UncorrectableFaultError
 
-    system = _campaign_system(config, telemetry=telemetry)
+    lo, hi = shard_bounds(config.ops, shard, shards)
+    system = _campaign_system(config, shard=shard, telemetry=telemetry)
     dbc = system.pim_dbc()
     adder = MultiOperandAdder(dbc)
     if config.operands > adder.max_operands:
@@ -296,20 +330,23 @@ def run_add_campaign(
             f"storage_rows={config.storage_rows} exceeds the "
             f"{_storage_dbc(system).domains}-row storage DBC"
         )
-    rng = random.Random(config.seed + 1)
+    rng = derive_stream(config.seed, "campaign.operands", shard)
     injector = dbc.injector
     result = CampaignResult(
-        ops=config.ops,
+        ops=hi - lo,
         recovery=config.recovery,
         analytic_op_error_rate=add_error_probability(
             config.blocksize, config.tr_fault_rate
         ),
     )
     expected_rows: Dict[int, List[int]] = {}
-    start = 0
+    start = lo
+    if checkpoint_path:
+        ckpt.discard_torn_temp(checkpoint_path)
     if checkpoint_path and os.path.exists(checkpoint_path):
         start = _restore_campaign(
-            checkpoint_path, config, system, rng, result, expected_rows
+            checkpoint_path, config, system, rng, result, expected_rows,
+            shard, shards,
         )
         result.resumed_from = start
     if config.storm_ops is not None and start >= config.storm_ops:
@@ -318,7 +355,7 @@ def run_add_campaign(
         )
     modulus = 1 << config.blocksize
     result.completed = True
-    for index in range(start, config.ops):
+    for index in range(start, hi):
         if stop_after is not None and index - start >= stop_after:
             result.completed = False
             break
@@ -326,6 +363,8 @@ def run_add_campaign(
             injector.set_rates(
                 config.calm_tr_fault_rate, config.calm_shift_fault_rate
             )
+        if on_op is not None:
+            on_op(index)
         words = [
             rng.randrange(1 << config.n_bits)
             for _ in range(config.operands)
@@ -347,14 +386,14 @@ def run_add_campaign(
             checkpoint_path
             and checkpoint_every
             and (index + 1) % checkpoint_every == 0
-            and index + 1 < config.ops
+            and index + 1 < hi
         ):
             _save_campaign(
                 checkpoint_path, config, system, rng, result,
-                expected_rows, index + 1,
+                expected_rows, index + 1, shard, shards,
             )
     else:
-        start = config.ops  # loop ran to the end (or resumed past it)
+        start = hi  # loop ran to the end (or resumed past it)
     stopped_at = start if result.completed else start + (stop_after or 0)
     result.injected_tr_faults = injector.tr_faults_injected
     result.injected_shift_faults = injector.shift_faults_injected
@@ -377,7 +416,7 @@ def run_add_campaign(
     if checkpoint_path:
         _save_campaign(
             checkpoint_path, config, system, rng, result,
-            expected_rows, stopped_at,
+            expected_rows, stopped_at, shard, shards,
         )
     return result
 
@@ -478,9 +517,15 @@ def _save_campaign(
     result: CampaignResult,
     expected_rows: Dict[int, List[int]],
     ops_done: int,
+    shard: int = 0,
+    shards: int = 1,
 ) -> None:
+    fingerprint = config.fingerprint()
     payload: Dict[str, Any] = {
-        "fingerprint": config.fingerprint(),
+        "fingerprint": fingerprint,
+        "config_hash": ckpt.config_hash(fingerprint),
+        "shard": shard,
+        "shards": shards,
         "ops_done": ops_done,
         "stream_rng": ckpt.rng_state_to_json(rng.getstate()),
         "injector": system.memory.injector.state(),
@@ -525,12 +570,16 @@ def _restore_campaign(
     rng: random.Random,
     result: CampaignResult,
     expected_rows: Dict[int, List[int]],
+    shard: int = 0,
+    shards: int = 1,
 ) -> int:
     """Load a journal into a freshly built system; returns ops done."""
     from repro.resilience.executor import RecoveryStats
 
     document = ckpt.load_checkpoint(path)
-    ckpt.verify_fingerprint(document, config.fingerprint(), path)
+    ckpt.verify_resume(
+        document, config.fingerprint(), path, shard=shard, shards=shards
+    )
     rng.setstate(ckpt.rng_state_from_json(document["stream_rng"]))
     system.memory.injector.restore_state(document["injector"])
     for key, state in document["dbcs"]:
@@ -585,7 +634,7 @@ def run_cnn_campaign(
         FaultConfig(
             tr_fault_rate=config.tr_fault_rate,
             shift_fault_rate=config.shift_fault_rate,
-            seed=config.seed,
+            seed=derive_seed(config.seed, "cnn.faults"),
         )
     )
     engine = PimCnnEngine(
@@ -594,7 +643,7 @@ def run_cnn_campaign(
         injector=injector,
         tr_vote_reads=policy.tr_vote_reads if config.recovery else 1,
     )
-    rng = np.random.default_rng(config.seed)
+    rng = np.random.default_rng(derive_seed(config.seed, "cnn.pixels"))
     image = rng.integers(0, 1 << pixel_bits, (image_size, image_size))
     kernel = rng.integers(0, 1 << pixel_bits, (kernel_size, kernel_size))
     out = engine.conv2d(image, kernel, n_bits=pixel_bits)

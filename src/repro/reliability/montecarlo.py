@@ -19,8 +19,10 @@ from repro.core.multiplication import Multiplier
 from repro.core.nmr import ModularRedundancy
 from repro.device.faults import FaultConfig, FaultInjector
 from repro.device.parameters import DeviceParameters
+from repro.reliability.campaign import shard_bounds
 from repro.resilience import checkpoint as ckpt
 from repro.utils.bitops import bits_from_int, bits_to_int
+from repro.utils.streams import derive_seed
 
 
 @dataclass(frozen=True)
@@ -63,15 +65,28 @@ class FaultCampaign:
         fault_rate: float = 0.01,
         seed: int = 0,
         tracks: int = 32,
+        shard: int = 0,
+        shards: int = 1,
     ) -> None:
         if not 0.0 < fault_rate <= 1.0:
             raise ValueError("fault_rate must be in (0, 1]")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if not 0 <= shard < shards:
+            raise ValueError(f"shard must be in [0, {shards}), got {shard}")
         self.trd = trd
         self.fault_rate = fault_rate
         self.seed = seed
         self.tracks = tracks
+        self.shard = shard
+        self.shards = shards
+        # Shard substreams are derived, never seed+k arithmetic: shard 0
+        # of a 1-shard campaign is by construction the unsharded stream.
         self._injector = FaultInjector(
-            FaultConfig(tr_fault_rate=fault_rate, seed=seed)
+            FaultConfig(
+                tr_fault_rate=fault_rate,
+                seed=derive_seed(seed, "mc.faults", shard),
+            )
         )
 
     def _dbc(self) -> DomainBlockCluster:
@@ -99,8 +114,10 @@ class FaultCampaign:
         Trials are a pure function of the trial index and the shared
         injector's RNG stream, so the journal only needs the trial
         index, the error count, and the injector state to resume a run
-        bit-identically.
+        bit-identically. A sharded campaign (``shards > 1``) runs the
+        global trial slice ``shard_bounds(trials, shard, shards)``.
         """
+        lo, hi = shard_bounds(trials, self.shard, self.shards)
         fingerprint = {
             "kind": kind,
             "trd": self.trd,
@@ -108,11 +125,18 @@ class FaultCampaign:
             "seed": self.seed,
             "tracks": self.tracks,
             "trials": trials,
+            "shard": self.shard,
+            "shards": self.shards,
         }
-        start, errors = 0, 0
+        start, errors = lo, 0
+        if checkpoint_path:
+            ckpt.discard_torn_temp(checkpoint_path)
         if checkpoint_path and os.path.exists(checkpoint_path):
             document = ckpt.load_checkpoint(checkpoint_path)
-            ckpt.verify_fingerprint(document, fingerprint, checkpoint_path)
+            ckpt.verify_resume(
+                document, fingerprint, checkpoint_path,
+                shard=self.shard, shards=self.shards,
+            )
             start = int(document["trial"])
             errors = int(document["errors"])
             self._injector.restore_state(document["injector"])
@@ -122,6 +146,9 @@ class FaultCampaign:
                 checkpoint_path,
                 {
                     "fingerprint": fingerprint,
+                    "config_hash": ckpt.config_hash(fingerprint),
+                    "shard": self.shard,
+                    "shards": self.shards,
                     "trial": done,
                     "errors": errors,
                     "injector": self._injector.state(),
@@ -130,7 +157,7 @@ class FaultCampaign:
 
         completed = True
         done = start
-        for t in range(start, trials):
+        for t in range(start, hi):
             if stop_after is not None and t - start >= stop_after:
                 completed = False
                 break
@@ -145,7 +172,7 @@ class FaultCampaign:
                 save(done)
         if checkpoint_path:
             save(done)
-        return MonteCarloResult(trials, errors, self.fault_rate, completed)
+        return MonteCarloResult(hi - lo, errors, self.fault_rate, completed)
 
     # ------------------------------------------------------------------
 

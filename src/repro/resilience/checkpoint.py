@@ -17,6 +17,7 @@ torn file.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from typing import Any, Dict, List, Tuple
@@ -25,7 +26,10 @@ from repro.arch.dbc import DomainBlockCluster, SenseVoteStats
 from repro.device.stats import DeviceStats
 from repro.resilience.health import DBCHealth, DBCHealthRegistry
 
-FORMAT_VERSION = 1
+# v2 adds the campaign config hash and shard identity to the journal
+# header; v1 journals (pre-sharding) are still readable.
+FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, FORMAT_VERSION)
 
 
 class CheckpointError(RuntimeError):
@@ -151,18 +155,46 @@ def save_checkpoint(path: str, payload: Dict[str, Any]) -> None:
 
 
 def load_checkpoint(path: str) -> Dict[str, Any]:
-    """Read a journal written by :func:`save_checkpoint`."""
+    """Read a journal written by :func:`save_checkpoint` (v1 or v2)."""
     try:
         with open(path, "r", encoding="utf-8") as handle:
             document = json.load(handle)
     except (OSError, ValueError) as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
-    if document.get("format") != FORMAT_VERSION:
+    if document.get("format") not in _READABLE_VERSIONS:
         raise CheckpointError(
             f"checkpoint {path} has format {document.get('format')!r}, "
-            f"expected {FORMAT_VERSION}"
+            f"expected one of {_READABLE_VERSIONS}"
         )
     return document
+
+
+def discard_torn_temp(path: str) -> bool:
+    """Remove a stale ``<path>.tmp`` left behind by an interrupted write.
+
+    :func:`save_checkpoint` renames its temp file over the journal, so a
+    crash mid-write can only leave a *truncated temp file* beside an
+    intact journal. The temp file's contents can never be trusted (the
+    rename never happened); callers drop it before resuming. Returns
+    True when a leftover temp file was removed.
+    """
+    tmp_path = path + ".tmp"
+    try:
+        os.remove(tmp_path)
+    except FileNotFoundError:
+        return False
+    return True
+
+
+def config_hash(fingerprint: Dict[str, Any]) -> str:
+    """A short stable digest of a campaign fingerprint.
+
+    Stored in every v2 journal so a resume against the wrong campaign
+    configuration fails with a compact, diffable message instead of a
+    dump of two full fingerprints.
+    """
+    canonical = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 def verify_fingerprint(
@@ -171,9 +203,53 @@ def verify_fingerprint(
     """Refuse to resume a checkpoint from a different campaign shape."""
     saved = document.get("fingerprint")
     if saved != fingerprint:
+        differing = sorted(
+            key
+            for key in set(saved or {}) | set(fingerprint)
+            if (saved or {}).get(key) != fingerprint.get(key)
+        )
         raise CheckpointMismatchError(
             f"checkpoint {path} was written by a different campaign "
-            f"configuration (saved {saved!r}, current {fingerprint!r})"
+            f"configuration (differing fields: {', '.join(differing) or '?'}; "
+            f"saved {saved!r}, current {fingerprint!r})"
+        )
+
+
+def verify_resume(
+    document: Dict[str, Any],
+    fingerprint: Dict[str, Any],
+    path: str,
+    shard: int = 0,
+    shards: int = 1,
+) -> None:
+    """Full resume guard: format, config hash, fingerprint, shard identity.
+
+    v1 journals carry neither a config hash nor shard fields; they are
+    accepted as unsharded (shard 0 of 1) and guarded by the fingerprint
+    alone, so pre-v2 campaign journals keep resuming.
+    """
+    fmt = document.get("format")
+    if fmt not in _READABLE_VERSIONS:
+        raise CheckpointMismatchError(
+            f"checkpoint {path} has journal format {fmt!r}; this build "
+            f"reads {_READABLE_VERSIONS}"
+        )
+    expected_hash = config_hash(fingerprint)
+    saved_hash = document.get("config_hash")
+    if saved_hash is not None and saved_hash != expected_hash:
+        raise CheckpointMismatchError(
+            f"checkpoint {path} belongs to a different campaign config "
+            f"(config hash {saved_hash} != expected {expected_hash}); "
+            f"pass the exact config the journal was written with"
+        )
+    verify_fingerprint(document, fingerprint, path)
+    saved_shard = int(document.get("shard", 0))
+    saved_shards = int(document.get("shards", 1))
+    if (saved_shard, saved_shards) != (shard, shards):
+        raise CheckpointMismatchError(
+            f"checkpoint {path} journals shard {saved_shard} of "
+            f"{saved_shards}, but this run is shard {shard} of {shards}; "
+            f"each shard must resume from its own journal"
         )
 
 
@@ -181,8 +257,10 @@ __all__ = [
     "FORMAT_VERSION",
     "CheckpointError",
     "CheckpointMismatchError",
+    "config_hash",
     "dbc_state",
     "device_stats_state",
+    "discard_torn_temp",
     "health_state",
     "load_checkpoint",
     "restore_dbc_state",
@@ -193,4 +271,5 @@ __all__ = [
     "save_checkpoint",
     "vote_stats_state",
     "verify_fingerprint",
+    "verify_resume",
 ]

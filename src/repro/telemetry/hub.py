@@ -20,6 +20,7 @@ TR_PER_OP_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 OP_CYCLE_BUCKETS = (8, 16, 32, 64, 128, 256, 512, 1024)
 RETRY_DEPTH_BUCKETS = (1, 2, 3, 4, 5, 8)
 QUEUE_CYCLE_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+SHARD_WALL_BUCKETS = (0.1, 0.25, 0.5, 1, 2, 5, 10, 30, 60, 120, 300, 600)
 
 
 class TelemetryHub:
@@ -124,6 +125,32 @@ class TelemetryHub:
         self.metrics.counter(f"breaker.to_{dst.lower()}").inc()
 
     # ------------------------------------------------------------------
+    # sharded campaign supervisor
+
+    def shard_attempt(
+        self, shard: int, wall_seconds: float, status: str
+    ) -> None:
+        """One shard-worker attempt's outcome, published by the supervisor.
+
+        ``status`` is one of ``completed`` / ``timeout`` / ``crashed`` /
+        ``failed``; every non-``completed`` attempt also counts as a
+        retry trigger. The wall-time histogram is what the obs
+        scoreboard gates shard balance on.
+        """
+        m = self.metrics
+        m.counter("campaign.shard_attempts").inc()
+        m.counter(f"campaign.shard_{status}").inc()
+        m.histogram(
+            "campaign.shard_wall_seconds", SHARD_WALL_BUCKETS
+        ).observe(wall_seconds)
+        if status != "completed":
+            m.counter("campaign.shard_retries").inc()
+
+    def shard_incomplete(self, shard: int) -> None:
+        """A shard exhausted its retries; the report degrades gracefully."""
+        self.metrics.counter("campaign.incomplete_shards").inc()
+
+    # ------------------------------------------------------------------
     # export
 
     def metrics_dict(self) -> Dict[str, Any]:
@@ -141,6 +168,7 @@ __all__ = [
     "OP_CYCLE_BUCKETS",
     "QUEUE_CYCLE_BUCKETS",
     "RETRY_DEPTH_BUCKETS",
+    "SHARD_WALL_BUCKETS",
     "TR_PER_OP_BUCKETS",
     "TelemetryHub",
 ]

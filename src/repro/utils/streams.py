@@ -1,0 +1,55 @@
+"""Deterministic RNG stream derivation for campaigns and shards.
+
+Every stochastic component in the stack (operand streams, fault
+injectors, Monte Carlo trials, NMR replica injectors) needs its own
+independent RNG stream, and sharded campaigns need one *per shard*.
+Deriving those with ``seed + k`` arithmetic is fragile: adjacent user
+seeds collide with derived ones (campaign ``seed=1`` reuses the operand
+stream of campaign ``seed=0``), and two purposes that happen to pick the
+same offset silently share a stream.
+
+This module is the single sanctioned derivation: a SeedSequence-style
+hash of ``(root seed, purpose label, shard index)`` through SHA-256, so
+
+* distinct purposes never collide, whatever the root seed;
+* adjacent root seeds produce statistically unrelated streams;
+* shard substreams are independent of each other *and* of the unsharded
+  stream only when the shard index differs (shard 0 of a 1-shard run is
+  by construction the plain single-process stream).
+
+All stream derivation in ``repro`` must go through :func:`derive_seed`
+or :func:`derive_stream`; never hand-roll ``seed + k``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+_DOMAIN = b"coruscant-stream-v1"
+
+
+def derive_seed(seed: int, purpose: str, shard: int = 0) -> int:
+    """A 64-bit seed derived from ``(seed, purpose, shard)``.
+
+    Args:
+        seed: the experiment's root seed (any int, negatives allowed).
+        purpose: a stable label naming the stream's consumer, e.g.
+            ``"campaign.operands"`` or ``"mc.faults"``.
+        shard: substream index for sharded runs (0 for unsharded).
+    """
+    if not purpose:
+        raise ValueError("purpose label must be non-empty")
+    if shard < 0:
+        raise ValueError(f"shard must be >= 0, got {shard}")
+    message = f"{seed}|{purpose}|{shard}".encode("utf-8")
+    digest = hashlib.sha256(_DOMAIN + b"|" + message).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def derive_stream(seed: int, purpose: str, shard: int = 0) -> random.Random:
+    """A ``random.Random`` seeded via :func:`derive_seed`."""
+    return random.Random(derive_seed(seed, purpose, shard))
+
+
+__all__ = ["derive_seed", "derive_stream"]

@@ -126,6 +126,146 @@ class TestCampaignCommand:
                 main(argv)
 
 
+class TestShardedCampaignCommand:
+    def test_sharded_campaign_text_output(self, capsys):
+        assert main(
+            ["campaign", "--ops", "40", "--shards", "2",
+             "--fault-rate", "0.01", "--workers", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Sharded campaign (merged)" in out
+        assert "shard 0: ops [0,20)" in out
+        assert "shard 1: ops [20,40)" in out
+
+    def test_sharded_campaign_json_schema_and_shards(self, capsys):
+        assert main(
+            ["campaign", "--ops", "40", "--shards", "2",
+             "--fault-rate", "0.01", "--workers", "0", "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "coruscant-campaign/2"
+        assert document["config"]["ops"] == 40
+        shards = document["shards"]
+        assert [s["shard"] for s in shards] == [0, 1]
+        for record in shards:
+            assert {"start", "stop", "ops", "injected", "escaped",
+                    "supervisor_attempts", "wall_seconds"} <= set(record)
+        assert document["Sharded campaign (merged)"]["ops"] == 40
+        assert document["exit_status"] == 0
+
+    def test_journal_writes_report(self, tmp_path, capsys):
+        journal = tmp_path / "j"
+        assert main(
+            ["campaign", "--ops", "40", "--shards", "2",
+             "--fault-rate", "0.01", "--workers", "0",
+             "--journal", str(journal)]
+        ) == 0
+        capsys.readouterr()
+        report = json.loads((journal / "report.json").read_text())
+        assert report["schema"] == "coruscant-campaign/2"
+        assert report["merged"]["ops"] == 40
+        assert (journal / "journal.shard-0.json").exists()
+        assert (journal / "journal.shard-1.json").exists()
+
+    def test_journal_alone_implies_one_shard(self, tmp_path, capsys):
+        journal = tmp_path / "j"
+        assert main(
+            ["campaign", "--ops", "20", "--fault-rate", "0.01",
+             "--workers", "0", "--journal", str(journal)]
+        ) == 0
+        capsys.readouterr()
+        report = json.loads((journal / "report.json").read_text())
+        assert report["shards"] == 1
+
+    def test_crash_injection_recovers_and_exits_zero(
+        self, tmp_path, capsys
+    ):
+        journal = tmp_path / "j"
+        assert main(
+            ["campaign", "--ops", "40", "--shards", "2",
+             "--fault-rate", "0.01", "--journal", str(journal),
+             "--checkpoint-every", "5",
+             "--inject-worker-crash", "1:30:kill"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "crashed" in out
+        assert "incomplete" not in out
+
+    def test_exhausted_retries_exit_distinct_code(self, tmp_path, capsys):
+        journal = tmp_path / "j"
+        code = main(
+            ["campaign", "--ops", "40", "--shards", "2",
+             "--fault-rate", "0.01", "--journal", str(journal),
+             "--max-shard-retries", "0", "--json",
+             "--inject-worker-crash", "1:30:kill-always"]
+        )
+        assert code == 3
+        document = json.loads(capsys.readouterr().out)
+        assert document["exit_status"] == 3
+        assert document["incomplete_shards"] == [1]
+        # The partial report still covers the healthy shard.
+        assert document["Sharded campaign (merged)"]["ops"] == 20
+
+    def test_shard_flag_validation(self):
+        bad = [
+            ["campaign", "--shards", "0"],
+            ["campaign", "--workers", "-1"],
+            ["campaign", "--shards", "2", "--shard-timeout", "0"],
+            ["campaign", "--shards", "2", "--max-shard-retries", "-1"],
+            ["campaign", "--shards", "2", "--checkpoint", "x.json"],
+            ["campaign", "--shards", "2", "--stop-after", "5"],
+            ["campaign", "--inject-worker-crash", "0:1"],
+            ["campaign", "--shards", "2", "--workers", "0",
+             "--inject-worker-crash", "0:1"],
+        ]
+        for argv in bad:
+            with pytest.raises(SystemExit):
+                main(argv)
+
+    def test_bad_crash_spec_rejected(self):
+        for spec in ("5", "a:b", "0:1:explode"):
+            with pytest.raises(SystemExit):
+                main(["campaign", "--shards", "2",
+                      "--inject-worker-crash", spec])
+
+
+class TestMcCommand:
+    def test_mc_default_kind_runs(self, capsys):
+        assert main(
+            ["mc", "--trials", "30", "--fault-rate", "0.005",
+             "--workers", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Monte Carlo (additions, merged)" in out
+        assert "error_rate" in out
+
+    def test_mc_sharded_json(self, capsys):
+        assert main(
+            ["mc", "additions", "--trials", "30", "--shards", "2",
+             "--fault-rate", "0.005", "--workers", "0", "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "coruscant-mc-campaign/1"
+        merged = document["Monte Carlo (additions, merged)"]
+        assert merged["trials"] == 30
+        assert [s["shard"] for s in document["shards"]] == [0, 1]
+        assert document["exit_status"] == 0
+
+    def test_mc_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            main(["mc", "divisions", "--trials", "10"])
+
+    def test_mc_flag_validation(self):
+        bad = [
+            ["mc", "--trials", "0"],
+            ["mc", "--fault-rate", "0"],
+            ["mc", "--shards", "2", "--inject-worker-crash", "0:1"],
+        ]
+        for argv in bad:
+            with pytest.raises(SystemExit):
+                main(argv)
+
+
 class TestTableCommands:
     @pytest.mark.parametrize("command", ["table3", "table4", "table5", "table6"])
     def test_tables_run(self, command, capsys):

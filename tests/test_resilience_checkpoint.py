@@ -78,6 +78,97 @@ class TestPrimitives:
         with pytest.raises(CheckpointMismatchError):
             ckpt.verify_fingerprint(document, {"seed": 1}, "ck.json")
 
+    def test_fingerprint_mismatch_names_differing_fields(self):
+        document = {"fingerprint": {"seed": 0, "ops": 10}}
+        with pytest.raises(CheckpointMismatchError, match="seed"):
+            ckpt.verify_fingerprint(
+                document, {"seed": 1, "ops": 10}, "ck.json"
+            )
+
+    def test_v1_journal_still_readable(self, tmp_path):
+        # Pre-sharding journals (format 1, no config hash / shard
+        # fields) must keep loading and resuming as shard 0 of 1.
+        path = tmp_path / "ck.json"
+        path.write_text(
+            json.dumps({"format": 1, "fingerprint": {"seed": 0}, "op": 5})
+        )
+        document = ckpt.load_checkpoint(str(path))
+        assert document["op"] == 5
+        ckpt.verify_resume(document, {"seed": 0}, str(path))
+
+    def test_discard_torn_temp(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        ckpt.save_checkpoint(path, {"n": 1})
+        assert not ckpt.discard_torn_temp(path)
+        with open(path + ".tmp", "w", encoding="utf-8") as fh:
+            fh.write('{"format": 2, "trunc')
+        assert ckpt.discard_torn_temp(path)
+        assert not (tmp_path / "ck.json.tmp").exists()
+        # The intact journal itself is untouched.
+        assert ckpt.load_checkpoint(path)["n"] == 1
+
+    def test_config_hash_is_stable_and_order_free(self):
+        assert ckpt.config_hash({"a": 1, "b": 2}) == ckpt.config_hash(
+            {"b": 2, "a": 1}
+        )
+        assert ckpt.config_hash({"a": 1}) != ckpt.config_hash({"a": 2})
+        assert len(ckpt.config_hash({"a": 1})) == 16
+
+
+class TestVerifyResume:
+    def document(self, fingerprint, shard=0, shards=1):
+        return {
+            "format": ckpt.FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "config_hash": ckpt.config_hash(fingerprint),
+            "shard": shard,
+            "shards": shards,
+        }
+
+    def test_matching_document_passes(self):
+        fp = {"seed": 0, "ops": 10}
+        ckpt.verify_resume(self.document(fp), fp, "ck.json")
+        ckpt.verify_resume(
+            self.document(fp, shard=2, shards=4), fp, "ck.json",
+            shard=2, shards=4,
+        )
+
+    def test_unknown_format_rejected(self):
+        fp = {"seed": 0}
+        document = self.document(fp)
+        document["format"] = 99
+        with pytest.raises(CheckpointMismatchError, match="format"):
+            ckpt.verify_resume(document, fp, "ck.json")
+
+    def test_config_hash_mismatch_rejected(self):
+        document = self.document({"seed": 0})
+        with pytest.raises(CheckpointMismatchError, match="config hash"):
+            ckpt.verify_resume(document, {"seed": 1}, "ck.json")
+
+    def test_shard_identity_mismatch_rejected(self):
+        fp = {"seed": 0}
+        document = self.document(fp, shard=1, shards=4)
+        with pytest.raises(CheckpointMismatchError, match="shard"):
+            ckpt.verify_resume(document, fp, "ck.json", shard=2, shards=4)
+        with pytest.raises(CheckpointMismatchError, match="shard"):
+            ckpt.verify_resume(document, fp, "ck.json", shard=1, shards=2)
+
+    def test_saved_v2_journal_round_trips(self, tmp_path):
+        fp = {"seed": 3, "ops": 7}
+        path = str(tmp_path / "ck.json")
+        ckpt.save_checkpoint(
+            path,
+            {
+                "fingerprint": fp,
+                "config_hash": ckpt.config_hash(fp),
+                "shard": 1,
+                "shards": 2,
+            },
+        )
+        document = ckpt.load_checkpoint(path)
+        assert document["format"] == 2
+        ckpt.verify_resume(document, fp, path, shard=1, shards=2)
+
 
 class TestCampaignResume:
     @pytest.mark.parametrize("seed", [0, 5])
