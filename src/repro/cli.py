@@ -31,11 +31,19 @@ operations for exploration:
     python -m repro bench --compare BENCH_history.jsonl
                                     # bench + regression gate (exit 1 on
                                     # regression vs the baseline)
+    python -m repro serve --port 8787 --profile storm:tr_fault_rate=0.4
+                                    # the resilient kernel gateway:
+                                    # admission control, deadlines,
+                                    # retries, per-profile breakers;
+                                    # SIGTERM drains and exits 0
 
 Every table/figure command accepts ``--json`` to emit its result as one
 JSON document on stdout instead of the text tables (the document always
 carries the command's ``exit_status``), and ``--metrics-json PATH`` to
 dump the telemetry metrics registry gathered while the command ran.
+
+Exit codes follow the stack-wide contract in :mod:`repro.exitcodes`:
+0 ok, 1 error, 2 usage, 3 degraded-but-usable.
 """
 
 from __future__ import annotations
@@ -44,6 +52,8 @@ import argparse
 import json
 import sys
 from typing import Any, Dict, List, Optional
+
+from repro.exitcodes import EXIT_DEGRADED, EXIT_ERROR, EXIT_OK
 
 
 class OutputWriter:
@@ -368,12 +378,14 @@ def _run_mult(writer: OutputWriter, a: int, b: int, trd: int) -> None:
     )
 
 
-# Exit codes of the campaign/mc commands: EXIT_UNCORRECTABLE flags a
-# completed campaign whose recovery ladder still let faults through;
+# The stack-wide exit-code contract lives in repro.exitcodes (0 ok,
+# 1 error, 2 usage, 3 degraded). The campaign/mc names below are the
+# command-specific readings of codes 1 and 3: EXIT_UNCORRECTABLE flags
+# a completed campaign whose recovery ladder still let faults through;
 # EXIT_INCOMPLETE_SHARDS flags a sharded run that had to degrade to a
-# partial report (some shard exhausted its retries). 2 is argparse's.
-EXIT_UNCORRECTABLE = 1
-EXIT_INCOMPLETE_SHARDS = 3
+# partial report (some shard exhausted its retries).
+EXIT_UNCORRECTABLE = EXIT_ERROR
+EXIT_INCOMPLETE_SHARDS = EXIT_DEGRADED
 
 
 def _campaign_config(args):
@@ -693,6 +705,66 @@ def _int_operands(parser, args, command: str) -> List[int]:
         parser.error(f"{command} operands must be integers")
 
 
+def _run_serve(parser: argparse.ArgumentParser, args) -> int:
+    """The resilient kernel gateway: serve until a signal drains us.
+
+    Exit codes follow :mod:`repro.exitcodes`: 0 after a clean drain
+    (SIGTERM/SIGINT landed every admitted request), 1 on a hard
+    failure, 2 for bad flags (argparse), 3 if the drain had to shed
+    deadline-expired work on the way out.
+    """
+    import asyncio
+
+    from repro.service.admission import AdmissionPolicy
+    from repro.service.breaker import RequestBreakerConfig
+    from repro.service.dispatch import RetryConfig
+    from repro.service.gateway import (
+        Gateway,
+        parse_profile_specs,
+        run_gateway,
+    )
+
+    try:
+        profiles = parse_profile_specs(args.profile)
+    except ValueError as exc:
+        parser.error(str(exc))
+    gateway = Gateway(
+        profiles=profiles,
+        host=args.host,
+        port=args.port,
+        admission=AdmissionPolicy(
+            capacity=args.queue_capacity,
+            high_reserve=args.high_reserve,
+        ),
+        breaker=RequestBreakerConfig(
+            open_seconds=args.breaker_open_seconds
+        ),
+        retry=RetryConfig(attempts=args.retry_attempts, seed=args.seed),
+        workers=args.workers if args.workers is not None else 2,
+        default_budget_s=args.default_budget_s,
+    )
+
+    def announce(host: str, port: int) -> None:
+        print(f"serving on http://{host}:{port}", flush=True)
+        if args.port_file:
+            with open(args.port_file, "w") as handle:
+                handle.write(f"{port}\n")
+
+    try:
+        asyncio.run(run_gateway(gateway, announce))
+    except OSError as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    dropped = sum(d.dropped for d in gateway.dispatchers.values())
+    if dropped:
+        # Should be unreachable — the drain path has no drop branch —
+        # but if it ever regresses the exit code must say degraded.
+        print(f"drain dropped {dropped} request(s)", file=sys.stderr)
+        return EXIT_DEGRADED
+    print("drained clean", flush=True)
+    return EXIT_OK
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -701,11 +773,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "command",
         choices=sorted(_EXPERIMENTS) + ["all", "add", "mult", "campaign",
-                                        "mc", "trace", "bench"],
+                                        "mc", "trace", "bench", "serve"],
         help="experiment to regenerate, a one-off PIM operation, the "
              "fidelity scoreboard (report), the bench regression gate "
-             "(bench), a fault campaign (campaign), or Monte Carlo "
-             "fault-injection trials (mc)",
+             "(bench), a fault campaign (campaign), Monte Carlo "
+             "fault-injection trials (mc), or the resilient kernel "
+             "gateway (serve)",
     )
     parser.add_argument(
         "operands", nargs="*",
@@ -864,9 +937,69 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="relative wall-clock noise band for bench verdicts "
              "(default 0.25)",
     )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="serve: bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="serve: TCP port (default 0 = pick a free port)",
+    )
+    parser.add_argument(
+        "--port-file", metavar="PATH", default=None,
+        help="serve: write the bound port to PATH once listening "
+             "(lets scripts use --port 0 races-free)",
+    )
+    parser.add_argument(
+        "--profile", action="append", metavar="NAME[:k=v,...]",
+        default=None,
+        help="serve: add a device profile, e.g. "
+             "storm:trd=7,tr_fault_rate=0.4 (repeatable; 'default' "
+             "always exists)",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=16, metavar="N",
+        help="serve: per-kernel queue slots batch traffic may fill "
+             "(default 16)",
+    )
+    parser.add_argument(
+        "--high-reserve", type=int, default=4, metavar="N",
+        help="serve: extra queue slots only interactive requests may "
+             "use (default 4)",
+    )
+    parser.add_argument(
+        "--retry-attempts", type=int, default=3, metavar="N",
+        help="serve: tries per work item, 1 = no retry (default 3)",
+    )
+    parser.add_argument(
+        "--breaker-open-seconds", type=float, default=5.0,
+        metavar="SECONDS",
+        help="serve: wall-clock cooldown before an open breaker "
+             "half-opens (default 5)",
+    )
+    parser.add_argument(
+        "--default-budget-s", type=float, default=10.0,
+        metavar="SECONDS",
+        help="serve: deadline budget for requests that do not carry "
+             "one (default 10)",
+    )
     args = parser.parse_args(argv)
     writer = OutputWriter(json_mode=args.json)
 
+    if args.command == "serve":
+        if args.queue_capacity < 1:
+            parser.error("--queue-capacity must be >= 1")
+        if args.high_reserve < 0:
+            parser.error("--high-reserve must be >= 0")
+        if args.retry_attempts < 1:
+            parser.error("--retry-attempts must be >= 1")
+        if args.breaker_open_seconds <= 0:
+            parser.error("--breaker-open-seconds must be > 0")
+        if args.default_budget_s <= 0:
+            parser.error("--default-budget-s must be > 0")
+        if args.workers is not None and args.workers < 1:
+            parser.error("--workers must be >= 1 for serve")
+        return _run_serve(parser, args)
     if args.command == "report":
         return _run_report_command(args)
     if args.command == "bench":

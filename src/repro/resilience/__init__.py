@@ -43,6 +43,7 @@ from repro.resilience.detector import (
     enable_tr_voting,
 )
 from repro.resilience.errors import (
+    BudgetExhaustedError,
     DataLossError,
     ResilienceError,
     TransientFaultError,
@@ -67,6 +68,7 @@ __all__ = [
     "AdaptiveProtection",
     "BreakerConfig",
     "BreakerState",
+    "BudgetExhaustedError",
     "CheckpointError",
     "CheckpointMismatchError",
     "DBCHealth",

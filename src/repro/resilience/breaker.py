@@ -12,6 +12,12 @@ de-escalates through a half-open probe after a cool-down of clean
 operations — classic circuit-breaker mechanics, except the "open" state
 buys correctness with redundancy instead of refusing service.
 
+The window/probe mechanics themselves live in
+:mod:`repro.resilience.window` and are shared with the kernel gateway's
+request-level breaker (:mod:`repro.service.breaker`); this module keeps
+only what is ladder-specific — the BARE/VOTED/NMR rungs and the
+clean-operation cool-down.
+
 The executor consults :meth:`AdaptiveProtection.level` before each
 operation (choosing vote reads and whether to run proactively redundant)
 and feeds the outcome back through :meth:`record`.
@@ -20,11 +26,16 @@ and feeds the outcome back through :meth:`record`.
 from __future__ import annotations
 
 import enum
-from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.resilience.health import DBCKey
+from repro.resilience.window import (
+    ErrorWindow,
+    ProbeGate,
+    ProbeVerdict,
+    WindowPolicy,
+)
 
 
 class ProtectionLevel(enum.IntEnum):
@@ -58,37 +69,73 @@ class BreakerConfig:
     initial: ProtectionLevel = ProtectionLevel.VOTED
 
     def __post_init__(self) -> None:
-        if self.window < 1:
-            raise ValueError(f"window must be >= 1, got {self.window}")
-        if not 1 <= self.min_samples <= self.window:
-            raise ValueError(
-                "need 1 <= min_samples <= window, got "
-                f"{self.min_samples} / {self.window}"
-            )
-        if not 0.0 < self.escalate_threshold <= 1.0:
-            raise ValueError(
-                "escalate_threshold must be in (0, 1], got "
-                f"{self.escalate_threshold}"
-            )
+        self.window_policy()  # validates window/min_samples/threshold/probe
         if self.cooldown < 1:
             raise ValueError(f"cooldown must be >= 1, got {self.cooldown}")
-        if self.probe_ops < 1:
-            raise ValueError(f"probe_ops must be >= 1, got {self.probe_ops}")
+
+    def window_policy(self) -> WindowPolicy:
+        """The generic window/probe mechanics this ladder runs on."""
+        return WindowPolicy(
+            window=self.window,
+            min_samples=self.min_samples,
+            trip_threshold=self.escalate_threshold,
+            probe_ops=self.probe_ops,
+        )
 
 
-@dataclass
 class BreakerState:
-    """Per-DBC ladder position and sliding-window history."""
+    """Per-DBC ladder position over the shared window/probe core.
 
-    level: ProtectionLevel
-    window: Deque[int]
-    clean_streak: int = 0
-    probing: bool = False
-    probe_remaining: int = 0
-    escalations: int = 0
-    deescalations: int = 0
-    probes: int = 0
-    probe_failures: int = 0
+    The historical field names (``window``, ``probing``,
+    ``probe_remaining``, ``probes``, ``probe_failures``) are preserved
+    as views onto the :class:`ErrorWindow` / :class:`ProbeGate` pair so
+    checkpoints and callers see the same shape as before the
+    extraction.
+    """
+
+    __slots__ = (
+        "level",
+        "errors",
+        "gate",
+        "clean_streak",
+        "escalations",
+        "deescalations",
+    )
+
+    def __init__(
+        self,
+        level: ProtectionLevel,
+        errors: ErrorWindow,
+        clean_streak: int = 0,
+        escalations: int = 0,
+        deescalations: int = 0,
+    ) -> None:
+        self.level = level
+        self.errors = errors
+        self.gate = ProbeGate()
+        self.clean_streak = clean_streak
+        self.escalations = escalations
+        self.deescalations = deescalations
+
+    @property
+    def window(self) -> Deque[int]:
+        return self.errors.outcomes
+
+    @property
+    def probing(self) -> bool:
+        return self.gate.active
+
+    @property
+    def probe_remaining(self) -> int:
+        return self.gate.remaining
+
+    @property
+    def probes(self) -> int:
+        return self.gate.probes
+
+    @property
+    def probe_failures(self) -> int:
+        return self.gate.failures
 
     @property
     def effective_level(self) -> ProtectionLevel:
@@ -108,6 +155,7 @@ class AdaptiveProtection:
 
     def __init__(self, config: Optional[BreakerConfig] = None) -> None:
         self.config = config or BreakerConfig()
+        self._policy = self.config.window_policy()
         self._states: Dict[DBCKey, BreakerState] = {}
         self.transitions: List[Tuple[int, DBCKey, str, str]] = []
         self._ops = 0
@@ -127,7 +175,7 @@ class AdaptiveProtection:
         if existing is None:
             existing = BreakerState(
                 level=self.config.initial,
-                window=deque(maxlen=self.config.window),
+                errors=ErrorWindow(self._policy),
             )
             self._states[key] = existing
         return existing
@@ -146,41 +194,30 @@ class AdaptiveProtection:
         self._ops += 1
         state = self.state(key)
         cfg = self.config
-        if state.probing:
+        if state.gate.active:
             return self._record_probe(key, state, faulty)
-        state.window.append(1 if faulty else 0)
+        state.errors.record(faulty)
         state.clean_streak = 0 if faulty else state.clean_streak + 1
-        if (
-            state.level < ProtectionLevel.NMR
-            and len(state.window) >= cfg.min_samples
-            and sum(state.window) / len(state.window)
-            >= cfg.escalate_threshold
-        ):
+        if state.level < ProtectionLevel.NMR and state.errors.tripped():
             return self._move(key, state, ProtectionLevel(state.level + 1))
         if (
             state.level > ProtectionLevel.BARE
             and state.clean_streak >= cfg.cooldown
         ):
             # Half-open: trial the rung below for the next probe_ops.
-            state.probing = True
-            state.probe_remaining = cfg.probe_ops
-            state.probes += 1
+            state.gate.start(cfg.probe_ops)
         return None
 
     def _record_probe(
         self, key: DBCKey, state: BreakerState, faulty: bool
     ) -> Optional[ProtectionLevel]:
-        if faulty:
+        verdict = state.gate.record(faulty)
+        if verdict is ProbeVerdict.SNAP_BACK:
             # The rung below can't hold the line yet: snap back.
-            state.probing = False
-            state.probe_remaining = 0
-            state.probe_failures += 1
             state.clean_streak = 0
-            state.window.clear()
+            state.errors.clear()
             return None
-        state.probe_remaining -= 1
-        if state.probe_remaining <= 0:
-            state.probing = False
+        if verdict is ProbeVerdict.COMMIT:
             return self._move(key, state, ProtectionLevel(state.level - 1))
         return None
 
@@ -203,7 +240,7 @@ class AdaptiveProtection:
             )
             hub.breaker_transition(state.level.name, to.name)
         state.level = to
-        state.window.clear()
+        state.errors.clear()
         state.clean_streak = 0
         return to
 
@@ -258,22 +295,27 @@ class AdaptiveProtection:
         self._ops = int(data["ops"])
         self._states = {}
         for entry in data["states"]:
-            state = BreakerState(
-                level=ProtectionLevel[entry["level"]],
-                window=deque(entry["window"], maxlen=self.config.window),
-                clean_streak=int(entry["clean_streak"]),
-                probing=bool(entry["probing"]),
-                probe_remaining=int(entry["probe_remaining"]),
-                escalations=int(entry["escalations"]),
-                deescalations=int(entry["deescalations"]),
-                probes=int(entry["probes"]),
-                probe_failures=int(entry["probe_failures"]),
-            )
+            state = self._restore_state(entry)
             self._states[tuple(entry["key"])] = state
         self.transitions = [
             (op, tuple(key), src, dst)
             for op, key, src, dst in data["transitions"]
         ]
+
+    def _restore_state(self, entry: Dict[str, object]) -> BreakerState:
+        state = BreakerState(
+            level=ProtectionLevel[entry["level"]],
+            errors=ErrorWindow(self._policy, entry["window"]),
+            clean_streak=int(entry["clean_streak"]),
+            escalations=int(entry["escalations"]),
+            deescalations=int(entry["deescalations"]),
+        )
+        state.gate.remaining = (
+            int(entry["probe_remaining"]) if bool(entry["probing"]) else 0
+        )
+        state.gate.probes = int(entry["probes"])
+        state.gate.failures = int(entry["probe_failures"])
+        return state
 
 
 __all__ = [

@@ -25,7 +25,20 @@ class UncorrectableFaultError(ResilienceError):
     """Retries and NMR escalation were exhausted without agreement."""
 
 
+class BudgetExhaustedError(ResilienceError):
+    """The caller's deadline expired before the ladder finished.
+
+    Raised *between* attempts, never mid-attempt: the DBC was restored
+    to its pre-op snapshot, so the operation was abandoned cleanly, not
+    corrupted. Unlike :class:`UncorrectableFaultError` this says
+    nothing about the device — the fault may well have been recoverable
+    with more time — so callers (the kernel gateway) map it to a
+    deadline error, not a device-health event.
+    """
+
+
 __all__ = [
+    "BudgetExhaustedError",
     "DataLossError",
     "ResilienceError",
     "TransientFaultError",

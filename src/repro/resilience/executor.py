@@ -37,6 +37,7 @@ from repro.core.nmr import ModularRedundancy
 from repro.resilience.breaker import AdaptiveProtection, ProtectionLevel
 from repro.resilience.detector import FaultDetector
 from repro.resilience.errors import (
+    BudgetExhaustedError,
     DataLossError,
     ResilienceError,
     UncorrectableFaultError,
@@ -45,6 +46,7 @@ from repro.resilience.health import DBCHealthRegistry, dbc_key
 from repro.resilience.policy import RetryPolicy
 from repro.telemetry.spans import NULL_TRACER
 from repro.utils.bitops import bits_from_int
+from repro.utils.deadline import Deadline
 
 
 @dataclass
@@ -64,6 +66,7 @@ class RecoveryStats:
     misalignments_repaired: int = 0
     data_loss_events: int = 0
     uncorrectable: int = 0
+    budget_exhausted: int = 0
     remaps: int = 0
     overhead_cycles: int = 0
 
@@ -150,20 +153,28 @@ class ResilientExecutor:
         hub = self.telemetry
         return hub.tracer if hub is not None else NULL_TRACER
 
-    def execute(self, instruction: CpimInstruction):
+    def execute(
+        self,
+        instruction: CpimInstruction,
+        deadline: Optional[Deadline] = None,
+    ):
         """Run one cpim instruction under the recovery ladder.
 
         Returns the same result object :meth:`MemoryController.execute`
         would; raises :class:`UncorrectableFaultError` only after retries
-        and NMR escalation are both exhausted. Background maintenance
-        hooks (scrubbing) are deferred until the transaction commits.
-        With telemetry attached the whole ladder runs inside a
-        ``resilience.op`` span whose ``verdict`` attribute records how
-        the op resolved (clean / retried / escalated / uncorrectable).
+        and NMR escalation are both exhausted. With a ``deadline``, the
+        ladder checks the budget *between* attempts (and between NMR
+        replicas) and abandons the op with :class:`BudgetExhaustedError`
+        — after restoring the pre-op snapshot — instead of retrying past
+        it. Background maintenance hooks (scrubbing) are deferred until
+        the transaction commits. With telemetry attached the whole
+        ladder runs inside a ``resilience.op`` span whose ``verdict``
+        attribute records how the op resolved (clean / retried /
+        escalated / uncorrectable / expired).
         """
         hub = self.telemetry
         if hub is None:
-            return self._execute_inner(instruction)
+            return self._execute_inner(instruction, deadline)
         before_attempts = self.stats.attempts
         before_retries = self.stats.retries
         before_escalations = self.stats.escalations
@@ -173,11 +184,16 @@ class ResilientExecutor:
             "resilience.op", category="resilience", op=op_name
         ) as span:
             try:
-                result = self._execute_inner(instruction)
-            except ResilienceError:
+                result = self._execute_inner(instruction, deadline)
+            except ResilienceError as exc:
                 attempts = max(1, self.stats.attempts - before_attempts)
-                span.annotate(attempts=attempts, verdict="uncorrectable")
-                hub.resilient_op(attempts, "uncorrectable")
+                verdict = (
+                    "expired"
+                    if isinstance(exc, BudgetExhaustedError)
+                    else "uncorrectable"
+                )
+                span.annotate(attempts=attempts, verdict=verdict)
+                hub.resilient_op(attempts, verdict)
                 raise
             attempts = max(1, self.stats.attempts - before_attempts)
             escalated = (
@@ -194,7 +210,11 @@ class ResilientExecutor:
             hub.resilient_op(attempts, verdict)
             return result
 
-    def _execute_inner(self, instruction: CpimInstruction):
+    def _execute_inner(
+        self,
+        instruction: CpimInstruction,
+        deadline: Optional[Deadline] = None,
+    ):
         with self.controller.deferred_hooks():
             instruction = self._remap(instruction)
             key = dbc_key(instruction.src)
@@ -206,12 +226,17 @@ class ResilientExecutor:
             faults = 0
             try:
                 if level is ProtectionLevel.NMR:
-                    result, faults = self._nmr_op(instruction, dbc)
+                    result, faults = self._nmr_op(instruction, dbc, deadline)
                 else:
                     result, faults = self._ladder_op(
-                        instruction, dbc, key, level
+                        instruction, dbc, key, level, deadline
                     )
                 return result
+            except BudgetExhaustedError:
+                # An expired budget is the caller's clock, not a device
+                # fault: the breaker only hears about the real faults
+                # the attempts saw (already counted above).
+                raise
             except ResilienceError:
                 faults += 1
                 raise
@@ -222,12 +247,21 @@ class ResilientExecutor:
     # ------------------------------------------------------------------
     # internals
 
+    def _check_budget(self, deadline, dbc, snapshot, context: str) -> None:
+        """Abandon the op cleanly if the caller's budget has expired."""
+        if deadline is None or not deadline.expired:
+            return
+        dbc.restore(snapshot)
+        self.stats.budget_exhausted += 1
+        raise BudgetExhaustedError(f"deadline expired {context}")
+
     def _ladder_op(
         self,
         instruction: CpimInstruction,
         dbc,
         key,
         level: Optional[ProtectionLevel],
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[Any, int]:
         """The detect -> retry -> escalate ladder for one instruction."""
         snapshot = dbc.snapshot()
@@ -239,6 +273,10 @@ class ResilientExecutor:
 
         for attempt in range(1, self.policy.max_attempts + 1):
             if attempt > 1:
+                self._check_budget(
+                    deadline, dbc, snapshot,
+                    f"before retry attempt {attempt}",
+                )
                 dbc.restore(snapshot)
                 self.stats.retries += 1
                 self._tracer().instant(
@@ -287,21 +325,29 @@ class ResilientExecutor:
                 return result, faults
             self.registry.record_transient(key)
 
+        self._check_budget(
+            deadline, dbc, snapshot, "before NMR escalation"
+        )
         result, nmr_faults, _ = self._nmr_execute(
-            instruction, dbc, snapshot, reactive=True
+            instruction, dbc, snapshot, reactive=True, deadline=deadline
         )
         faults += nmr_faults
         self._commit(dbc, op_start, first_attempt_base or 0)
         return result, faults
 
-    def _nmr_op(self, instruction: CpimInstruction, dbc) -> Tuple[Any, int]:
+    def _nmr_op(
+        self,
+        instruction: CpimInstruction,
+        dbc,
+        deadline: Optional[Deadline] = None,
+    ) -> Tuple[Any, int]:
         """Proactively NMR-redundant execution (the ladder's open state)."""
         snapshot = dbc.snapshot()
         self.detector.arm(dbc)
         op_start = dbc.stats.cycles
         self.stats.nmr_ops += 1
         result, faults, base = self._nmr_execute(
-            instruction, dbc, snapshot, reactive=False
+            instruction, dbc, snapshot, reactive=False, deadline=deadline
         )
         self._commit(dbc, op_start, base)
         return result, faults
@@ -312,7 +358,12 @@ class ResilientExecutor:
         self.stats.overhead_cycles += max(0, total - base_cycles)
 
     def _nmr_execute(
-        self, instruction: CpimInstruction, dbc, snapshot, reactive: bool
+        self,
+        instruction: CpimInstruction,
+        dbc,
+        snapshot,
+        reactive: bool,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[Any, int, int]:
         """Span-wrapped entry to :meth:`_nmr_execute_inner`."""
         with self._tracer().span(
@@ -322,13 +373,18 @@ class ResilientExecutor:
             op=instruction.op.name.lower(),
         ) as span:
             result, faults, base = self._nmr_execute_inner(
-                instruction, dbc, snapshot, reactive
+                instruction, dbc, snapshot, reactive, deadline
             )
             span.annotate(faults=faults)
             return result, faults, base
 
     def _nmr_execute_inner(
-        self, instruction: CpimInstruction, dbc, snapshot, reactive: bool
+        self,
+        instruction: CpimInstruction,
+        dbc,
+        snapshot,
+        reactive: bool,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[Any, int, int]:
         """NMR re-execution: majority over result signatures or give up.
 
@@ -350,9 +406,16 @@ class ResilientExecutor:
         base_cycles = 0
         for width in widths:
             if width != n:
+                self._check_budget(
+                    deadline, dbc, snapshot,
+                    f"before widening NMR to {width} replicas",
+                )
                 self.stats.nmr_widenings += 1
             outcomes = []
             for _ in range(width):
+                self._check_budget(
+                    deadline, dbc, snapshot, "between NMR replicas"
+                )
                 # A replica slot that detects its own fault (data loss,
                 # misalignment, unresolved sense vote) re-runs rather
                 # than abstaining: hardware NMR realigns and re-executes

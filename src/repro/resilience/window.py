@@ -1,0 +1,153 @@
+"""Sliding-window trip + half-open probe mechanics, breaker-agnostic.
+
+Two circuit breakers live in this codebase and they share one failure
+model: a windowed error rate trips the breaker to a more defensive
+state, and a half-open probe of the cheaper state decides when it is
+safe to come back down.
+
+* :class:`~repro.resilience.breaker.AdaptiveProtection` — the paper's
+  protection ladder, where "open" buys correctness with redundancy
+  (BARE -> VOTED -> NMR) and the cool-down is counted in clean
+  operations;
+* :class:`~repro.service.breaker.RequestBreaker` — the kernel
+  gateway's per-device-config breaker, where "open" refuses service
+  (CLOSED -> OPEN -> HALF_OPEN) and the cool-down is wall-clock time,
+  because no outcomes flow while requests are being failed fast.
+
+What they share — the bounded outcome window with its minimum-sample
+trip rule, and the consecutive-clean-probe commit/snap-back gate — is
+implemented exactly once, here. What differs (rung semantics, how the
+cool-down is measured) stays in the breakers.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable
+
+
+@dataclass(frozen=True)
+class WindowPolicy:
+    """Shape of the sliding-window trip test and the half-open probe.
+
+    Attributes:
+        window: outcomes retained per tracked entity.
+        min_samples: outcomes required before the rate is trusted.
+        trip_threshold: windowed failure rate that trips the breaker.
+        probe_ops: consecutive clean probe outcomes that commit a
+            de-escalation; one failed probe snaps back.
+    """
+
+    window: int = 32
+    min_samples: int = 8
+    trip_threshold: float = 0.5
+    probe_ops: int = 4
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if not 1 <= self.min_samples <= self.window:
+            raise ValueError(
+                "need 1 <= min_samples <= window, got "
+                f"{self.min_samples} / {self.window}"
+            )
+        if not 0.0 < self.trip_threshold <= 1.0:
+            raise ValueError(
+                f"trip_threshold must be in (0, 1], got "
+                f"{self.trip_threshold}"
+            )
+        if self.probe_ops < 1:
+            raise ValueError(f"probe_ops must be >= 1, got {self.probe_ops}")
+
+
+class ErrorWindow:
+    """A bounded window of 0/1 outcomes with a minimum-sample trip test."""
+
+    __slots__ = ("policy", "outcomes")
+
+    def __init__(
+        self, policy: WindowPolicy, outcomes: Iterable[int] = ()
+    ) -> None:
+        self.policy = policy
+        self.outcomes: Deque[int] = deque(outcomes, maxlen=policy.window)
+
+    def record(self, faulty: bool) -> None:
+        self.outcomes.append(1 if faulty else 0)
+
+    @property
+    def samples(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def rate(self) -> float:
+        """Windowed failure rate; 0.0 with no samples."""
+        if not self.outcomes:
+            return 0.0
+        return sum(self.outcomes) / len(self.outcomes)
+
+    def tripped(self) -> bool:
+        """Whether the window holds enough evidence to trip."""
+        return (
+            len(self.outcomes) >= self.policy.min_samples
+            and self.rate >= self.policy.trip_threshold
+        )
+
+    def clear(self) -> None:
+        self.outcomes.clear()
+
+
+class ProbeVerdict(enum.Enum):
+    """What one probe outcome means for the half-open trial."""
+
+    CONTINUE = "continue"  # trial still running
+    COMMIT = "commit"  # enough clean probes: de-escalate
+    SNAP_BACK = "snap_back"  # a probe failed: return to the open state
+
+
+class ProbeGate:
+    """Half-open probe accounting: N consecutive clean outcomes commit.
+
+    The gate is inert until :meth:`start` arms it with a probe budget;
+    each :meth:`record` then returns the :class:`ProbeVerdict` the
+    breaker must act on. Both ``COMMIT`` and ``SNAP_BACK`` disarm the
+    gate.
+    """
+
+    __slots__ = ("remaining", "probes", "failures")
+
+    def __init__(self) -> None:
+        self.remaining = 0
+        self.probes = 0
+        self.failures = 0
+
+    @property
+    def active(self) -> bool:
+        return self.remaining > 0
+
+    def start(self, probe_ops: int) -> None:
+        if probe_ops < 1:
+            raise ValueError(f"probe_ops must be >= 1, got {probe_ops}")
+        if self.active:
+            raise RuntimeError("probe trial already running")
+        self.remaining = probe_ops
+        self.probes += 1
+
+    def record(self, faulty: bool) -> ProbeVerdict:
+        if not self.active:
+            raise RuntimeError("no probe trial running")
+        if faulty:
+            self.remaining = 0
+            self.failures += 1
+            return ProbeVerdict.SNAP_BACK
+        self.remaining -= 1
+        if self.remaining <= 0:
+            return ProbeVerdict.COMMIT
+        return ProbeVerdict.CONTINUE
+
+    def cancel(self) -> None:
+        self.remaining = 0
+
+
+__all__ = ["ErrorWindow", "ProbeGate", "ProbeVerdict", "WindowPolicy"]

@@ -1,0 +1,131 @@
+"""Synchronous in-process client for the kernel gateway.
+
+Runs a :class:`~repro.service.gateway.Gateway` core (dispatchers,
+queues, breakers — no TCP listener) on a background event-loop thread
+and exposes a blocking :meth:`request`. Scripts, notebooks, and tests
+get the full admission/deadline/retry/breaker pipeline without sockets:
+
+    with ServiceClient() as client:
+        response = client.request(
+            "add", {"words": [1, 2, 3], "n_bits": 8}, budget_s=2.0
+        )
+        assert response.status == "ok"
+
+Closing the client drains the gateway, so every admitted request has
+resolved by the time ``close()`` returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Dict, Optional
+
+from repro.service.gateway import Gateway
+from repro.service.protocol import (
+    PRIORITY_INTERACTIVE,
+    ServiceResponse,
+)
+
+
+class ServiceClient:
+    """Blocking facade over an in-process gateway."""
+
+    def __init__(
+        self, gateway: Optional[Gateway] = None, **gateway_kwargs: Any
+    ) -> None:
+        if gateway is not None and gateway_kwargs:
+            raise ValueError(
+                "pass either a gateway or constructor kwargs, not both"
+            )
+        self.gateway = gateway or Gateway(**gateway_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "ServiceClient":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("client already started")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="service-client", daemon=True
+        )
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self._start_dispatchers(), self._loop
+        ).result(timeout=30)
+
+    def _run_loop(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    async def _start_dispatchers(self) -> None:
+        for dispatcher in self.gateway.dispatchers.values():
+            dispatcher.start()
+
+    def close(self) -> None:
+        """Drain the gateway, then stop the background loop."""
+        if self._loop is None:
+            return
+        asyncio.run_coroutine_threadsafe(
+            self.gateway.shutdown(), self._loop
+        ).result(timeout=60)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        kernel: str,
+        payload: Optional[Dict[str, Any]] = None,
+        budget_s: Optional[float] = None,
+        priority: str = PRIORITY_INTERACTIVE,
+        profile: str = "default",
+    ) -> ServiceResponse:
+        """One kernel request, blocking until its terminal response."""
+        if self._loop is None:
+            raise RuntimeError("client is not started")
+        body: Dict[str, Any] = {
+            "payload": payload or {},
+            "priority": priority,
+            "profile": profile,
+        }
+        if budget_s is not None:
+            body["budget_s"] = budget_s
+        wait = (
+            budget_s
+            if budget_s is not None
+            else self.gateway.default_budget_s
+        )
+        future = asyncio.run_coroutine_threadsafe(
+            self.gateway.handle(kernel, body), self._loop
+        )
+        # The gateway itself sheds on the budget; the extra margin only
+        # guards against a wedged loop.
+        return future.result(timeout=wait + 60)
+
+    def healthz(self) -> Dict[str, Any]:
+        status, body = self.gateway.healthz()
+        assert status == 200
+        return body
+
+    def readyz(self) -> Dict[str, Any]:
+        _status, body = self.gateway.readyz()
+        return body
+
+
+__all__ = ["ServiceClient"]

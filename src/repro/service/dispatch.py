@@ -1,0 +1,467 @@
+"""Per-profile dispatch: worker pool, retries, deadlines, degradation.
+
+One :class:`ProfileDispatcher` per device profile owns the profile's
+bounded queues, its request breaker, and ``workers`` asyncio tasks.
+Each worker holds its own :class:`CoruscantSystem` (the simulator is
+not thread-safe, so a system never leaves its worker) and runs kernels
+on the default thread-pool executor so the event loop stays free to
+admit, refuse, and shed.
+
+Lifecycle of one admitted request:
+
+* shed at dequeue if its deadline already expired (504, no execution);
+* run with per-attempt retry on :class:`KernelFault` — backoff delays
+  come from :func:`repro.utils.streams.backoff_delay`, a pure function
+  of (seed, profile, kernel, retry_key, attempt), so a request's whole
+  retry timeline is deterministic and testable;
+* retries stop the moment the deadline cannot absorb the next backoff
+  (shed, 504) — partial work is never silently discarded: batch
+  requests return what completed plus an ``incomplete`` list, exactly
+  the sharded campaign's degraded contract;
+* the terminal outcome is recorded with the breaker — device faults
+  count against the window, sheds and bad requests release the slot
+  without a verdict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.resilience.errors import BudgetExhaustedError
+from repro.service.admission import AdmissionPolicy, ProfileQueues
+from repro.service.breaker import RequestBreaker, RequestBreakerConfig
+from repro.service.kernels import RUNNERS
+from repro.service.profiles import DeviceProfile
+from repro.service.protocol import (
+    BadRequest,
+    KernelFault,
+    KernelRequest,
+    ServiceReject,
+    ServiceResponse,
+    envelope,
+    reject_response,
+)
+from repro.utils.streams import backoff_delay
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """Service-layer retry shape (on top of the device ladder).
+
+    Attributes:
+        attempts: total tries per work item (1 = no retry).
+        base / cap / factor / jitter: backoff curve, see
+            :func:`repro.utils.streams.backoff_delay`.
+        seed: root of the deterministic jitter stream.
+    """
+
+    attempts: int = 3
+    base: float = 0.02
+    cap: float = 0.5
+    factor: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(
+                f"attempts must be >= 1, got {self.attempts}"
+            )
+
+    def delay(self, purpose: str, attempt: int) -> float:
+        return backoff_delay(
+            self.seed,
+            purpose,
+            attempt,
+            base=self.base,
+            cap=self.cap,
+            factor=self.factor,
+            jitter=self.jitter,
+        )
+
+
+class _Job:
+    """One admitted request plus the future its response resolves."""
+
+    __slots__ = ("request", "future", "admitted_at")
+
+    def __init__(
+        self, request: KernelRequest, future: "asyncio.Future",
+        admitted_at: float,
+    ) -> None:
+        self.request = request
+        self.future = future
+        self.admitted_at = admitted_at
+
+    # ProfileQueues routes on these two attributes.
+    @property
+    def kernel(self) -> str:
+        return self.request.kernel
+
+    @property
+    def priority(self) -> str:
+        return self.request.priority
+
+
+class ProfileDispatcher:
+    """Queues + breaker + worker pool for one device profile."""
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        admission: Optional[AdmissionPolicy] = None,
+        breaker: Optional[RequestBreakerConfig] = None,
+        retry: Optional[RetryConfig] = None,
+        workers: int = 2,
+        telemetry=None,
+        clock=time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.profile = profile
+        self.queues = ProfileQueues(admission)
+        self.breaker = RequestBreaker(
+            profile.name, breaker, clock=clock, telemetry=telemetry
+        )
+        self.retry = retry or RetryConfig()
+        self.workers = workers
+        self.telemetry = telemetry
+        self._clock = clock
+        self._tasks: List[asyncio.Task] = []
+        self.completed = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> None:
+        """Spawn the worker tasks (call from inside the event loop)."""
+        if self._tasks:
+            raise RuntimeError("dispatcher already started")
+        for index in range(self.workers):
+            self._tasks.append(
+                asyncio.ensure_future(self._worker(index))
+            )
+
+    async def drain(self) -> None:
+        """Refuse new work, then finish everything already admitted."""
+        self.queues.close()
+        if self._tasks:
+            await asyncio.gather(*self._tasks)
+        if self.telemetry is not None:
+            self.telemetry.service_drained(self.completed, self.dropped)
+
+    # ------------------------------------------------------------------
+    # admission
+
+    def submit(self, request: KernelRequest) -> "asyncio.Future":
+        """Admit ``request`` or raise :class:`ServiceReject` (429/503).
+
+        Admission is all-or-nothing and synchronous: breaker gate
+        first (fail fast costs no queue slot), then the bounded queue.
+        The returned future resolves to a :class:`ServiceResponse`.
+        """
+        if request.kernel not in RUNNERS:
+            raise BadRequest(f"unknown kernel {request.kernel!r}")
+        if request.deadline.expired:
+            raise ServiceReject(
+                504, "deadline_exceeded", "budget expired before admission"
+            )
+        self.breaker.allow()
+        future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+        job = _Job(request, future, self._clock())
+        try:
+            self.queues.offer(job)  # type: ignore[arg-type]
+        except ServiceReject:
+            self.breaker.release()
+            raise
+        if self.telemetry is not None:
+            self.telemetry.service_admitted(
+                request.kernel, request.priority
+            )
+            self._publish_depth(request.kernel)
+        return future
+
+    def _publish_depth(self, kernel: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.service_queue_depth(
+                self.profile.name,
+                kernel,
+                len(self.queues.queues[kernel]),
+            )
+
+    # ------------------------------------------------------------------
+    # workers
+
+    async def _worker(self, index: int) -> None:
+        system = self.profile.build_system()
+        while True:
+            job = await self.queues.next()
+            if job is None:
+                return
+            self._publish_depth(job.kernel)
+            try:
+                response = await self._process(system, job.request)
+            except Exception as exc:  # noqa: BLE001 - worker must live
+                self.breaker.record(True)
+                response = ServiceResponse(
+                    500,
+                    envelope(
+                        job.request, "error", error="internal",
+                        message=str(exc),
+                    ),
+                )
+            self.completed += 1
+            if not job.future.cancelled():
+                job.future.set_result(response)
+            self._finish(job, response)
+
+    def _finish(self, job: _Job, response: ServiceResponse) -> None:
+        if self.telemetry is not None:
+            self.telemetry.service_request(
+                job.kernel,
+                response.status,
+                self._clock() - job.admitted_at,
+            )
+
+    async def _process(
+        self, system, request: KernelRequest
+    ) -> ServiceResponse:
+        if request.deadline.expired:
+            self.breaker.release()
+            if self.telemetry is not None:
+                self.telemetry.service_shed(request.kernel, "queue")
+            return reject_response(
+                request,
+                ServiceReject(
+                    504, "deadline_exceeded",
+                    "budget expired while queued",
+                ),
+            )
+        items = request.payload.get("items")
+        if items is not None:
+            if (
+                not isinstance(items, list)
+                or not items
+                or not all(isinstance(item, dict) for item in items)
+            ):
+                self.breaker.release()
+                return reject_response(
+                    request,
+                    BadRequest(
+                        "'items' must be a non-empty list of payload "
+                        "objects"
+                    ),
+                )
+            return await self._process_batch(system, request, items)
+        outcome = await self._run_item(
+            system, request, request.payload, item_index=None
+        )
+        return self._single_response(request, outcome)
+
+    def _single_response(
+        self, request: KernelRequest, outcome: Dict[str, Any]
+    ) -> ServiceResponse:
+        kind = outcome["kind"]
+        if kind == "ok":
+            self.breaker.record(False)
+            return ServiceResponse(
+                200,
+                envelope(
+                    request, "ok",
+                    result=outcome["result"],
+                    retries=outcome["retries"],
+                ),
+            )
+        if kind == "bad_request":
+            self.breaker.release()
+            return reject_response(request, outcome["reject"])
+        if kind == "expired":
+            self.breaker.release()
+            return reject_response(
+                request,
+                ServiceReject(
+                    504, "deadline_exceeded", outcome["message"]
+                ),
+            )
+        # kind == "fault": retries exhausted on a device-side failure.
+        self.breaker.record(True)
+        return ServiceResponse(
+            500,
+            envelope(
+                request, "error",
+                error="kernel_fault",
+                verdict=outcome["verdict"],
+                message=outcome["message"],
+                retries=outcome["retries"],
+            ),
+        )
+
+    async def _process_batch(
+        self, system, request: KernelRequest, items
+    ) -> ServiceResponse:
+        """Batch payloads degrade gracefully instead of failing whole.
+
+        Mirrors the sharded campaign: every item either lands in
+        ``results`` or is *named* in ``incomplete`` with its reason;
+        nothing is silently dropped. Any success + any incompletion =
+        ``degraded``.
+        """
+        results: List[Optional[Dict[str, Any]]] = []
+        incomplete: List[Dict[str, Any]] = []
+        retries: List[Dict[str, Any]] = []
+        faults = 0
+        for index, item in enumerate(items):
+            if request.deadline.expired:
+                incomplete.append(
+                    {"index": index, "reason": "deadline_exceeded"}
+                )
+                results.append(None)
+                if self.telemetry is not None:
+                    self.telemetry.service_shed(request.kernel, "batch")
+                continue
+            outcome = await self._run_item(
+                system, request, item, item_index=index
+            )
+            retries.extend(outcome["retries"])
+            if outcome["kind"] == "ok":
+                results.append(outcome["result"])
+            else:
+                results.append(None)
+                reason = {
+                    "bad_request": "bad_request",
+                    "expired": "deadline_exceeded",
+                    "fault": outcome.get("verdict", "fault"),
+                }[outcome["kind"]]
+                incomplete.append({"index": index, "reason": reason})
+                if outcome["kind"] == "fault":
+                    faults += 1
+        done = sum(1 for r in results if r is not None)
+        if faults or done:
+            # Any item that faulted through all its retries is device
+            # evidence, even when siblings succeeded.
+            self.breaker.record(faults > 0)
+        else:
+            self.breaker.release()
+        if not incomplete:
+            return ServiceResponse(
+                200,
+                envelope(request, "ok", results=results, retries=retries),
+            )
+        if done == 0:
+            status = "error" if faults else "expired"
+            return ServiceResponse(
+                500 if faults else 504,
+                envelope(
+                    request, status,
+                    error="all_items_incomplete",
+                    results=results,
+                    incomplete=incomplete,
+                    retries=retries,
+                ),
+            )
+        return ServiceResponse(
+            200,
+            envelope(
+                request, "degraded",
+                results=results,
+                incomplete=incomplete,
+                retries=retries,
+            ),
+        )
+
+    async def _run_item(
+        self,
+        system,
+        request: KernelRequest,
+        payload: Dict[str, Any],
+        item_index: Optional[int],
+    ) -> Dict[str, Any]:
+        """One payload through the retry loop; never raises KernelFault."""
+        runner = RUNNERS[request.kernel]
+        loop = asyncio.get_running_loop()
+        purpose = (
+            f"service|{self.profile.name}|{request.kernel}"
+            f"|{request.retry_key}"
+            + (f"|{item_index}" if item_index is not None else "")
+        )
+        retries: List[Dict[str, Any]] = []
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = await loop.run_in_executor(
+                    None, runner, system, payload, request.deadline
+                )
+                return {
+                    "kind": "ok", "result": result, "retries": retries,
+                }
+            except BadRequest as exc:
+                return {
+                    "kind": "bad_request", "reject": exc,
+                    "retries": retries,
+                }
+            except KernelFault as exc:
+                fault = exc
+            except BudgetExhaustedError as exc:
+                if self.telemetry is not None:
+                    self.telemetry.service_shed(
+                        request.kernel, "execute"
+                    )
+                return {
+                    "kind": "expired", "message": str(exc),
+                    "retries": retries,
+                }
+            if attempt >= self.retry.attempts:
+                return {
+                    "kind": "fault",
+                    "verdict": fault.verdict,
+                    "message": str(fault),
+                    "retries": retries,
+                }
+            delay = self.retry.delay(purpose, attempt)
+            if not request.deadline.allows(delay):
+                if self.telemetry is not None:
+                    self.telemetry.service_shed(
+                        request.kernel, "backoff"
+                    )
+                return {
+                    "kind": "expired",
+                    "message": (
+                        f"budget cannot absorb the {delay:.3f}s "
+                        f"backoff before attempt {attempt + 1}"
+                    ),
+                    "retries": retries,
+                }
+            retries.append(
+                {
+                    "attempt": attempt,
+                    "delay_s": round(delay, 6),
+                    "error": fault.verdict,
+                }
+            )
+            if self.telemetry is not None:
+                self.telemetry.service_retry(request.kernel)
+            if delay:
+                await asyncio.sleep(delay)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "profile": self.profile.as_dict(),
+            "breaker": self.breaker.snapshot(),
+            "queued": len(self.queues),
+            "queue_depths": self.queues.depths(),
+            "workers": self.workers,
+            "completed": self.completed,
+            "draining": self.queues.closed,
+        }
+
+
+__all__ = ["ProfileDispatcher", "RetryConfig"]

@@ -1,0 +1,370 @@
+"""The Coruscant-as-a-service HTTP gateway (stdlib asyncio, no deps).
+
+A deliberately small HTTP/1.1 front end over the per-profile
+dispatchers. Endpoints:
+
+* ``POST /v1/<kernel>`` — run one kernel. JSON body::
+
+      {"payload": {...},          # kernel arguments (or {"items": [...]})
+       "budget_s": 2.0,           # optional deadline budget
+       "priority": "interactive", # or "batch"
+       "profile": "default"}      # device profile
+
+* ``GET /healthz`` — liveness: always 200 while the process serves,
+  body reports draining state, queue depths, breaker states.
+* ``GET /readyz`` — readiness: 503 while draining or when every
+  profile's breaker is open; otherwise 200 with per-profile detail.
+* ``GET /metrics`` — the TelemetryHub metrics registry as JSON.
+
+SIGTERM (and SIGINT) starts a graceful drain: the listener refuses new
+work with 503 ``draining``, every already-admitted request runs to its
+terminal response, then the process exits 0. Nothing admitted is ever
+dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.admission import AdmissionPolicy
+from repro.service.breaker import OPEN, RequestBreakerConfig
+from repro.service.dispatch import ProfileDispatcher, RetryConfig
+from repro.service.profiles import DeviceProfile, default_profiles
+from repro.service.protocol import (
+    KERNELS,
+    PRIORITIES,
+    PRIORITY_INTERACTIVE,
+    BadRequest,
+    KernelRequest,
+    ServiceReject,
+    ServiceResponse,
+    reject_response,
+)
+from repro.telemetry.hub import TelemetryHub
+from repro.utils.deadline import Deadline
+
+_MAX_BODY = 1 << 20  # 1 MiB of JSON is far beyond any kernel payload
+
+
+class Gateway:
+    """The long-running batched kernel service."""
+
+    def __init__(
+        self,
+        profiles: Optional[Dict[str, DeviceProfile]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        admission: Optional[AdmissionPolicy] = None,
+        breaker: Optional[RequestBreakerConfig] = None,
+        retry: Optional[RetryConfig] = None,
+        workers: int = 2,
+        default_budget_s: float = 10.0,
+        telemetry: Optional[TelemetryHub] = None,
+    ) -> None:
+        if default_budget_s <= 0:
+            raise ValueError(
+                f"default_budget_s must be > 0, got {default_budget_s}"
+            )
+        self.host = host
+        self.port = port
+        self.default_budget_s = default_budget_s
+        self.telemetry = telemetry or TelemetryHub()
+        self.dispatchers: Dict[str, ProfileDispatcher] = {
+            name: ProfileDispatcher(
+                profile,
+                admission=admission,
+                breaker=breaker,
+                retry=retry,
+                workers=workers,
+                telemetry=self.telemetry,
+            )
+            for name, profile in (
+                profiles or default_profiles()
+            ).items()
+        }
+        self.draining = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._drained = asyncio.Event()
+        self._request_ids = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> None:
+        for dispatcher in self.dispatchers.values():
+            dispatcher.start()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(self.shutdown())
+            )
+
+    async def shutdown(self) -> None:
+        """Drain and stop: refuse new work, land everything admitted."""
+        if self.draining:
+            return
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+        for dispatcher in self.dispatchers.values():
+            dispatcher.queues.close()
+        await asyncio.gather(
+            *(d.drain() for d in self.dispatchers.values())
+        )
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._drained.set()
+
+    async def serve_until_drained(self) -> None:
+        await self._drained.wait()
+
+    # ------------------------------------------------------------------
+    # request handling (transport-independent core)
+
+    async def handle(
+        self,
+        kernel: str,
+        body: Dict[str, Any],
+    ) -> ServiceResponse:
+        """Admit + await one kernel request; always returns a response."""
+        self._request_ids += 1
+        request_id = self._request_ids
+        request = KernelRequest(
+            kernel=kernel,
+            payload={},
+            deadline=Deadline.never(),
+            request_id=request_id,
+            retry_key=request_id,
+        )
+        try:
+            request = self._parse(kernel, body, request_id)
+            if self.draining:
+                raise ServiceReject(
+                    503, "draining", "gateway is draining", retry_after=1.0
+                )
+            dispatcher = self.dispatchers.get(request.profile)
+            if dispatcher is None:
+                raise BadRequest(
+                    f"unknown profile {request.profile!r}; serving "
+                    f"{sorted(self.dispatchers)}"
+                )
+            future = dispatcher.submit(request)
+        except ServiceReject as reject:
+            if self.telemetry is not None:
+                self.telemetry.service_rejected(kernel, reject.error)
+            return reject_response(request, reject)
+        return await future
+
+    def _parse(
+        self, kernel: str, body: Dict[str, Any], request_id: int
+    ) -> KernelRequest:
+        if kernel not in KERNELS:
+            raise BadRequest(
+                f"unknown kernel {kernel!r}; serving {list(KERNELS)}"
+            )
+        if not isinstance(body, dict):
+            raise BadRequest("request body must be a JSON object")
+        payload = body.get("payload", {})
+        if not isinstance(payload, dict):
+            raise BadRequest("'payload' must be a JSON object")
+        budget = body.get("budget_s", self.default_budget_s)
+        if isinstance(budget, bool) or not isinstance(
+            budget, (int, float)
+        ):
+            raise BadRequest("'budget_s' must be a number")
+        if budget <= 0:
+            raise BadRequest(f"'budget_s' must be > 0, got {budget}")
+        priority = body.get("priority", PRIORITY_INTERACTIVE)
+        if priority not in PRIORITIES:
+            raise BadRequest(
+                f"priority must be one of {list(PRIORITIES)}, "
+                f"got {priority!r}"
+            )
+        profile = body.get("profile", "default")
+        if not isinstance(profile, str):
+            raise BadRequest("'profile' must be a string")
+        return KernelRequest(
+            kernel=kernel,
+            payload=payload,
+            deadline=Deadline(float(budget)),
+            priority=priority,
+            profile=profile,
+            retry_key=request_id,
+            request_id=request_id,
+        )
+
+    # ------------------------------------------------------------------
+    # health
+
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, {
+            "status": "draining" if self.draining else "ok",
+            "profiles": {
+                name: dispatcher.snapshot()
+                for name, dispatcher in self.dispatchers.items()
+            },
+        }
+
+    def readyz(self) -> Tuple[int, Dict[str, Any]]:
+        breakers = {
+            name: dispatcher.breaker.snapshot()
+            for name, dispatcher in self.dispatchers.items()
+        }
+        all_open = all(
+            snap["state"] == OPEN for snap in breakers.values()
+        )
+        ready = not self.draining and not all_open
+        body = {
+            "ready": ready,
+            "draining": self.draining,
+            "breakers": breakers,
+            "systems": {
+                name: dispatcher.profile.as_dict()
+                for name, dispatcher in self.dispatchers.items()
+            },
+        }
+        return (200 if ready else 503), body
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            status, body, headers = await self._handle_http(reader)
+        except Exception as exc:  # noqa: BLE001 - malformed wire data
+            status, headers = 400, {}
+            body = {"status": "rejected", "error": "bad_http",
+                    "message": str(exc)}
+        payload = json.dumps(body).encode()
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        head.extend(f"{k}: {v}" for k, v in headers.items())
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode() + payload
+        )
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        request_line = (await reader.readline()).decode("latin-1")
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, {"status": "rejected", "error": "bad_http"}, {}
+        method, path, _version = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if content_length > _MAX_BODY:
+            return (
+                413,
+                {"status": "rejected", "error": "payload_too_large"},
+                {},
+            )
+        raw = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        if method == "GET":
+            return self._handle_get(path)
+        if method != "POST":
+            return (
+                405,
+                {"status": "rejected", "error": "method_not_allowed"},
+                {},
+            )
+        if not path.startswith("/v1/"):
+            return 404, {"status": "rejected", "error": "not_found"}, {}
+        kernel = path[len("/v1/"):]
+        try:
+            body = json.loads(raw.decode() or "{}")
+        except (ValueError, UnicodeDecodeError):
+            return (
+                400,
+                {"status": "rejected", "error": "bad_request",
+                 "message": "body is not valid JSON"},
+                {},
+            )
+        response = await self.handle(kernel, body)
+        return response.http_status, response.body, response.headers
+
+    def _handle_get(
+        self, path: str
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        if path == "/healthz":
+            status, body = self.healthz()
+            return status, body, {}
+        if path == "/readyz":
+            status, body = self.readyz()
+            return status, body, {}
+        if path == "/metrics":
+            return 200, self.telemetry.metrics_dict(), {}
+        return 404, {"status": "rejected", "error": "not_found"}, {}
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+async def run_gateway(
+    gateway: Gateway,
+    announce=None,
+) -> int:
+    """Start, announce, serve until drained. Returns the exit code."""
+    await gateway.start()
+    gateway.install_signal_handlers()
+    if announce is not None:
+        announce(gateway.host, gateway.port)
+    await gateway.serve_until_drained()
+    return 0
+
+
+def parse_profile_specs(
+    specs: Optional[List[str]],
+) -> Dict[str, DeviceProfile]:
+    """CLI ``--profile`` values into the gateway's profile table."""
+    extra: Dict[str, DeviceProfile] = {}
+    for spec in specs or []:
+        profile = DeviceProfile.parse(spec)
+        extra[profile.name] = profile
+    return default_profiles(extra)
+
+
+__all__ = ["Gateway", "parse_profile_specs", "run_gateway"]

@@ -168,11 +168,34 @@ class CoruscantSystem:
             span.annotate(cycles=cycles, energy_pj=round(energy, 3))
             hub.pim_op(op, cycles, energy)
 
-    def execute(self, instruction):
-        """Run a cpim instruction, resiliently when a policy is set."""
+    def execute(self, instruction, deadline=None):
+        """Run a cpim instruction, resiliently when a policy is set.
+
+        ``deadline`` (a :class:`~repro.utils.deadline.Deadline`) bounds
+        the resilient ladder's retries/escalation; it is ignored on the
+        bare pipeline, which never retries.
+        """
         if self.executor is not None:
-            return self.executor.execute(instruction)
+            return self.executor.execute(instruction, deadline=deadline)
         return self.controller.execute(instruction)
+
+    def describe(self) -> dict:
+        """A JSON-ready summary of this system's configuration.
+
+        The kernel gateway's ``/readyz`` reports this per device
+        profile so operators can see what each worker pool is running.
+        """
+        geometry = self.memory.geometry
+        return {
+            "trd": self.trd,
+            "tracks_per_dbc": geometry.tracks_per_dbc,
+            "banks": geometry.banks,
+            "subarrays_per_bank": geometry.subarrays_per_bank,
+            "resilience": self.policy is not None,
+            "adaptive": self.breaker is not None,
+            "scrubbing": self.scrubber is not None,
+            "telemetry": self.telemetry is not None,
+        }
 
     def bulk_op(
         self,

@@ -21,6 +21,10 @@ OP_CYCLE_BUCKETS = (8, 16, 32, 64, 128, 256, 512, 1024)
 RETRY_DEPTH_BUCKETS = (1, 2, 3, 4, 5, 8)
 QUEUE_CYCLE_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 SHARD_WALL_BUCKETS = (0.1, 0.25, 0.5, 1, 2, 5, 10, 30, 60, 120, 300, 600)
+REQUEST_SECONDS_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+    10, 30,
+)
 
 
 class TelemetryHub:
@@ -151,6 +155,72 @@ class TelemetryHub:
         self.metrics.counter("campaign.incomplete_shards").inc()
 
     # ------------------------------------------------------------------
+    # kernel gateway (repro.service)
+
+    def service_admitted(self, kernel: str, priority: str) -> None:
+        m = self.metrics
+        m.counter("service.admitted").inc()
+        m.counter(f"service.admitted.{priority}").inc()
+        m.counter(f"service.{kernel}.admitted").inc()
+
+    def service_rejected(self, kernel: str, reason: str) -> None:
+        """An admission refusal: queue_full, breaker_open, or draining."""
+        m = self.metrics
+        m.counter("service.rejected").inc()
+        m.counter(f"service.rejected.{reason}").inc()
+
+    def service_shed(self, kernel: str, stage: str) -> None:
+        """Expired-deadline work dropped before (or between) executions."""
+        m = self.metrics
+        m.counter("service.shed").inc()
+        m.counter(f"service.shed.{stage}").inc()
+
+    def service_retry(self, kernel: str) -> None:
+        self.metrics.counter("service.retries").inc()
+        self.metrics.counter(f"service.{kernel}.retries").inc()
+
+    def service_request(
+        self, kernel: str, status: str, seconds: float
+    ) -> None:
+        """One served request's terminal status and end-to-end latency."""
+        m = self.metrics
+        m.counter("service.requests").inc()
+        m.counter(f"service.status.{status}").inc()
+        m.histogram(
+            "service.request_seconds", REQUEST_SECONDS_BUCKETS
+        ).observe(seconds)
+        m.histogram(
+            f"service.{kernel}.request_seconds", REQUEST_SECONDS_BUCKETS
+        ).observe(seconds)
+
+    def service_queue_depth(
+        self, profile: str, kernel: str, depth: int
+    ) -> None:
+        self.metrics.gauge(f"service.queue_depth.{profile}.{kernel}").set(
+            depth
+        )
+
+    def service_breaker_transition(
+        self, profile: str, src: str, dst: str
+    ) -> None:
+        m = self.metrics
+        m.counter("service.breaker.transitions").inc()
+        m.counter(f"service.breaker.to_{dst.lower()}").inc()
+        self.tracer.instant(
+            "service.breaker.transition",
+            category="service",
+            profile=profile,
+            src=src,
+            dst=dst,
+        )
+
+    def service_drained(self, completed: int, dropped: int) -> None:
+        """Drain accounting at shutdown: everything admitted must land."""
+        m = self.metrics
+        m.counter("service.drain.completed").inc(completed)
+        m.counter("service.drain.dropped").inc(dropped)
+
+    # ------------------------------------------------------------------
     # export
 
     def metrics_dict(self) -> Dict[str, Any]:
@@ -167,6 +237,7 @@ class TelemetryHub:
 __all__ = [
     "OP_CYCLE_BUCKETS",
     "QUEUE_CYCLE_BUCKETS",
+    "REQUEST_SECONDS_BUCKETS",
     "RETRY_DEPTH_BUCKETS",
     "SHARD_WALL_BUCKETS",
     "TR_PER_OP_BUCKETS",

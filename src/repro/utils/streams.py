@@ -52,4 +52,75 @@ def derive_stream(seed: int, purpose: str, shard: int = 0) -> random.Random:
     return random.Random(derive_seed(seed, purpose, shard))
 
 
-__all__ = ["derive_seed", "derive_stream"]
+# ----------------------------------------------------------------------
+# deterministic retry backoff
+
+_JITTER_RESOLUTION = float(1 << 53)
+
+
+def backoff_delay(
+    seed: int,
+    purpose: str,
+    attempt: int,
+    *,
+    base: float = 0.05,
+    cap: float = 2.0,
+    factor: float = 2.0,
+    jitter: float = 0.5,
+) -> float:
+    """Exponential-backoff delay with *deterministic* jitter, in seconds.
+
+    A pure function of ``(seed, purpose, attempt)`` — the jitter is
+    drawn from the same SHA-256 derivation as :func:`derive_seed`, not
+    from global randomness — so a retry timeline is reproducible and
+    tests can assert it exactly, while distinct keys still de-correlate
+    their retry storms (no thundering herd).
+
+    ``attempt`` counts failures so far: attempt 0 is the first try and
+    always returns ``0.0``; attempt ``k >= 1`` waits the nominal delay
+    ``min(cap, base * factor**(k-1))`` scaled by a deterministic factor
+    in ``[1 - jitter, 1]``. The delay therefore never exceeds ``cap``,
+    and with ``jitter=0`` the schedule is the exact capped exponential
+    (monotone non-decreasing in ``attempt``).
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    if base < 0 or cap < 0:
+        raise ValueError(f"base/cap must be >= 0, got {base}/{cap}")
+    if factor < 1.0:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+    if attempt == 0:
+        return 0.0
+    nominal = min(cap, base * factor ** (attempt - 1))
+    draw = derive_seed(seed, f"{purpose}|backoff", attempt)
+    unit = (draw >> 11) / _JITTER_RESOLUTION  # uniform in [0, 1)
+    return nominal * (1.0 - jitter * unit)
+
+
+def backoff_schedule(
+    seed: int,
+    purpose: str,
+    attempts: int,
+    *,
+    base: float = 0.05,
+    cap: float = 2.0,
+    factor: float = 2.0,
+    jitter: float = 0.5,
+) -> list:
+    """The full delay schedule for attempts ``1..attempts`` (see
+    :func:`backoff_delay`). ``attempts=0`` is the zero-retry edge case
+    and returns an empty schedule."""
+    if attempts < 0:
+        raise ValueError(f"attempts must be >= 0, got {attempts}")
+    return [
+        backoff_delay(
+            seed, purpose, attempt,
+            base=base, cap=cap, factor=factor, jitter=jitter,
+        )
+        for attempt in range(1, attempts + 1)
+    ]
+
+
+__all__ = ["backoff_delay", "backoff_schedule", "derive_seed", "derive_stream"]

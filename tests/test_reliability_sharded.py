@@ -67,6 +67,28 @@ class TestShardBounds:
         with pytest.raises(ValueError):
             shard_bounds(3, 0, 4)
 
+    def test_more_shards_than_ops_rejected_at_every_index(self):
+        # The guard must hold for every shard index, not just shard 0:
+        # a worker asking for shard 3 of a 2-op run is a caller bug.
+        for shard in range(4):
+            with pytest.raises(ValueError, match="cannot split"):
+                shard_bounds(2, shard, 4)
+
+    def test_zero_ops_rejected(self):
+        # CampaignConfig already requires ops >= 1; shard_bounds must
+        # not quietly hand out empty ranges below that floor.
+        with pytest.raises(ValueError):
+            shard_bounds(0, 0, 1)
+        with pytest.raises(ValueError):
+            shard_bounds(0, 0, 2)
+
+    def test_single_op_single_shard(self):
+        assert shard_bounds(1, 0, 1) == (0, 1)
+
+    def test_ops_equal_shards_gives_one_op_each(self):
+        bounds = [shard_bounds(3, k, 3) for k in range(3)]
+        assert bounds == [(0, 1), (1, 2), (2, 3)]
+
 
 class TestBitIdentity:
     @pytest.mark.parametrize("shards", [1, 2, 4])

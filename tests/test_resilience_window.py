@@ -1,0 +1,130 @@
+"""Tests for the shared breaker core (resilience.window).
+
+Both circuit breakers — the device ladder and the service's request
+breaker — are built on this one implementation, so its trip and probe
+semantics are load-bearing twice over.
+"""
+
+import pytest
+
+from repro.resilience.window import (
+    ErrorWindow,
+    ProbeGate,
+    ProbeVerdict,
+    WindowPolicy,
+)
+
+
+class TestWindowPolicy:
+    def test_defaults_valid(self):
+        WindowPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"min_samples": 0},
+            {"min_samples": 33},  # > window
+            {"trip_threshold": 0.0},
+            {"trip_threshold": 1.5},
+            {"probe_ops": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WindowPolicy(**kwargs)
+
+
+class TestErrorWindow:
+    def policy(self, **kwargs):
+        base = dict(
+            window=4, min_samples=2, trip_threshold=0.5, probe_ops=1
+        )
+        base.update(kwargs)
+        return WindowPolicy(**base)
+
+    def test_empty_window_never_trips(self):
+        window = ErrorWindow(self.policy())
+        assert window.rate == 0.0
+        assert not window.tripped()
+
+    def test_min_samples_gate(self):
+        window = ErrorWindow(self.policy())
+        window.record(True)
+        # 100% faulty but only one sample: not enough evidence.
+        assert window.rate == 1.0
+        assert not window.tripped()
+        window.record(True)
+        assert window.tripped()
+
+    def test_old_outcomes_age_out(self):
+        window = ErrorWindow(self.policy())
+        for _ in range(4):
+            window.record(True)
+        assert window.tripped()
+        for _ in range(4):
+            window.record(False)
+        assert window.rate == 0.0
+        assert not window.tripped()
+
+    def test_initial_outcomes_bounded_by_window(self):
+        window = ErrorWindow(self.policy(), outcomes=[1] * 10)
+        assert window.samples == 4
+
+    def test_clear(self):
+        window = ErrorWindow(self.policy())
+        window.record(True)
+        window.record(True)
+        window.clear()
+        assert window.samples == 0
+        assert not window.tripped()
+
+
+class TestProbeGate:
+    def test_inert_until_started(self):
+        gate = ProbeGate()
+        assert not gate.active
+        with pytest.raises(RuntimeError):
+            gate.record(False)
+
+    def test_commit_after_clean_probes(self):
+        gate = ProbeGate()
+        gate.start(3)
+        assert gate.record(False) is ProbeVerdict.CONTINUE
+        assert gate.record(False) is ProbeVerdict.CONTINUE
+        assert gate.record(False) is ProbeVerdict.COMMIT
+        assert not gate.active
+
+    def test_one_failure_snaps_back(self):
+        gate = ProbeGate()
+        gate.start(3)
+        gate.record(False)
+        assert gate.record(True) is ProbeVerdict.SNAP_BACK
+        assert not gate.active
+        assert gate.failures == 1
+
+    def test_double_start_rejected(self):
+        gate = ProbeGate()
+        gate.start(2)
+        with pytest.raises(RuntimeError):
+            gate.start(2)
+
+    def test_cancel_disarms(self):
+        gate = ProbeGate()
+        gate.start(2)
+        gate.cancel()
+        assert not gate.active
+        gate.start(2)  # re-armable after cancel
+
+    def test_trials_counted(self):
+        gate = ProbeGate()
+        gate.start(1)
+        gate.record(True)
+        gate.start(1)
+        gate.record(False)
+        assert gate.probes == 2
+        assert gate.failures == 1
+
+    def test_bad_probe_ops_rejected(self):
+        with pytest.raises(ValueError):
+            ProbeGate().start(0)

@@ -1,0 +1,179 @@
+"""Admission control: bounded queues, priority classes, backpressure."""
+
+import asyncio
+
+import pytest
+
+from repro.service.admission import (
+    AdmissionPolicy,
+    KernelQueue,
+    ProfileQueues,
+)
+from repro.service.protocol import (
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    KernelRequest,
+    ServiceReject,
+    reject_response,
+)
+from repro.utils.deadline import Deadline
+
+
+def request(kernel="add", priority=PRIORITY_INTERACTIVE):
+    return KernelRequest(
+        kernel=kernel,
+        payload={},
+        deadline=Deadline.never(),
+        priority=priority,
+    )
+
+
+class TestAdmissionPolicy:
+    def test_defaults_valid(self):
+        policy = AdmissionPolicy()
+        assert policy.total_capacity == policy.capacity + policy.high_reserve
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity": 0},
+            {"high_reserve": -1},
+            {"retry_after": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(**kwargs)
+
+
+class TestKernelQueue:
+    def policy(self):
+        return AdmissionPolicy(capacity=2, high_reserve=1)
+
+    def test_batch_capped_below_reserve(self):
+        queue = KernelQueue(self.policy())
+        queue.offer(request(priority=PRIORITY_BATCH))
+        queue.offer(request(priority=PRIORITY_BATCH))
+        with pytest.raises(ServiceReject) as exc:
+            queue.offer(request(priority=PRIORITY_BATCH))
+        assert exc.value.http_status == 429
+        assert exc.value.error == "queue_full"
+        # The reserve slot is still open for interactive traffic.
+        queue.offer(request(priority=PRIORITY_INTERACTIVE))
+        assert len(queue) == 3
+
+    def test_interactive_bounded_by_total(self):
+        queue = KernelQueue(self.policy())
+        for _ in range(3):
+            queue.offer(request())
+        with pytest.raises(ServiceReject):
+            queue.offer(request())
+
+    def test_interactive_dequeued_first(self):
+        queue = KernelQueue(self.policy())
+        batch = request(priority=PRIORITY_BATCH)
+        inter = request(priority=PRIORITY_INTERACTIVE)
+        queue.offer(batch)
+        queue.offer(inter)
+        assert queue.take() is inter
+        assert queue.take() is batch
+        assert queue.take() is None
+
+    def test_queue_full_carries_retry_after(self):
+        queue = KernelQueue(self.policy())
+        queue.offer(request(priority=PRIORITY_BATCH))
+        queue.offer(request(priority=PRIORITY_BATCH))
+        with pytest.raises(ServiceReject) as exc:
+            queue.offer(request(priority=PRIORITY_BATCH))
+        response = reject_response(request(), exc.value)
+        assert response.http_status == 429
+        assert "Retry-After" in response.headers
+        assert int(response.headers["Retry-After"]) >= 1
+        assert response.body["retry_after_s"] > 0
+
+    def test_drain_empties_in_priority_order(self):
+        queue = KernelQueue(self.policy())
+        batch = request(priority=PRIORITY_BATCH)
+        inter = request()
+        queue.offer(batch)
+        queue.offer(inter)
+        assert list(queue.drain()) == [inter, batch]
+        assert len(queue) == 0
+
+
+class TestProfileQueues:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_next_returns_queued_request(self):
+        async def scenario():
+            queues = ProfileQueues(AdmissionPolicy(capacity=2))
+            req = request()
+            queues.offer(req)
+            assert await queues.next() is req
+
+        self.run(scenario())
+
+    def test_round_robin_across_kernels(self):
+        async def scenario():
+            queues = ProfileQueues(AdmissionPolicy(capacity=4))
+            adds = [request("add") for _ in range(2)]
+            mults = [request("multiply") for _ in range(2)]
+            for req in adds + mults:
+                queues.offer(req)
+            taken = [await queues.next() for _ in range(4)]
+            kernels = [req.kernel for req in taken]
+            # One hot kernel must not be served twice in a row while
+            # another kernel waits.
+            assert kernels.count("add") == 2
+            assert kernels.count("multiply") == 2
+            assert kernels[0] != kernels[1]
+
+        self.run(scenario())
+
+    def test_closed_queue_refuses_with_503(self):
+        async def scenario():
+            queues = ProfileQueues()
+            queues.close()
+            with pytest.raises(ServiceReject) as exc:
+                queues.offer(request())
+            assert exc.value.http_status == 503
+            assert exc.value.error == "draining"
+
+        self.run(scenario())
+
+    def test_close_drains_before_none(self):
+        async def scenario():
+            queues = ProfileQueues()
+            first = request()
+            second = request("multiply")
+            queues.offer(first)
+            queues.offer(second)
+            queues.close()
+            drained = [await queues.next(), await queues.next()]
+            assert first in drained and second in drained
+            assert await queues.next() is None
+
+        self.run(scenario())
+
+    def test_next_wakes_on_offer(self):
+        async def scenario():
+            queues = ProfileQueues()
+            waiter = asyncio.ensure_future(queues.next())
+            await asyncio.sleep(0)
+            assert not waiter.done()
+            req = request()
+            queues.offer(req)
+            assert await asyncio.wait_for(waiter, timeout=1) is req
+
+        self.run(scenario())
+
+    def test_depths_per_kernel(self):
+        queues = ProfileQueues()
+        queues.offer(request("add"))
+        queues.offer(request("add"))
+        queues.offer(request("popcount"))
+        depths = queues.depths()
+        assert depths["add"] == 2
+        assert depths["popcount"] == 1
+        assert len(queues) == 3

@@ -1,0 +1,197 @@
+"""The request breaker: CLOSED -> OPEN -> HALF_OPEN on a fake clock."""
+
+import pytest
+
+from repro.service.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    RequestBreaker,
+    RequestBreakerConfig,
+)
+from repro.service.protocol import ServiceReject
+from repro.telemetry.hub import TelemetryHub
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(clock=None, telemetry=None, **kwargs):
+    config = RequestBreakerConfig(
+        window=4, min_samples=2, trip_threshold=0.5,
+        open_seconds=5.0, probe_requests=2, **kwargs
+    )
+    return RequestBreaker(
+        "test", config, clock=clock or FakeClock(), telemetry=telemetry
+    )
+
+
+def trip(breaker, failures=2):
+    for _ in range(failures):
+        breaker.allow()
+        breaker.record(True)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        RequestBreakerConfig()
+
+    def test_open_seconds_validated(self):
+        with pytest.raises(ValueError):
+            RequestBreakerConfig(open_seconds=0)
+
+    def test_window_geometry_validated_by_shared_policy(self):
+        with pytest.raises(ValueError):
+            RequestBreakerConfig(window=2, min_samples=5)
+
+
+class TestTrip:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker()
+        breaker.allow()
+        assert breaker.state == CLOSED
+
+    def test_trips_at_threshold_with_min_samples(self):
+        breaker = make_breaker()
+        breaker.allow()
+        breaker.record(True)
+        assert breaker.state == CLOSED  # one sample: not enough
+        breaker.allow()
+        breaker.record(True)
+        assert breaker.state == OPEN
+
+    def test_clean_traffic_never_trips(self):
+        breaker = make_breaker()
+        for _ in range(50):
+            breaker.allow()
+            breaker.record(False)
+        assert breaker.state == CLOSED
+
+    def test_open_fails_fast_with_retry_after(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock)
+        trip(breaker)
+        clock.advance(1.0)
+        with pytest.raises(ServiceReject) as exc:
+            breaker.allow()
+        assert exc.value.http_status == 503
+        assert exc.value.error == "breaker_open"
+        assert exc.value.retry_after == pytest.approx(4.0)
+
+    def test_late_straggler_outcome_ignored_while_open(self):
+        breaker = make_breaker()
+        trip(breaker)
+        breaker.record(False)  # in-flight request finishing late
+        assert breaker.state == OPEN
+        assert breaker.errors.samples == 0
+
+
+class TestHalfOpen:
+    def test_cooldown_elapses_into_half_open(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock)
+        trip(breaker)
+        clock.advance(5.0)
+        breaker.allow()  # first probe admitted
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_budget_limits_inflight(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock)
+        trip(breaker)
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.allow()  # both probe slots now in flight
+        with pytest.raises(ServiceReject):
+            breaker.allow()
+
+    def test_clean_probes_close(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock)
+        trip(breaker)
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record(False)
+        breaker.allow()
+        breaker.record(False)
+        assert breaker.state == CLOSED
+        # A fresh window: the old fault evidence is gone.
+        assert breaker.errors.samples == 0
+
+    def test_failed_probe_snaps_back_open(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock)
+        trip(breaker)
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record(True)
+        assert breaker.state == OPEN
+        assert breaker.open_count == 2
+        # The new OPEN period starts at the snap-back, not the old trip.
+        with pytest.raises(ServiceReject) as exc:
+            breaker.allow()
+        assert exc.value.retry_after == pytest.approx(5.0)
+
+    def test_release_frees_probe_slot_without_verdict(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock)
+        trip(breaker)
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.allow()
+        breaker.release()  # a shed request frees its slot
+        breaker.allow()  # slot reusable; still within probe budget
+        assert breaker.state == HALF_OPEN
+
+    def test_full_cycle_returns_to_service(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock)
+        trip(breaker)
+        clock.advance(5.0)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record(False)
+        breaker.allow()
+        breaker.record(False)
+        assert breaker.state == CLOSED
+
+
+class TestTelemetryAndSnapshot:
+    def test_transitions_published(self):
+        clock = FakeClock()
+        hub = TelemetryHub()
+        breaker = make_breaker(clock=clock, telemetry=hub)
+        trip(breaker)
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record(False)
+        breaker.allow()
+        breaker.record(False)
+        counters = hub.metrics_dict()["counters"]
+        assert counters["service.breaker.transitions"] == 3
+        assert counters["service.breaker.to_open"] == 1
+        assert counters["service.breaker.to_half_open"] == 1
+        assert counters["service.breaker.to_closed"] == 1
+
+    def test_snapshot_shapes(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock)
+        snap = breaker.snapshot()
+        assert snap["state"] == CLOSED
+        trip(breaker)
+        snap = breaker.snapshot()
+        assert snap["state"] == OPEN
+        assert snap["retry_after_s"] == pytest.approx(5.0)
+        clock.advance(5.0)
+        breaker.allow()
+        snap = breaker.snapshot()
+        assert snap["state"] == HALF_OPEN
+        assert snap["probes_remaining"] == 2

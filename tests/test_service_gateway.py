@@ -1,0 +1,389 @@
+"""End-to-end tests for the kernel gateway.
+
+Three layers: the in-process client (full admission/retry/breaker
+pipeline, no sockets), the raw HTTP front end, and the `serve` CLI as
+a subprocess with a real SIGTERM drain.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.service.admission import AdmissionPolicy
+from repro.service.breaker import OPEN, RequestBreakerConfig
+from repro.service.client import ServiceClient
+from repro.service.dispatch import RetryConfig
+from repro.service.gateway import Gateway
+from repro.service.profiles import DeviceProfile, default_profiles
+from repro.service.protocol import (
+    KERNELS,
+    PRIORITY_BATCH,
+    KernelRequest,
+    ServiceReject,
+)
+from repro.utils.deadline import Deadline
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="class")
+def client():
+    with ServiceClient(workers=1) as active:
+        yield active
+
+
+class TestClientKernels:
+    def test_add(self, client):
+        response = client.request(
+            "add", {"words": [1, 2, 4, 8], "n_bits": 8}
+        )
+        assert response.status == "ok"
+        assert response.body["result"]["sum"] == 15
+        assert response.body["result"]["cycles"] > 0
+
+    def test_multiply(self, client):
+        response = client.request(
+            "multiply", {"a": 12, "b": 11, "n_bits": 8}
+        )
+        assert response.status == "ok"
+        assert response.body["result"]["product"] == 132
+
+    def test_popcount(self, client):
+        response = client.request(
+            "popcount", {"bits": [1, 0, 1, 1, 0, 1]}
+        )
+        assert response.status == "ok"
+        assert response.body["result"]["count"] == 4
+
+    def test_bulk_op(self, client):
+        response = client.request(
+            "bulk-op",
+            {"op": "xor", "operands": [[1, 0, 1], [1, 1, 0]]},
+        )
+        assert response.status == "ok"
+        assert response.body["result"]["bits"] == [0, 1, 1]
+
+    def test_bitmap_query(self, client):
+        response = client.request(
+            "bitmap-query", {"users": 16, "weeks": 2, "seed": 7}
+        )
+        assert response.status == "ok"
+        result = response.body["result"]
+        assert 0 <= result["count"] <= 16
+        assert result["tr_passes"] > 0
+
+    def test_cnn_infer(self, client):
+        response = client.request(
+            "cnn-infer", {"size": 4, "seed": 3}, budget_s=60.0
+        )
+        assert response.status == "ok"
+        assert len(response.body["result"]["logits"]) == 4
+
+    def test_envelope_shape(self, client):
+        response = client.request("add", {"words": [1, 1], "n_bits": 4})
+        body = response.body
+        assert body["schema"] == "coruscant-service/1"
+        assert body["kernel"] == "add"
+        assert body["profile"] == "default"
+        assert body["request_id"] > 0
+        assert body["retries"] == []
+
+    def test_bad_payload_rejected(self, client):
+        response = client.request("add", {"words": "nope"})
+        assert response.http_status == 400
+        assert response.status == "rejected"
+        assert response.body["error"] == "bad_request"
+
+    def test_unknown_kernel_rejected(self, client):
+        response = client.request("transmogrify", {})
+        assert response.http_status == 400
+        assert "unknown kernel" in response.body["message"]
+
+    def test_unknown_profile_rejected(self, client):
+        response = client.request(
+            "add", {"words": [1, 2], "n_bits": 4}, profile="nope"
+        )
+        assert response.http_status == 400
+        assert "unknown profile" in response.body["message"]
+
+    def test_expired_budget_shed_with_504(self, client):
+        response = client.request(
+            "add", {"words": [1, 2], "n_bits": 4}, budget_s=1e-9
+        )
+        assert response.http_status == 504
+        assert response.status == "expired"
+        assert response.body["error"] == "deadline_exceeded"
+
+    def test_batch_degrades_instead_of_failing_whole(self, client):
+        items = [
+            {"words": [1, 2], "n_bits": 4},
+            {"words": [3, 4], "n_bits": 4},
+            {"words": "broken"},
+        ]
+        response = client.request("add", {"items": items})
+        assert response.http_status == 200
+        assert response.status == "degraded"
+        results = response.body["results"]
+        assert results[0]["sum"] == 3
+        assert results[1]["sum"] == 7
+        assert results[2] is None
+        assert response.body["incomplete"] == [
+            {"index": 2, "reason": "bad_request"}
+        ]
+
+    def test_batch_all_ok(self, client):
+        items = [{"words": [1, n], "n_bits": 4} for n in range(3)]
+        response = client.request("add", {"items": items})
+        assert response.status == "ok"
+        assert [r["sum"] for r in response.body["results"]] == [1, 2, 3]
+
+    def test_healthz_reports_profiles(self, client):
+        body = client.healthz()
+        assert body["status"] == "ok"
+        snapshot = body["profiles"]["default"]
+        assert snapshot["breaker"]["state"] == "CLOSED"
+        assert set(snapshot["queue_depths"]) == set(KERNELS)
+
+    def test_readyz_ready(self, client):
+        body = client.readyz()
+        assert body["ready"] is True
+        assert body["draining"] is False
+
+
+class TestAdmissionBackpressure:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def gateway(self):
+        return Gateway(
+            admission=AdmissionPolicy(capacity=1, high_reserve=1)
+        )
+
+    def request(self, priority="interactive"):
+        return KernelRequest(
+            kernel="add",
+            payload={"words": [1, 2], "n_bits": 4},
+            deadline=Deadline.never(),
+            priority=priority,
+        )
+
+    def test_queue_full_is_429_with_retry_after(self):
+        async def scenario():
+            dispatcher = self.gateway().dispatchers["default"]
+            dispatcher.submit(self.request())
+            dispatcher.submit(self.request())
+            with pytest.raises(ServiceReject) as exc:
+                dispatcher.submit(self.request())
+            assert exc.value.http_status == 429
+            assert exc.value.error == "queue_full"
+            assert exc.value.retry_after > 0
+
+        self.run(scenario())
+
+    def test_batch_refused_while_reserve_open(self):
+        async def scenario():
+            dispatcher = self.gateway().dispatchers["default"]
+            dispatcher.submit(self.request(PRIORITY_BATCH))
+            with pytest.raises(ServiceReject):
+                dispatcher.submit(self.request(PRIORITY_BATCH))
+            # The reserve slot still admits interactive traffic.
+            dispatcher.submit(self.request())
+
+        self.run(scenario())
+
+    def test_pre_expired_deadline_refused_at_admission(self):
+        async def scenario():
+            dispatcher = self.gateway().dispatchers["default"]
+            request = self.request()
+            request.deadline = Deadline(0.0)
+            with pytest.raises(ServiceReject) as exc:
+                dispatcher.submit(request)
+            assert exc.value.http_status == 504
+
+        self.run(scenario())
+
+
+class TestBreakerIsolation:
+    def test_storm_profile_opens_while_default_serves(self):
+        profiles = default_profiles(
+            {
+                "storm": DeviceProfile(
+                    name="storm", tr_fault_rate=0.2, seed=11
+                )
+            }
+        )
+        gateway = Gateway(
+            profiles=profiles,
+            breaker=RequestBreakerConfig(
+                window=8, min_samples=4, trip_threshold=0.5,
+                open_seconds=30.0, probe_requests=2,
+            ),
+            retry=RetryConfig(attempts=2, base=0.001, cap=0.002),
+            workers=1,
+        )
+        with ServiceClient(gateway=gateway) as client:
+            statuses = []
+            for _ in range(16):
+                response = client.request(
+                    "add",
+                    {"words": [3, 4], "n_bits": 8},
+                    profile="storm",
+                )
+                statuses.append(
+                    response.body.get("error", response.status)
+                )
+                if "breaker_open" in statuses:
+                    break
+            assert "breaker_open" in statuses
+            snap = gateway.dispatchers["storm"].breaker.snapshot()
+            assert snap["state"] == OPEN
+            # The healthy profile is untouched by its neighbour's storm.
+            response = client.request(
+                "add", {"words": [3, 4], "n_bits": 8}
+            )
+            assert response.status == "ok"
+            assert client.readyz()["ready"] is True
+
+
+class TestHttpServer:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    async def http(self, port, method, path, body=None):
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", port
+        )
+        payload = json.dumps(body).encode() if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: localhost\r\n"
+            f"Content-Length: {len(payload)}\r\n\r\n"
+        )
+        writer.write(head.encode() + payload)
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        status = int(raw.split(b" ", 2)[1])
+        headers, _, content = raw.partition(b"\r\n\r\n")
+        return status, json.loads(content), headers.decode("latin-1")
+
+    def test_http_surface(self):
+        async def scenario():
+            gateway = Gateway(port=0, workers=1)
+            await gateway.start()
+            try:
+                port = gateway.port
+                status, body, _ = await self.http(
+                    port, "GET", "/healthz"
+                )
+                assert status == 200 and body["status"] == "ok"
+                status, body, _ = await self.http(
+                    port, "GET", "/readyz"
+                )
+                assert status == 200 and body["ready"] is True
+                status, body, _ = await self.http(
+                    port, "GET", "/metrics"
+                )
+                assert status == 200 and "counters" in body
+                status, body, _ = await self.http(
+                    port, "POST", "/v1/add",
+                    {"payload": {"words": [20, 22], "n_bits": 8}},
+                )
+                assert status == 200
+                assert body["result"]["sum"] == 42
+                status, body, _ = await self.http(
+                    port, "POST", "/v1/transmogrify", {"payload": {}}
+                )
+                assert status == 400
+                status, body, _ = await self.http(
+                    port, "GET", "/nope"
+                )
+                assert status == 404
+                status, body, _ = await self.http(
+                    port, "DELETE", "/v1/add", {}
+                )
+                assert status == 405
+            finally:
+                await gateway.shutdown()
+
+        self.run(scenario())
+
+    def test_shutdown_refuses_new_then_drains(self):
+        async def scenario():
+            gateway = Gateway(port=0, workers=1)
+            await gateway.start()
+            await gateway.shutdown()
+            response = await gateway.handle(
+                "add", {"payload": {"words": [1, 2], "n_bits": 4}}
+            )
+            assert response.http_status == 503
+            assert response.body["error"] == "draining"
+            assert "Retry-After" in response.headers
+
+        self.run(scenario())
+
+
+class TestServeCliSigterm:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        port_file = tmp_path / "port"
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--port-file", str(port_file),
+                "--workers", "1",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not port_file.exists():
+                assert proc.poll() is None, proc.communicate()[1]
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            port = int(port_file.read_text())
+
+            responses = []
+
+            def fire():
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{port}/v1/add",
+                    data=json.dumps(
+                        {"payload": {"words": [5, 6], "n_bits": 8}}
+                    ).encode(),
+                    method="POST",
+                )
+                with urllib.request.urlopen(request, timeout=30) as r:
+                    responses.append(json.loads(r.read()))
+
+            threads = [
+                threading.Thread(target=fire) for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.2)
+            proc.send_signal(signal.SIGTERM)
+            for thread in threads:
+                thread.join(timeout=30)
+            stdout, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, stdout
+        assert "drained clean" in stdout
+        # Every request admitted before the drain got its answer.
+        assert len(responses) == 4
+        assert all(r["status"] == "ok" for r in responses)
+        assert all(r["result"]["sum"] == 11 for r in responses)

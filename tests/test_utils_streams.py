@@ -7,8 +7,14 @@ bit-identical reports.
 """
 
 import pytest
+from hypothesis import given, strategies as st
 
-from repro.utils.streams import derive_seed, derive_stream
+from repro.utils.streams import (
+    backoff_delay,
+    backoff_schedule,
+    derive_seed,
+    derive_stream,
+)
 
 
 class TestDeriveSeed:
@@ -72,3 +78,70 @@ class TestDeriveStream:
         assert [a.random() for _ in range(5)] != [
             b.random() for _ in range(5)
         ]
+
+
+class TestBackoffDelay:
+    """Deterministic-jitter backoff (the service retry timeline)."""
+
+    def test_attempt_zero_is_free(self):
+        assert backoff_delay(0, "service|add", 0) == 0.0
+
+    def test_deterministic(self):
+        a = backoff_delay(7, "service|add|42", 3)
+        b = backoff_delay(7, "service|add|42", 3)
+        assert a == b
+
+    def test_distinct_across_attempts_and_keys(self):
+        delays = {
+            backoff_delay(0, "service|add|1", k) for k in range(1, 6)
+        }
+        assert len(delays) == 5
+        assert backoff_delay(0, "service|add|1", 2) != backoff_delay(
+            0, "service|add|2", 2
+        )
+
+    @given(
+        attempt=st.integers(min_value=0, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**32),
+        jitter=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_cap_is_monotone_upper_bound(self, attempt, seed, jitter):
+        delay = backoff_delay(
+            seed, "p", attempt, base=0.05, cap=2.0, jitter=jitter
+        )
+        assert 0.0 <= delay <= 2.0
+
+    @given(attempts=st.integers(min_value=0, max_value=12))
+    def test_jitter_free_schedule_monotone_nondecreasing(self, attempts):
+        schedule = backoff_schedule(0, "p", attempts, jitter=0.0)
+        assert len(schedule) == attempts
+        assert schedule == sorted(schedule)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        attempt=st.integers(min_value=1, max_value=12),
+    )
+    def test_jitter_never_exceeds_nominal(self, seed, attempt):
+        full = backoff_delay(seed, "p", attempt, jitter=0.0)
+        jittered = backoff_delay(seed, "p", attempt, jitter=0.5)
+        assert jittered <= full
+        assert jittered >= full * 0.5
+
+    def test_zero_attempts_schedule_empty(self):
+        assert backoff_schedule(0, "p", 0) == []
+
+    def test_schedule_matches_delays(self):
+        schedule = backoff_schedule(5, "q", 4)
+        assert schedule == [
+            backoff_delay(5, "q", attempt) for attempt in (1, 2, 3, 4)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            backoff_delay(0, "p", -1)
+        with pytest.raises(ValueError):
+            backoff_delay(0, "p", 1, jitter=1.5)
+        with pytest.raises(ValueError):
+            backoff_delay(0, "p", 1, factor=0.5)
+        with pytest.raises(ValueError):
+            backoff_schedule(0, "p", -1)
