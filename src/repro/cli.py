@@ -36,6 +36,15 @@ operations for exploration:
                                     # admission control, deadlines,
                                     # retries, per-profile breakers;
                                     # SIGTERM drains and exits 0
+    python -m repro loadbench --profile mixed --requests 80 \
+                              --concurrency 4 --compare LOADBENCH_history.jsonl
+                                    # deterministic closed-loop load
+                                    # bench against the in-process
+                                    # gateway: sustained req/s +
+                                    # p50/p90/p99 latency, gated by the
+                                    # same regression detector as bench
+                                    # (exit 1 on latency regression,
+                                    # 3 if any request failed)
 
 Every table/figure command accepts ``--json`` to emit its result as one
 JSON document on stdout instead of the text tables (the document always
@@ -275,6 +284,7 @@ def _run_bench(writer: OutputWriter, args) -> int:
         ],
     )
 
+    history_path = args.history or "BENCH_history.jsonl"
     if args.compare:
         baseline = load_baseline(args.compare)
         if baseline is None:
@@ -286,11 +296,11 @@ def _run_bench(writer: OutputWriter, args) -> int:
         # No explicit baseline: report (but never gate on) the drift
         # against the previous history entry, when one exists.
         baseline = (
-            BenchHistory(args.history).last()
+            BenchHistory(history_path).last()
             if not args.no_history
             else None
         )
-        baseline_source = args.history if baseline is not None else None
+        baseline_source = history_path if baseline is not None else None
 
     code = 0
     if baseline is not None:
@@ -317,7 +327,158 @@ def _run_bench(writer: OutputWriter, args) -> int:
             )
 
     if not args.no_history:
-        BenchHistory(args.history).append(
+        BenchHistory(history_path).append(
+            current, meta={"recorded_unix": int(time.time())}
+        )
+    if args.bench_out:
+        with open(args.bench_out, "w", encoding="utf-8") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return code
+
+
+def _run_loadbench(writer: OutputWriter, args) -> int:
+    """Closed-loop service load bench + latency regression gate.
+
+    Mirrors :func:`_run_bench`'s history/compare contract, but the
+    document under test is the ``coruscant-loadbench/1`` service-level
+    one: sustained req/s plus p50/p90/p99 request latency, produced by
+    a deterministic seeded schedule against the in-process gateway.
+    """
+    import time
+
+    from repro.obs import (
+        BenchHistory,
+        LOAD_PROFILES,
+        RegressionDetector,
+        load_baseline,
+        run_loadbench,
+    )
+
+    profile = (args.profile or ["mixed"])[0]
+    if profile not in LOAD_PROFILES:
+        raise SystemExit(
+            f"unknown load profile {profile!r}; "
+            f"pick one of {', '.join(sorted(LOAD_PROFILES))}"
+        )
+
+    client = None
+    event_log = None
+    if args.event_log:
+        from repro.service.client import ServiceClient
+        from repro.service.gateway import Gateway
+        from repro.telemetry import (
+            EventLog,
+            JsonlSink,
+            TelemetryHub,
+            Tracer,
+        )
+
+        event_log = EventLog(JsonlSink(args.event_log))
+        client = ServiceClient(
+            gateway=Gateway(
+                workers=args.concurrency,
+                telemetry=TelemetryHub(
+                    tracer=Tracer(max_roots=4096), events=event_log
+                ),
+            )
+        )
+        client.start()
+    try:
+        current = run_loadbench(
+            profile=profile,
+            requests=args.requests,
+            seed=args.seed,
+            concurrency=args.concurrency,
+            duration=args.duration,
+            budget_s=args.default_budget_s,
+            client=client,
+        )
+    finally:
+        if client is not None:
+            client.close()
+        if event_log is not None:
+            event_log.close()
+
+    writer.meta(schema=current["schema"])
+    writer.section(
+        "loadbench",
+        {
+            "profile": current["profile"],
+            "seed": current["seed"],
+            "concurrency": current["concurrency"],
+            "requests_scheduled": current["requests_scheduled"],
+            "requests_completed": current["requests_completed"],
+            "requests_skipped": current["requests_skipped"],
+            "requests_failed": current["requests_failed"],
+            "statuses": current["statuses"],
+            "elapsed_seconds": round(current["elapsed_seconds"], 3),
+            "throughput_rps": round(current["throughput_rps"], 2),
+        },
+    )
+    writer.rows(
+        "loadbench latency",
+        current["kernels"],
+        [
+            f"  {k['name']:22s} n={k.get('requests', 0):4d}  "
+            f"min {k['wall_seconds_min'] * 1e3:7.2f} ms  "
+            f"p50 {k['wall_seconds_median'] * 1e3:7.2f} ms  "
+            f"p90 {k.get('wall_seconds_p90', 0.0) * 1e3:7.2f} ms  "
+            f"p99 {k.get('wall_seconds_p99', 0.0) * 1e3:7.2f} ms"
+            for k in current["kernels"]
+        ],
+    )
+
+    history_path = args.history or "LOADBENCH_history.jsonl"
+    if args.compare:
+        baseline = load_baseline(args.compare)
+        if baseline is None:
+            raise SystemExit(
+                f"--compare baseline {args.compare!r} does not exist"
+            )
+        baseline_source = args.compare
+    else:
+        baseline = (
+            BenchHistory(history_path).last()
+            if not args.no_history
+            else None
+        )
+        baseline_source = history_path if baseline is not None else None
+
+    code = EXIT_OK
+    if baseline is not None:
+        detector = RegressionDetector(wall_tolerance=args.wall_tolerance)
+        comparison = detector.compare(current, baseline)
+        writer.rows(
+            "loadbench comparison",
+            [c.as_dict() for c in comparison.comparisons],
+            [
+                f"  {c.kernel:22s} {c.metric:18s} "
+                f"{c.verdict.value:9s} {c.note}"
+                for c in comparison.comparisons
+                if c.verdict.value != "unchanged"
+            ]
+            or ["  all metrics unchanged"],
+        )
+        summary = comparison.summary()
+        summary["baseline"] = baseline_source
+        writer.section("loadbench verdicts", summary)
+        if args.compare and comparison.has_regression:
+            code = EXIT_ERROR
+            writer.line(
+                "\nloadbench regressed vs baseline", regressed=True
+            )
+    if current["requests_failed"]:
+        writer.line(
+            f"\n{current['requests_failed']} request(s) failed "
+            "(status not ok/degraded)",
+            failed=current["requests_failed"],
+        )
+        if code == EXIT_OK:
+            code = EXIT_DEGRADED
+
+    if not args.no_history:
+        BenchHistory(history_path).append(
             current, meta={"recorded_unix": int(time.time())}
         )
     if args.bench_out:
@@ -728,6 +889,20 @@ def _run_serve(parser: argparse.ArgumentParser, args) -> int:
         profiles = parse_profile_specs(args.profile)
     except ValueError as exc:
         parser.error(str(exc))
+    telemetry = None
+    event_log = None
+    if args.event_log:
+        from repro.telemetry import (
+            EventLog,
+            JsonlSink,
+            TelemetryHub,
+            Tracer,
+        )
+
+        event_log = EventLog(JsonlSink(args.event_log))
+        telemetry = TelemetryHub(
+            tracer=Tracer(max_roots=4096), events=event_log
+        )
     gateway = Gateway(
         profiles=profiles,
         host=args.host,
@@ -742,6 +917,7 @@ def _run_serve(parser: argparse.ArgumentParser, args) -> int:
         retry=RetryConfig(attempts=args.retry_attempts, seed=args.seed),
         workers=args.workers if args.workers is not None else 2,
         default_budget_s=args.default_budget_s,
+        telemetry=telemetry,
     )
 
     def announce(host: str, port: int) -> None:
@@ -755,6 +931,9 @@ def _run_serve(parser: argparse.ArgumentParser, args) -> int:
     except OSError as exc:
         print(f"serve failed: {exc}", file=sys.stderr)
         return EXIT_ERROR
+    finally:
+        if event_log is not None:
+            event_log.close()
     dropped = sum(d.dropped for d in gateway.dispatchers.values())
     if dropped:
         # Should be unreachable — the drain path has no drop branch —
@@ -773,12 +952,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "command",
         choices=sorted(_EXPERIMENTS) + ["all", "add", "mult", "campaign",
-                                        "mc", "trace", "bench", "serve"],
+                                        "mc", "trace", "bench",
+                                        "loadbench", "serve"],
         help="experiment to regenerate, a one-off PIM operation, the "
              "fidelity scoreboard (report), the bench regression gate "
-             "(bench), a fault campaign (campaign), Monte Carlo "
-             "fault-injection trials (mc), or the resilient kernel "
-             "gateway (serve)",
+             "(bench), the closed-loop service load bench (loadbench), "
+             "a fault campaign (campaign), Monte Carlo fault-injection "
+             "trials (mc), or the resilient kernel gateway (serve)",
     )
     parser.add_argument(
         "operands", nargs="*",
@@ -913,10 +1093,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="wall-clock repeats per bench kernel (default 3)",
     )
     parser.add_argument(
-        "--history", metavar="PATH", default="BENCH_history.jsonl",
-        help="bench history JSONL the bench command appends to and, "
-             "without --compare, reports drift against "
-             "(default BENCH_history.jsonl)",
+        "--history", metavar="PATH", default=None,
+        help="history JSONL the bench/loadbench commands append to "
+             "and, without --compare, report drift against (defaults: "
+             "BENCH_history.jsonl for bench, LOADBENCH_history.jsonl "
+             "for loadbench)",
     )
     parser.add_argument(
         "--no-history", action="store_true",
@@ -955,7 +1136,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="serve: add a device profile, e.g. "
              "storm:trd=7,tr_fault_rate=0.4 (repeatable; 'default' "
-             "always exists)",
+             "always exists); loadbench: the load-mix name "
+             "(mixed, arithmetic, analytics; default mixed)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=50, metavar="N",
+        help="loadbench: schedule length (default 50)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="loadbench: wall-clock cap; requests still unissued when "
+             "it expires are counted as skipped (default: run the "
+             "whole schedule)",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=2, metavar="N",
+        help="loadbench: closed-loop generator threads, each waiting "
+             "for its previous response before issuing the next "
+             "request (default 2)",
+    )
+    parser.add_argument(
+        "--event-log", metavar="PATH", default=None,
+        help="serve/loadbench: write the structured coruscant-events/1 "
+             "JSONL event stream (size-rotated) to PATH",
     )
     parser.add_argument(
         "--queue-capacity", type=int, default=16, metavar="N",
@@ -1008,6 +1211,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.wall_tolerance < 0:
             parser.error("--wall-tolerance must be >= 0")
         code = _run_bench(writer, args)
+        writer.close(code)
+        return code
+    if args.command == "loadbench":
+        if args.requests < 1:
+            parser.error("--requests must be >= 1")
+        if args.concurrency < 1:
+            parser.error("--concurrency must be >= 1")
+        if args.duration is not None and args.duration <= 0:
+            parser.error("--duration must be > 0")
+        if args.wall_tolerance < 0:
+            parser.error("--wall-tolerance must be >= 0")
+        if args.default_budget_s <= 0:
+            parser.error("--default-budget-s must be > 0")
+        if args.profile is not None and len(args.profile) != 1:
+            parser.error("loadbench takes exactly one --profile")
+        code = _run_loadbench(writer, args)
         writer.close(code)
         return code
     if args.command == "trace":

@@ -34,6 +34,13 @@ from repro.obs.fidelity import (
     extract_hotspots,
 )
 from repro.obs.history import BenchHistory, HISTORY_SCHEMA, load_baseline
+from repro.obs.loadgen import (
+    LOADBENCH_SCHEMA,
+    LOAD_PROFILES,
+    ScheduledRequest,
+    build_schedule,
+    run_loadbench,
+)
 from repro.obs.registry import (
     FIDELITY_SCHEMA,
     FidelityRecord,
@@ -69,6 +76,8 @@ __all__ = [
     "FidelitySuite",
     "HISTORY_SCHEMA",
     "HotspotRow",
+    "LOADBENCH_SCHEMA",
+    "LOAD_PROFILES",
     "PAPER_REFERENCES",
     "PaperRef",
     "REFERENCES_BY_NAME",
@@ -76,8 +85,10 @@ __all__ = [
     "RegressionDetector",
     "RegressionReport",
     "SECTION_TITLES",
+    "ScheduledRequest",
     "Verdict",
     "bench_kernel",
+    "build_schedule",
     "default_kernels",
     "extract_hotspots",
     "load_baseline",
@@ -86,4 +97,5 @@ __all__ = [
     "render_json",
     "render_markdown",
     "run_benchmarks",
+    "run_loadbench",
 ]

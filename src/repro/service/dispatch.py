@@ -33,8 +33,9 @@ from typing import Any, Dict, List, Optional
 from repro.resilience.errors import BudgetExhaustedError
 from repro.service.admission import AdmissionPolicy, ProfileQueues
 from repro.service.breaker import RequestBreaker, RequestBreakerConfig
-from repro.service.kernels import RUNNERS
+from repro.service.kernels import RUNNERS, run_traced
 from repro.service.profiles import DeviceProfile
+from repro.telemetry.context import TraceContext
 from repro.service.protocol import (
     BadRequest,
     KernelFault,
@@ -182,7 +183,8 @@ class ProfileDispatcher:
             raise
         if self.telemetry is not None:
             self.telemetry.service_admitted(
-                request.kernel, request.priority
+                request.kernel, request.priority,
+                trace_id=request.trace_id,
             )
             self._publish_depth(request.kernel)
         return future
@@ -199,14 +201,30 @@ class ProfileDispatcher:
     # workers
 
     async def _worker(self, index: int) -> None:
-        system = self.profile.build_system()
+        # The worker's private system shares the dispatcher's hub, so
+        # device metrics and resilience.op spans land in the same
+        # tracer/registry the gateway exports — the tracer is thread-
+        # aware, so concurrent workers each keep their own span stack.
+        system = self.profile.build_system(telemetry=self.telemetry)
         while True:
             job = await self.queues.next()
             if job is None:
                 return
             self._publish_depth(job.kernel)
+            span = None
+            if self.telemetry is not None:
+                span = self.telemetry.tracer.begin(
+                    "service.dispatch",
+                    category="service",
+                    parent=job.request.trace,
+                    kernel=job.kernel,
+                    profile=self.profile.name,
+                    worker=index,
+                )
             try:
-                response = await self._process(system, job.request)
+                response = await self._process(
+                    system, job.request, context=span.context if span else None
+                )
             except Exception as exc:  # noqa: BLE001 - worker must live
                 self.breaker.record(True)
                 response = ServiceResponse(
@@ -216,6 +234,8 @@ class ProfileDispatcher:
                         message=str(exc),
                     ),
                 )
+            if span is not None:
+                self.telemetry.tracer.finish(span, status=response.status)
             self.completed += 1
             if not job.future.cancelled():
                 job.future.set_result(response)
@@ -227,15 +247,21 @@ class ProfileDispatcher:
                 job.kernel,
                 response.status,
                 self._clock() - job.admitted_at,
+                trace_id=job.request.trace_id,
             )
 
     async def _process(
-        self, system, request: KernelRequest
+        self,
+        system,
+        request: KernelRequest,
+        context: Optional[TraceContext] = None,
     ) -> ServiceResponse:
         if request.deadline.expired:
             self.breaker.release()
             if self.telemetry is not None:
-                self.telemetry.service_shed(request.kernel, "queue")
+                self.telemetry.service_shed(
+                    request.kernel, "queue", trace_id=request.trace_id
+                )
             return reject_response(
                 request,
                 ServiceReject(
@@ -258,9 +284,12 @@ class ProfileDispatcher:
                         "objects"
                     ),
                 )
-            return await self._process_batch(system, request, items)
+            return await self._process_batch(
+                system, request, items, context=context
+            )
         outcome = await self._run_item(
-            system, request, request.payload, item_index=None
+            system, request, request.payload, item_index=None,
+            context=context,
         )
         return self._single_response(request, outcome)
 
@@ -303,7 +332,11 @@ class ProfileDispatcher:
         )
 
     async def _process_batch(
-        self, system, request: KernelRequest, items
+        self,
+        system,
+        request: KernelRequest,
+        items,
+        context: Optional[TraceContext] = None,
     ) -> ServiceResponse:
         """Batch payloads degrade gracefully instead of failing whole.
 
@@ -323,10 +356,12 @@ class ProfileDispatcher:
                 )
                 results.append(None)
                 if self.telemetry is not None:
-                    self.telemetry.service_shed(request.kernel, "batch")
+                    self.telemetry.service_shed(
+                        request.kernel, "batch", trace_id=request.trace_id
+                    )
                 continue
             outcome = await self._run_item(
-                system, request, item, item_index=index
+                system, request, item, item_index=index, context=context
             )
             retries.extend(outcome["retries"])
             if outcome["kind"] == "ok":
@@ -381,9 +416,9 @@ class ProfileDispatcher:
         request: KernelRequest,
         payload: Dict[str, Any],
         item_index: Optional[int],
+        context: Optional[TraceContext] = None,
     ) -> Dict[str, Any]:
         """One payload through the retry loop; never raises KernelFault."""
-        runner = RUNNERS[request.kernel]
         loop = asyncio.get_running_loop()
         purpose = (
             f"service|{self.profile.name}|{request.kernel}"
@@ -396,7 +431,14 @@ class ProfileDispatcher:
             attempt += 1
             try:
                 result = await loop.run_in_executor(
-                    None, runner, system, payload, request.deadline
+                    None,
+                    run_traced,
+                    system,
+                    request.kernel,
+                    payload,
+                    request.deadline,
+                    self.telemetry,
+                    context,
                 )
                 return {
                     "kind": "ok", "result": result, "retries": retries,
@@ -411,7 +453,8 @@ class ProfileDispatcher:
             except BudgetExhaustedError as exc:
                 if self.telemetry is not None:
                     self.telemetry.service_shed(
-                        request.kernel, "execute"
+                        request.kernel, "execute",
+                        trace_id=request.trace_id,
                     )
                 return {
                     "kind": "expired", "message": str(exc),
@@ -428,7 +471,8 @@ class ProfileDispatcher:
             if not request.deadline.allows(delay):
                 if self.telemetry is not None:
                     self.telemetry.service_shed(
-                        request.kernel, "backoff"
+                        request.kernel, "backoff",
+                        trace_id=request.trace_id,
                     )
                 return {
                     "kind": "expired",
@@ -446,7 +490,9 @@ class ProfileDispatcher:
                 }
             )
             if self.telemetry is not None:
-                self.telemetry.service_retry(request.kernel)
+                self.telemetry.service_retry(
+                    request.kernel, trace_id=request.trace_id
+                )
             if delay:
                 await asyncio.sleep(delay)
 

@@ -14,7 +14,9 @@ dispatchers. Endpoints:
   body reports draining state, queue depths, breaker states.
 * ``GET /readyz`` — readiness: 503 while draining or when every
   profile's breaker is open; otherwise 200 with per-profile detail.
-* ``GET /metrics`` — the TelemetryHub metrics registry as JSON.
+* ``GET /metrics`` — the TelemetryHub metrics registry as JSON, or as
+  OpenMetrics text when the ``Accept`` header asks for
+  ``application/openmetrics-text`` (or ``text/plain``).
 
 SIGTERM (and SIGINT) starts a graceful drain: the listener refuses new
 work with 503 ``draining``, every already-admitted request runs to its
@@ -43,10 +45,23 @@ from repro.service.protocol import (
     ServiceResponse,
     reject_response,
 )
+from repro.telemetry.context import TraceContext, mint_request_id
 from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.openmetrics import (
+    CONTENT_TYPE as _OPENMETRICS_CONTENT_TYPE,
+    negotiates_openmetrics,
+    render_openmetrics,
+)
+from repro.telemetry.spans import Tracer
 from repro.utils.deadline import Deadline
 
 _MAX_BODY = 1 << 20  # 1 MiB of JSON is far beyond any kernel payload
+
+#: Root-span retention for the gateway's *default* hub: enough recent
+#: requests for trace export, bounded so a long-running serve process
+#: cannot grow without limit. Callers wanting different retention pass
+#: their own hub.
+_DEFAULT_MAX_ROOTS = 4096
 
 
 class Gateway:
@@ -71,7 +86,9 @@ class Gateway:
         self.host = host
         self.port = port
         self.default_budget_s = default_budget_s
-        self.telemetry = telemetry or TelemetryHub()
+        self.telemetry = telemetry or TelemetryHub(
+            tracer=Tracer(max_roots=_DEFAULT_MAX_ROOTS)
+        )
         self.dispatchers: Dict[str, ProfileDispatcher] = {
             name: ProfileDispatcher(
                 profile,
@@ -88,7 +105,6 @@ class Gateway:
         self.draining = False
         self._server: Optional[asyncio.AbstractServer] = None
         self._drained = asyncio.Event()
-        self._request_ids = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -135,18 +151,36 @@ class Gateway:
         kernel: str,
         body: Dict[str, Any],
     ) -> ServiceResponse:
-        """Admit + await one kernel request; always returns a response."""
-        self._request_ids += 1
-        request_id = self._request_ids
+        """Admit + await one kernel request; always returns a response.
+
+        Each request gets a restart-safe salted ``request_id`` and a
+        fresh :class:`TraceContext` root. The whole admission-to-
+        response interval is recorded as a *detached* ``service.request``
+        span (requests interleave on the event-loop thread, so stack
+        nesting would mis-parent them) whose context every downstream
+        span — dispatcher, worker, resilient executor — descends from.
+        """
+        request_id = mint_request_id()
+        trace = TraceContext.root()
         request = KernelRequest(
             kernel=kernel,
             payload={},
             deadline=Deadline.never(),
             request_id=request_id,
             retry_key=request_id,
+            trace=trace,
         )
+        span = None
+        if self.telemetry is not None:
+            span = self.telemetry.tracer.begin(
+                "service.request",
+                category="service",
+                context=trace,
+                kernel=kernel,
+                request_id=request_id,
+            )
         try:
-            request = self._parse(kernel, body, request_id)
+            request = self._parse(kernel, body, request_id, trace)
             if self.draining:
                 raise ServiceReject(
                     503, "draining", "gateway is draining", retry_after=1.0
@@ -160,12 +194,24 @@ class Gateway:
             future = dispatcher.submit(request)
         except ServiceReject as reject:
             if self.telemetry is not None:
-                self.telemetry.service_rejected(kernel, reject.error)
-            return reject_response(request, reject)
-        return await future
+                self.telemetry.service_rejected(
+                    kernel, reject.error, trace_id=trace.trace_id
+                )
+            response = reject_response(request, reject)
+            if span is not None:
+                self.telemetry.tracer.finish(span, status=response.status)
+            return response
+        response = await future
+        if span is not None:
+            self.telemetry.tracer.finish(span, status=response.status)
+        return response
 
     def _parse(
-        self, kernel: str, body: Dict[str, Any], request_id: int
+        self,
+        kernel: str,
+        body: Dict[str, Any],
+        request_id: int,
+        trace: Optional[TraceContext] = None,
     ) -> KernelRequest:
         if kernel not in KERNELS:
             raise BadRequest(
@@ -200,6 +246,7 @@ class Gateway:
             profile=profile,
             retry_key=request_id,
             request_id=request_id,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------
@@ -248,10 +295,20 @@ class Gateway:
             status, headers = 400, {}
             body = {"status": "rejected", "error": "bad_http",
                     "message": str(exc)}
-        payload = json.dumps(body).encode()
+        headers = dict(headers)
+        if isinstance(body, str):
+            # Pre-rendered text bodies (OpenMetrics exposition) name
+            # their own content type via the handler's headers.
+            payload = body.encode()
+            content_type = headers.pop(
+                "Content-Type", "text/plain; charset=utf-8"
+            )
+        else:
+            payload = json.dumps(body).encode()
+            content_type = "application/json"
         head = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(payload)}",
             "Connection: close",
         ]
@@ -275,13 +332,17 @@ class Gateway:
             return 400, {"status": "rejected", "error": "bad_http"}, {}
         method, path, _version = parts
         content_length = 0
+        accept: Optional[str] = None
         while True:
             line = (await reader.readline()).decode("latin-1").strip()
             if not line:
                 break
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
+            header = name.strip().lower()
+            if header == "content-length":
                 content_length = int(value.strip())
+            elif header == "accept":
+                accept = value.strip()
         if content_length > _MAX_BODY:
             return (
                 413,
@@ -294,7 +355,7 @@ class Gateway:
             else b""
         )
         if method == "GET":
-            return self._handle_get(path)
+            return self._handle_get(path, accept)
         if method != "POST":
             return (
                 405,
@@ -317,8 +378,8 @@ class Gateway:
         return response.http_status, response.body, response.headers
 
     def _handle_get(
-        self, path: str
-    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        self, path: str, accept: Optional[str] = None
+    ) -> Tuple[int, Any, Dict[str, str]]:
         if path == "/healthz":
             status, body = self.healthz()
             return status, body, {}
@@ -326,6 +387,15 @@ class Gateway:
             status, body = self.readyz()
             return status, body, {}
         if path == "/metrics":
+            # Content negotiation: explicit openmetrics-text (or
+            # text/plain) Accept headers get the OpenMetrics form;
+            # everything else keeps the historical JSON byte-for-byte.
+            if negotiates_openmetrics(accept):
+                return (
+                    200,
+                    render_openmetrics(self.telemetry.metrics),
+                    {"Content-Type": _OPENMETRICS_CONTENT_TYPE},
+                )
             return 200, self.telemetry.metrics_dict(), {}
         return 404, {"status": "rejected", "error": "not_found"}, {}
 

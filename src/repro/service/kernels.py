@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.isa import BLOCK_SIZES, Address, CpimInstruction, CpimOp
 from repro.service.protocol import BadRequest, KernelFault
+from repro.telemetry.context import TraceContext, use_context
 from repro.utils.deadline import Deadline
 
 _ORIGIN = Address(bank=0, subarray=0, tile=0, dbc=0, row=0)
@@ -335,4 +336,38 @@ def run_kernel(
     return runner(system, payload, deadline or Deadline.never())
 
 
-__all__ = ["RUNNERS", "run_kernel"]
+def run_traced(
+    system,
+    kernel: str,
+    payload: Dict[str, Any],
+    deadline: Deadline,
+    telemetry=None,
+    context: Optional[TraceContext] = None,
+) -> Dict:
+    """Run one kernel inside a ``service.execute`` span on this thread.
+
+    This is the worker-pool trace bridge: the dispatcher hands the
+    request's :class:`TraceContext` across ``run_in_executor``, this
+    function binds it as the ambient context *in the worker thread*,
+    and opens the ``service.execute`` span under it — so every span the
+    simulator opens below (``resilience.op``, ``cpim.add``, ...) nests
+    inside the same trace by plain thread-local stacking.
+    """
+    runner = RUNNERS.get(kernel)
+    if runner is None:
+        raise BadRequest(f"unknown kernel {kernel!r}")
+    if telemetry is None:
+        return runner(system, payload, deadline)
+    with use_context(context):
+        with telemetry.tracer.span(
+            "service.execute", category="service", kernel=kernel
+        ) as span:
+            try:
+                result = runner(system, payload, deadline)
+            except KernelFault as exc:
+                span.annotate(verdict=exc.verdict)
+                raise
+            return result
+
+
+__all__ = ["RUNNERS", "run_kernel", "run_traced"]

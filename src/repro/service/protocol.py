@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro.telemetry.context import TraceContext
 from repro.utils.deadline import Deadline
 
 SCHEMA = "coruscant-service/1"
@@ -97,7 +98,14 @@ class KernelFault(Exception):
 
 @dataclass
 class KernelRequest:
-    """One admitted unit of work, transport-independent."""
+    """One admitted unit of work, transport-independent.
+
+    ``trace`` is the request's root :class:`TraceContext`, minted at
+    the gateway and carried *explicitly* on the request because the
+    dispatcher's coroutines interleave on one event-loop thread —
+    ambient (contextvar) propagation cannot be trusted across that
+    boundary.
+    """
 
     kernel: str
     payload: Dict[str, Any]
@@ -106,6 +114,11 @@ class KernelRequest:
     profile: str = "default"
     retry_key: int = 0
     request_id: int = 0
+    trace: Optional[TraceContext] = None
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self.trace.trace_id if self.trace is not None else None
 
 
 @dataclass
@@ -130,6 +143,8 @@ def envelope(request: KernelRequest, status: str, **fields: Any) -> Dict:
         "profile": request.profile,
         "request_id": request.request_id,
     }
+    if request.trace is not None:
+        body["trace_id"] = request.trace.trace_id
     body.update(fields)
     return body
 

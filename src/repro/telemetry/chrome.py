@@ -3,10 +3,21 @@
 Converts a :class:`~repro.telemetry.spans.Tracer`'s span tree into the
 JSON format ``chrome://tracing`` and https://ui.perfetto.dev load
 natively: an object with a ``traceEvents`` list of complete (``"X"``)
-events — one per span, nested by timestamp containment on one
-pid/tid — plus instant (``"i"``) events and process metadata. Span
-attributes (simulated ``cycles``, ``energy_pj``, fault verdicts, ...)
-ride in each event's ``args`` and show up in the Perfetto detail pane.
+events — one per span, nested by timestamp containment on the span's
+recorded thread track — plus instant (``"i"``) events, flow events, and
+process/thread metadata. Span attributes (simulated ``cycles``,
+``energy_pj``, fault verdicts, ...) ride in each event's ``args`` and
+show up in the Perfetto detail pane; spans that carry a
+:class:`~repro.telemetry.context.TraceContext` additionally expose
+``trace_id``/``span_id``/``parent_span_id`` there.
+
+Causal links that timestamp containment cannot express — a gateway
+request hopping from the event loop to a dispatcher coroutine to a
+worker thread — are stitched with flow events: a ``ph: "s"`` (flow
+start) on the parent span's track paired with a ``ph: "f"`` (flow
+finish, ``bp: "e"``) on the child's, so Perfetto draws connecting
+arrows across threads for every context-linked parent/child pair that
+plain nesting does not already show.
 """
 
 from __future__ import annotations
@@ -18,6 +29,10 @@ PROCESS_NAME = "coruscant-pim"
 
 
 def _span_event(span) -> Dict[str, Any]:
+    args = dict(span.attrs)
+    context = getattr(span, "context", None)
+    if context is not None:
+        args.update(context.as_dict())
     return {
         "name": span.name,
         "cat": span.category or "pim",
@@ -25,9 +40,53 @@ def _span_event(span) -> Dict[str, Any]:
         "ts": round(span.start_us, 3),
         "dur": round(span.duration_us, 3),
         "pid": 0,
-        "tid": 0,
-        "args": dict(span.attrs),
+        "tid": getattr(span, "tid", 0),
+        "args": args,
     }
+
+
+def _flow_events(spans: List[Any]) -> List[Dict[str, Any]]:
+    """Flow ``s``/``f`` pairs for context-linked cross-hop parentage.
+
+    A pair is emitted when a span's context names a parent span that is
+    *not* its stack parent on the same track — i.e. the child sits on a
+    different thread, or is a detached root (an async hop). Same-track
+    stack nesting is already legible from containment and gets no
+    arrows.
+    """
+    by_span_id: Dict[str, Any] = {}
+    nested: Dict[int, Any] = {}  # child id() -> stack parent
+    for span in spans:
+        if getattr(span, "context", None) is not None and span.span_id:
+            by_span_id[span.span_id] = span
+        for child in span.children:
+            nested[id(child)] = span
+    flows: List[Dict[str, Any]] = []
+    for span in spans:
+        parent_id = getattr(span, "parent_span_id", None)
+        if parent_id is None:
+            continue
+        parent = by_span_id.get(parent_id)
+        if parent is None:
+            continue
+        stack_parent = nested.get(id(span))
+        if stack_parent is parent and parent.tid == span.tid:
+            continue
+        common = {
+            "name": "trace",
+            "cat": span.category or "pim",
+            "id": span.span_id,
+            "pid": 0,
+        }
+        flows.append(
+            dict(common, ph="s", ts=round(parent.start_us, 3),
+                 tid=parent.tid)
+        )
+        flows.append(
+            dict(common, ph="f", bp="e", ts=round(span.start_us, 3),
+                 tid=span.tid)
+        )
+    return flows
 
 
 def chrome_trace(tracer, process_name: str = PROCESS_NAME) -> Dict[str, Any]:
@@ -35,13 +94,17 @@ def chrome_trace(tracer, process_name: str = PROCESS_NAME) -> Dict[str, Any]:
 
     Events are emitted in timestamp order (metadata first), so instants
     land interleaved with the spans they occurred inside of rather than
-    tacked onto the end; the sort is stable, so spans sharing a rounded
-    timestamp keep their parent-before-child depth-first order.
+    tacked onto the end; the sort is stable and spans are listed before
+    flow events, so spans sharing a rounded timestamp keep their
+    parent-before-child depth-first order and each flow start follows
+    the span it hangs off.
     """
-    timed: List[Dict[str, Any]] = [
-        _span_event(span) for span in tracer.iter_spans()
-    ]
+    spans = list(tracer.iter_spans())
+    timed: List[Dict[str, Any]] = [_span_event(span) for span in spans]
     for instant in tracer.instants:
+        args = dict(instant["attrs"])
+        if "trace_id" in instant:
+            args["trace_id"] = instant["trace_id"]
         timed.append(
             {
                 "name": instant["name"],
@@ -50,10 +113,11 @@ def chrome_trace(tracer, process_name: str = PROCESS_NAME) -> Dict[str, Any]:
                 "s": "t",  # thread-scoped instant
                 "ts": round(instant["ts_us"], 3),
                 "pid": 0,
-                "tid": 0,
-                "args": dict(instant["attrs"]),
+                "tid": instant.get("tid", 0),
+                "args": args,
             }
         )
+    timed.extend(_flow_events(spans))
     timed.sort(key=lambda event: event["ts"])
     events: List[Dict[str, Any]] = [
         {
@@ -64,6 +128,21 @@ def chrome_trace(tracer, process_name: str = PROCESS_NAME) -> Dict[str, Any]:
             "args": {"name": process_name},
         }
     ]
+    # Single-track traces keep the historical minimal schema; thread
+    # names only earn metadata events once a second track exists.
+    thread_names = getattr(tracer, "thread_names", dict)()
+    if len(thread_names) < 2:
+        thread_names = {}
+    for tid in sorted(thread_names):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": thread_names[tid]},
+            }
+        )
     events.extend(timed)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 

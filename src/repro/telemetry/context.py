@@ -1,0 +1,132 @@
+"""Trace identity: one causal chain across threads and event loops.
+
+A :class:`TraceContext` is the (trace_id, span_id, parent_id) triple
+that connects the hops one gateway request crosses — admission on the
+event loop, the dispatcher coroutine, the worker thread running the
+kernel, and the resilient executor's retry ladder underneath it. The
+ids are strings minted from a process-start salt plus an atomic counter
+(:func:`repro.utils.streams.process_salt`), so they stay unique across
+restarts and two processes never collide in a shared event log.
+
+Propagation has two lanes:
+
+* **explicit** — a context rides on the request object across the
+  async boundary (coroutines interleave, so ambient state cannot be
+  trusted there);
+* **ambient** — :func:`use_context` binds a context to the current
+  thread/task via ``contextvars``, which is how spans opened deep
+  inside the simulator (``resilience.op``, ``cpim.add``) inherit the
+  request's trace without any layer threading it through by hand.
+
+This module is dependency-free within telemetry so every layer can
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.utils.streams import process_salt
+
+_SPAN_COUNTER = itertools.count(1)
+_TRACE_COUNTER = itertools.count(1)
+_REQUEST_COUNTER = itertools.count(1)
+_MINT_LOCK = threading.Lock()
+
+
+def mint_span_id() -> str:
+    """A process-unique span id: ``<salt-hex>-<counter-hex>``."""
+    with _MINT_LOCK:
+        count = next(_SPAN_COUNTER)
+    return f"{process_salt():08x}-{count:x}"
+
+
+def mint_trace_id() -> str:
+    """A process-unique trace id (distinct namespace from span ids)."""
+    with _MINT_LOCK:
+        count = next(_TRACE_COUNTER)
+    return f"{process_salt():08x}{count:08x}"
+
+
+def mint_request_id() -> int:
+    """A restart-safe integer request id: ``salt << 24 | counter``.
+
+    Always positive and monotonically increasing within one process,
+    but — unlike a bare counter — two gateway restarts writing into the
+    same event log or journal directory will not reuse each other's
+    ids, so trace/event correlation by request id survives restarts.
+    """
+    with _MINT_LOCK:
+        count = next(_REQUEST_COUNTER)
+    return (process_salt() << 24) | (count & 0xFFFFFF)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One node of a causal trace: this span and its parentage."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    @classmethod
+    def root(cls) -> "TraceContext":
+        """Mint a fresh trace with this context as its root span."""
+        return cls(trace_id=mint_trace_id(), span_id=mint_span_id())
+
+    def child(self, span_id: Optional[str] = None) -> "TraceContext":
+        """A child context: same trace, this span as the parent."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=span_id if span_id is not None else mint_span_id(),
+            parent_id=self.span_id,
+        )
+
+    def as_dict(self) -> dict:
+        record = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id is not None:
+            record["parent_span_id"] = self.parent_id
+        return record
+
+
+_CURRENT: ContextVar[Optional[TraceContext]] = ContextVar(
+    "coruscant_trace_context", default=None
+)
+
+
+def current_context() -> Optional[TraceContext]:
+    """The ambient trace context bound to this thread/task, if any."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_context(context: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Bind ``context`` as the ambient trace for the enclosed block.
+
+    Binding ``None`` is a no-op passthrough, so callers can write
+    ``with use_context(request.trace):`` without guarding the untraced
+    path.
+    """
+    if context is None:
+        yield None
+        return
+    token = _CURRENT.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT.reset(token)
+
+
+__all__ = [
+    "TraceContext",
+    "current_context",
+    "mint_request_id",
+    "mint_span_id",
+    "mint_trace_id",
+    "use_context",
+]

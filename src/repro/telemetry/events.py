@@ -1,0 +1,197 @@
+"""Structured JSONL event log (schema ``coruscant-events/1``).
+
+The metrics registry answers "how much"; the event log answers "what
+happened, in what order, on which request". Every TelemetryHub hook —
+``service_*`` admission/completion, campaign ``shard_*`` lifecycle,
+``resilient_op`` verdicts, breaker transitions — emits one structured
+record here, stamped with a monotonic sequence number, a wall-clock
+microsecond timestamp, and (when one is ambient or passed explicitly)
+the ``trace_id`` of the request it belongs to, so a grep over the log
+reconstructs one request's path through the service.
+
+Sinks, not the log, own persistence policy:
+
+* :class:`NullSink` — the default everywhere; records nothing and
+  short-circuits record *construction*, so un-instrumented runs pay one
+  attribute read per hook.
+* :class:`MemorySink` — bounded in-memory ring, for tests and the
+  gateway's ``/events`` style introspection.
+* :class:`JsonlSink` — append-only JSONL file with size-based rotation
+  (``events.jsonl`` -> ``events.jsonl.1`` ...), for long-running
+  ``serve`` processes.
+
+Records are one JSON object per line::
+
+    {"schema": "coruscant-events/1", "seq": 7, "ts_us": 1754650000000000,
+     "event": "service.request.done", "trace_id": "ab12...", ...}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.context import current_context
+
+EVENTS_SCHEMA = "coruscant-events/1"
+
+
+class NullSink:
+    """Discards everything; the zero-overhead default."""
+
+    enabled = False
+
+    def emit(self, record: Dict[str, Any]) -> None:  # pragma: no cover
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+class MemorySink:
+    """Keeps the last ``capacity`` records in memory (tests, probes)."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.records: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self.records.append(record)
+            if len(self.records) > self.capacity:
+                del self.records[: len(self.records) - self.capacity]
+
+    def close(self) -> None:
+        return None
+
+
+class JsonlSink:
+    """Append-only JSONL file with size-based rotation.
+
+    When the active file would exceed ``max_bytes`` after a write, it is
+    rotated: ``path`` -> ``path.1`` -> ... -> ``path.<backups>``, oldest
+    dropped. Rotation is by whole records (a record is never split), so
+    every file in the set is independently valid JSONL.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: str,
+        max_bytes: int = 8 * 1024 * 1024,
+        backups: int = 3,
+    ) -> None:
+        if max_bytes < 1024:
+            raise ValueError(f"max_bytes must be >= 1024, got {max_bytes}")
+        if backups < 0:
+            raise ValueError(f"backups must be >= 0, got {backups}")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self._lock = threading.Lock()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            if self._fh.tell() + len(line) > self.max_bytes:
+                self._rotate()
+            self._fh.write(line)
+            self._fh.flush()
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        if self.backups == 0:
+            open(self.path, "w", encoding="utf-8").close()
+        else:
+            oldest = f"{self.path}.{self.backups}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for index in range(self.backups - 1, 0, -1):
+                src = f"{self.path}.{index}"
+                if os.path.exists(src):
+                    os.replace(src, f"{self.path}.{index + 1}")
+            os.replace(self.path, f"{self.path}.1")
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+
+class EventLog:
+    """Stamps and routes structured events into a sink.
+
+    ``emit`` is cheap to call unconditionally: with the default
+    :class:`NullSink` it returns before building the record. Each
+    emitted record carries the schema tag, a process-monotonic ``seq``,
+    ``ts_us`` wall-clock microseconds, the event name, and — from the
+    explicit ``trace_id`` argument or the ambient
+    :func:`~repro.telemetry.context.current_context` — the trace it
+    belongs to.
+    """
+
+    def __init__(self, sink: Optional[Any] = None) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return bool(getattr(self.sink, "enabled", True))
+
+    def emit(
+        self,
+        event: str,
+        trace_id: Optional[str] = None,
+        **fields: Any,
+    ) -> Optional[Dict[str, Any]]:
+        if not self.enabled:
+            return None
+        if trace_id is None:
+            ambient = current_context()
+            if ambient is not None:
+                trace_id = ambient.trace_id
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        record: Dict[str, Any] = {
+            "schema": EVENTS_SCHEMA,
+            "seq": seq,
+            "ts_us": time.time_ns() // 1000,
+            "event": event,
+        }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        self.sink.emit(record)
+        return record
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+NULL_EVENT_LOG = EventLog(NullSink())
+
+__all__ = [
+    "EVENTS_SCHEMA",
+    "EventLog",
+    "JsonlSink",
+    "MemorySink",
+    "NULL_EVENT_LOG",
+    "NullSink",
+]

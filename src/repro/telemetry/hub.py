@@ -1,17 +1,28 @@
-"""The telemetry hub: one tracer + one metrics registry, shared stack-wide.
+"""The telemetry hub: tracer + metrics registry + event log, shared stack-wide.
 
 A :class:`TelemetryHub` is what ``CoruscantSystem(telemetry=...)`` wires
 through the device, arch, core, and resilience layers. Each layer calls
 the narrow publishing helpers here (``device_op``, ``memory_access``,
 ``cpim_op``, ...) so instrument names and bucket edges stay consistent
 no matter who publishes.
+
+Concurrency: the service/campaign/resilience hooks (``service_*``,
+``shard_*``, ``resilient_op``, breaker transitions) are called from the
+gateway event loop, worker threads, and the campaign supervisor at
+request/attempt frequency, so they serialize their metric updates under
+one hub lock and mirror themselves into the structured event log. The
+device-layer hot paths (``device_op``, ``memory_access``, ``cpim_op``,
+...) run millions of times per kernel inside one simulator thread and
+stay lock-free.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Optional
 
 from repro.telemetry.chrome import chrome_trace, write_chrome_trace
+from repro.telemetry.events import EventLog
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.spans import Tracer
 
@@ -28,15 +39,18 @@ REQUEST_SECONDS_BUCKETS = (
 
 
 class TelemetryHub:
-    """Tracer + metrics registry + the publishing helpers layers call."""
+    """Tracer + metrics registry + event log + the publishing helpers."""
 
     def __init__(
         self,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         self.tracer = Tracer() if tracer is None else tracer
         self.metrics = MetricsRegistry() if metrics is None else metrics
+        self.events = EventLog() if events is None else events
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # device layer
@@ -107,12 +121,17 @@ class TelemetryHub:
     # resilience layers
 
     def resilient_op(self, attempts: int, verdict: str) -> None:
-        m = self.metrics
-        m.counter("resilience.ops").inc()
-        m.counter(f"resilience.verdict.{verdict}").inc()
-        m.histogram(
-            "resilience.retry_depth", RETRY_DEPTH_BUCKETS
-        ).observe(attempts)
+        with self._lock:
+            m = self.metrics
+            m.counter("resilience.ops").inc()
+            m.counter(f"resilience.verdict.{verdict}").inc()
+            m.histogram(
+                "resilience.retry_depth", RETRY_DEPTH_BUCKETS
+            ).observe(attempts)
+        if self.events.enabled:
+            self.events.emit(
+                "resilience.op", attempts=attempts, verdict=verdict
+            )
 
     def scrub_pass(
         self, dbcs_checked: int, misaligned: int, repaired: int, cycles: int
@@ -125,8 +144,11 @@ class TelemetryHub:
         m.counter("scrub.cycles").inc(cycles)
 
     def breaker_transition(self, src: str, dst: str) -> None:
-        self.metrics.counter("breaker.transitions").inc()
-        self.metrics.counter(f"breaker.to_{dst.lower()}").inc()
+        with self._lock:
+            self.metrics.counter("breaker.transitions").inc()
+            self.metrics.counter(f"breaker.to_{dst.lower()}").inc()
+        if self.events.enabled:
+            self.events.emit("breaker.transition", src=src, dst=dst)
 
     # ------------------------------------------------------------------
     # sharded campaign supervisor
@@ -141,71 +163,131 @@ class TelemetryHub:
         retry trigger. The wall-time histogram is what the obs
         scoreboard gates shard balance on.
         """
-        m = self.metrics
-        m.counter("campaign.shard_attempts").inc()
-        m.counter(f"campaign.shard_{status}").inc()
-        m.histogram(
-            "campaign.shard_wall_seconds", SHARD_WALL_BUCKETS
-        ).observe(wall_seconds)
-        if status != "completed":
-            m.counter("campaign.shard_retries").inc()
+        with self._lock:
+            m = self.metrics
+            m.counter("campaign.shard_attempts").inc()
+            m.counter(f"campaign.shard_{status}").inc()
+            m.histogram(
+                "campaign.shard_wall_seconds", SHARD_WALL_BUCKETS
+            ).observe(wall_seconds)
+            if status != "completed":
+                m.counter("campaign.shard_retries").inc()
+        if self.events.enabled:
+            self.events.emit(
+                "campaign.shard_attempt",
+                shard=shard,
+                status=status,
+                wall_seconds=wall_seconds,
+            )
 
     def shard_incomplete(self, shard: int) -> None:
         """A shard exhausted its retries; the report degrades gracefully."""
-        self.metrics.counter("campaign.incomplete_shards").inc()
+        with self._lock:
+            self.metrics.counter("campaign.incomplete_shards").inc()
+        if self.events.enabled:
+            self.events.emit("campaign.shard_incomplete", shard=shard)
 
     # ------------------------------------------------------------------
     # kernel gateway (repro.service)
 
-    def service_admitted(self, kernel: str, priority: str) -> None:
-        m = self.metrics
-        m.counter("service.admitted").inc()
-        m.counter(f"service.admitted.{priority}").inc()
-        m.counter(f"service.{kernel}.admitted").inc()
+    def service_admitted(
+        self, kernel: str, priority: str, trace_id: Optional[str] = None
+    ) -> None:
+        with self._lock:
+            m = self.metrics
+            m.counter("service.admitted").inc()
+            m.counter(f"service.admitted.{priority}").inc()
+            m.counter(f"service.{kernel}.admitted").inc()
+        if self.events.enabled:
+            self.events.emit(
+                "service.admitted",
+                trace_id=trace_id,
+                kernel=kernel,
+                priority=priority,
+            )
 
-    def service_rejected(self, kernel: str, reason: str) -> None:
+    def service_rejected(
+        self, kernel: str, reason: str, trace_id: Optional[str] = None
+    ) -> None:
         """An admission refusal: queue_full, breaker_open, or draining."""
-        m = self.metrics
-        m.counter("service.rejected").inc()
-        m.counter(f"service.rejected.{reason}").inc()
+        with self._lock:
+            m = self.metrics
+            m.counter("service.rejected").inc()
+            m.counter(f"service.rejected.{reason}").inc()
+        if self.events.enabled:
+            self.events.emit(
+                "service.rejected",
+                trace_id=trace_id,
+                kernel=kernel,
+                reason=reason,
+            )
 
-    def service_shed(self, kernel: str, stage: str) -> None:
+    def service_shed(
+        self, kernel: str, stage: str, trace_id: Optional[str] = None
+    ) -> None:
         """Expired-deadline work dropped before (or between) executions."""
-        m = self.metrics
-        m.counter("service.shed").inc()
-        m.counter(f"service.shed.{stage}").inc()
+        with self._lock:
+            m = self.metrics
+            m.counter("service.shed").inc()
+            m.counter(f"service.shed.{stage}").inc()
+        if self.events.enabled:
+            self.events.emit(
+                "service.shed", trace_id=trace_id, kernel=kernel, stage=stage
+            )
 
-    def service_retry(self, kernel: str) -> None:
-        self.metrics.counter("service.retries").inc()
-        self.metrics.counter(f"service.{kernel}.retries").inc()
+    def service_retry(
+        self, kernel: str, trace_id: Optional[str] = None
+    ) -> None:
+        with self._lock:
+            self.metrics.counter("service.retries").inc()
+            self.metrics.counter(f"service.{kernel}.retries").inc()
+        if self.events.enabled:
+            self.events.emit(
+                "service.retry", trace_id=trace_id, kernel=kernel
+            )
 
     def service_request(
-        self, kernel: str, status: str, seconds: float
+        self,
+        kernel: str,
+        status: str,
+        seconds: float,
+        trace_id: Optional[str] = None,
     ) -> None:
         """One served request's terminal status and end-to-end latency."""
-        m = self.metrics
-        m.counter("service.requests").inc()
-        m.counter(f"service.status.{status}").inc()
-        m.histogram(
-            "service.request_seconds", REQUEST_SECONDS_BUCKETS
-        ).observe(seconds)
-        m.histogram(
-            f"service.{kernel}.request_seconds", REQUEST_SECONDS_BUCKETS
-        ).observe(seconds)
+        with self._lock:
+            m = self.metrics
+            m.counter("service.requests").inc()
+            m.counter(f"service.status.{status}").inc()
+            m.histogram(
+                "service.request_seconds", REQUEST_SECONDS_BUCKETS
+            ).observe(seconds)
+            m.histogram(
+                f"service.{kernel}.request_seconds", REQUEST_SECONDS_BUCKETS
+            ).observe(seconds)
+        if self.events.enabled:
+            self.events.emit(
+                "service.request.done",
+                trace_id=trace_id,
+                kernel=kernel,
+                status=status,
+                seconds=seconds,
+            )
 
     def service_queue_depth(
         self, profile: str, kernel: str, depth: int
     ) -> None:
-        self.metrics.gauge(f"service.queue_depth.{profile}.{kernel}").set(
-            depth
-        )
+        with self._lock:
+            self.metrics.gauge(
+                f"service.queue_depth.{profile}.{kernel}"
+            ).set(depth)
 
     def service_breaker_transition(
         self, profile: str, src: str, dst: str
     ) -> None:
-        m = self.metrics
-        m.counter("service.breaker.transitions").inc()
-        m.counter(f"service.breaker.to_{dst.lower()}").inc()
+        with self._lock:
+            m = self.metrics
+            m.counter("service.breaker.transitions").inc()
+            m.counter(f"service.breaker.to_{dst.lower()}").inc()
         self.tracer.instant(
             "service.breaker.transition",
             category="service",
@@ -213,12 +295,24 @@ class TelemetryHub:
             src=src,
             dst=dst,
         )
+        if self.events.enabled:
+            self.events.emit(
+                "service.breaker.transition",
+                profile=profile,
+                src=src,
+                dst=dst,
+            )
 
     def service_drained(self, completed: int, dropped: int) -> None:
         """Drain accounting at shutdown: everything admitted must land."""
-        m = self.metrics
-        m.counter("service.drain.completed").inc(completed)
-        m.counter("service.drain.dropped").inc(dropped)
+        with self._lock:
+            m = self.metrics
+            m.counter("service.drain.completed").inc(completed)
+            m.counter("service.drain.dropped").inc(dropped)
+        if self.events.enabled:
+            self.events.emit(
+                "service.drained", completed=completed, dropped=dropped
+            )
 
     # ------------------------------------------------------------------
     # export

@@ -123,10 +123,24 @@ class Histogram:
                 return float(lower + (upper - lower) * min(1.0, fraction))
         return float(self.max)  # pragma: no cover - defensive
 
+    def cumulative_counts(self) -> List[int]:
+        """Running bucket totals, OpenMetrics style.
+
+        Entry ``i`` counts every observation ``<= edges[i]``; the final
+        entry is the ``+Inf`` bucket and always equals ``count``.
+        """
+        totals: List[int] = []
+        running = 0
+        for bucket_count in self.counts:
+            running += bucket_count
+            totals.append(running)
+        return totals
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "edges": list(self.edges),
             "counts": list(self.counts),
+            "cumulative": self.cumulative_counts(),
             "count": self.count,
             "sum": self.sum,
             "min": self.min,

@@ -24,7 +24,9 @@ or :func:`derive_stream`; never hand-roll ``seed + k``.
 from __future__ import annotations
 
 import hashlib
+import os
 import random
+import time
 
 _DOMAIN = b"coruscant-stream-v1"
 
@@ -50,6 +52,33 @@ def derive_seed(seed: int, purpose: str, shard: int = 0) -> int:
 def derive_stream(seed: int, purpose: str, shard: int = 0) -> random.Random:
     """A ``random.Random`` seeded via :func:`derive_seed`."""
     return random.Random(derive_seed(seed, purpose, shard))
+
+
+# ----------------------------------------------------------------------
+# process identity
+
+_PROCESS_SALT: int = 0
+
+
+def process_salt() -> int:
+    """A 32-bit salt minted once per process, stable for its lifetime.
+
+    Identifiers built as ``(salt, counter)`` pairs stay unique across
+    process restarts — a bare per-process counter restarts at 0 on every
+    boot, so request ids and trace ids derived from one would collide in
+    journals and event logs that outlive the process. The salt runs the
+    pid and the boot instant through the same SHA-256 derivation as
+    :func:`derive_seed`, so two processes (or two restarts of one)
+    practically never share it. Never zero, so salted ids are never
+    mistaken for bare-counter ids.
+    """
+    global _PROCESS_SALT
+    while _PROCESS_SALT == 0:
+        _PROCESS_SALT = (
+            derive_seed(os.getpid() ^ time.time_ns(), "process.salt")
+            & 0xFFFFFFFF
+        )
+    return _PROCESS_SALT
 
 
 # ----------------------------------------------------------------------
@@ -123,4 +152,10 @@ def backoff_schedule(
     ]
 
 
-__all__ = ["backoff_delay", "backoff_schedule", "derive_seed", "derive_stream"]
+__all__ = [
+    "backoff_delay",
+    "backoff_schedule",
+    "derive_seed",
+    "derive_stream",
+    "process_salt",
+]

@@ -387,3 +387,185 @@ class TestServeCliSigterm:
         assert len(responses) == 4
         assert all(r["status"] == "ok" for r in responses)
         assert all(r["result"]["sum"] == 11 for r in responses)
+
+class TestObservabilityPipeline:
+    """The tentpole contract: one causally-linked trace per request."""
+
+    def test_one_trace_spans_gateway_to_resilience(self, tmp_path):
+        from repro.telemetry import (
+            EventLog,
+            MemorySink,
+            TelemetryHub,
+            Tracer,
+            chrome_trace,
+        )
+
+        hub = TelemetryHub(
+            tracer=Tracer(), events=EventLog(MemorySink())
+        )
+        gateway = Gateway(workers=1, telemetry=hub)
+        with ServiceClient(gateway=gateway) as client:
+            response = client.request(
+                "add", {"words": [5, 6], "n_bits": 8}
+            )
+        assert response.status == "ok"
+        trace_id = response.body["trace_id"]
+        assert trace_id
+
+        document = chrome_trace(hub.tracer)
+        spans = [
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X"
+            and e.get("args", {}).get("trace_id") == trace_id
+        ]
+        names = {e["name"] for e in spans}
+        # The request's causal chain crosses the gateway event loop,
+        # the dispatcher coroutine, the worker thread, and the
+        # resilient executor — all under one trace_id.
+        assert {
+            "service.request",
+            "service.dispatch",
+            "service.execute",
+            "resilience.op",
+        } <= names
+
+        by_name = {e["name"]: e for e in spans}
+        # service.execute runs on the worker-pool thread, not the
+        # event-loop thread the request span lives on.
+        assert (
+            by_name["service.execute"]["tid"]
+            != by_name["service.request"]["tid"]
+        )
+        # resilience.op nests inside service.execute on that thread.
+        assert (
+            by_name["resilience.op"]["tid"]
+            == by_name["service.execute"]["tid"]
+        )
+        # Parent links stitch the chain: dispatch under request,
+        # execute under dispatch.
+        assert (
+            by_name["service.dispatch"]["args"]["parent_span_id"]
+            == by_name["service.request"]["args"]["span_id"]
+        )
+        assert (
+            by_name["service.execute"]["args"]["parent_span_id"]
+            == by_name["service.dispatch"]["args"]["span_id"]
+        )
+
+        # Cross-thread links render as flow event pairs (ph s/f), so
+        # Perfetto draws connected arrows instead of orphan tracks.
+        flows = [
+            e
+            for e in document["traceEvents"]
+            if e["ph"] in ("s", "f")
+        ]
+        assert flows, "expected flow events linking the threads"
+        starts = {e["id"] for e in flows if e["ph"] == "s"}
+        finishes = {e["id"] for e in flows if e["ph"] == "f"}
+        assert starts == finishes
+        execute_flow = by_name["service.execute"]["args"]["span_id"]
+        assert execute_flow in starts
+
+        # The event log saw the same request under the same trace_id.
+        correlated = [
+            record
+            for record in hub.events.sink.records
+            if record.get("trace_id") == trace_id
+        ]
+        events = {record["event"] for record in correlated}
+        assert "service.admitted" in events
+        assert "service.request.done" in events
+
+    def test_request_ids_survive_restarts(self):
+        from repro.utils.streams import process_salt
+
+        gateway = Gateway(workers=1)
+        with ServiceClient(gateway=gateway) as client:
+            first = client.request(
+                "add", {"words": [1, 2], "n_bits": 8}
+            )
+            second = client.request(
+                "add", {"words": [1, 2], "n_bits": 8}
+            )
+        ids = {first.body["request_id"], second.body["request_id"]}
+        assert len(ids) == 2
+        # Salt in the high bits: a restarted gateway (new process)
+        # cannot mint ids colliding with these in a shared event log.
+        assert all(i >> 24 == process_salt() for i in ids)
+
+
+class TestMetricsContentNegotiation:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    async def http_raw(self, port, path, accept=None):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        head = f"GET {path} HTTP/1.1\r\nHost: localhost\r\n"
+        if accept is not None:
+            head += f"Accept: {accept}\r\n"
+        head += "Content-Length: 0\r\n\r\n"
+        writer.write(head.encode())
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        status = int(raw.split(b" ", 2)[1])
+        headers, _, content = raw.partition(b"\r\n\r\n")
+        return status, headers.decode("latin-1"), content
+
+    def test_metrics_negotiation(self):
+        from repro.telemetry import OPENMETRICS_CONTENT_TYPE
+
+        async def scenario():
+            gateway = Gateway(port=0, workers=1)
+            await gateway.start()
+            try:
+                port = gateway.port
+                response = await gateway.handle(
+                    "add", {"payload": {"words": [3, 4], "n_bits": 8}}
+                )
+                assert response.status == "ok"
+
+                # Default: the historical JSON snapshot, byte-stable.
+                status, headers, content = await self.http_raw(
+                    port, "/metrics"
+                )
+                assert status == 200
+                assert "application/json" in headers
+                json_body = json.loads(content)
+                assert "counters" in json_body
+                assert json_body["counters"]["service.requests"] == 1
+
+                # An explicit JSON ask stays JSON too.
+                status, headers, content = await self.http_raw(
+                    port, "/metrics", accept="application/json"
+                )
+                assert status == 200
+                assert json.loads(content) == json_body
+
+                # OpenMetrics negotiation flips to text exposition.
+                status, headers, content = await self.http_raw(
+                    port, "/metrics",
+                    accept="application/openmetrics-text; version=1.0.0",
+                )
+                assert status == 200
+                assert OPENMETRICS_CONTENT_TYPE in headers
+                text = content.decode()
+                assert text.endswith("# EOF\n")
+                assert (
+                    'coruscant_service_requests_total{status="ok"} 1'
+                    in text
+                )
+                assert "# TYPE coruscant_service_request_seconds " in text
+                assert 'le="+Inf"' in text
+
+                # text/plain (plain Prometheus scrapers) negotiates too.
+                status, headers, content = await self.http_raw(
+                    port, "/metrics", accept="text/plain"
+                )
+                assert status == 200
+                assert content.decode().endswith("# EOF\n")
+            finally:
+                await gateway.shutdown()
+
+        self.run(scenario())

@@ -1,0 +1,111 @@
+"""TraceContext minting, lineage, and ambient propagation."""
+
+import threading
+
+from repro.telemetry import (
+    TraceContext,
+    current_context,
+    mint_request_id,
+    mint_span_id,
+    mint_trace_id,
+    use_context,
+)
+from repro.utils.streams import process_salt
+
+
+class TestMinting:
+    def test_trace_ids_are_unique_and_salted(self):
+        ids = {mint_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+        salt = f"{process_salt():08x}"
+        assert all(t.startswith(salt) for t in ids)
+
+    def test_span_ids_are_unique(self):
+        ids = {mint_span_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_request_ids_are_positive_salted_ints(self):
+        first = mint_request_id()
+        second = mint_request_id()
+        assert first > 0 and second > 0
+        assert first != second
+        # The high bits carry the per-process salt, so ids minted
+        # after a restart cannot collide with ids from this process.
+        assert first >> 24 == process_salt()
+        assert second >> 24 == process_salt()
+
+    def test_request_ids_unique_across_threads(self):
+        seen = []
+        lock = threading.Lock()
+
+        def mint(n=200):
+            local = [mint_request_id() for _ in range(n)]
+            with lock:
+                seen.extend(local)
+
+        threads = [threading.Thread(target=mint) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(seen)) == len(seen)
+
+
+class TestLineage:
+    def test_root_has_no_parent(self):
+        root = TraceContext.root()
+        assert root.parent_id is None
+        assert root.trace_id and root.span_id
+
+    def test_child_shares_trace_and_links_parent(self):
+        root = TraceContext.root()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+        grandchild = child.child()
+        assert grandchild.trace_id == root.trace_id
+        assert grandchild.parent_id == child.span_id
+
+    def test_as_dict_schema(self):
+        root = TraceContext.root()
+        d = root.child().as_dict()
+        assert d == {
+            "trace_id": root.trace_id,
+            "span_id": d["span_id"],
+            "parent_span_id": root.span_id,
+        }
+
+
+class TestAmbientPropagation:
+    def test_default_is_none(self):
+        assert current_context() is None
+
+    def test_use_context_binds_and_restores(self):
+        ctx = TraceContext.root()
+        with use_context(ctx):
+            assert current_context() is ctx
+            inner = ctx.child()
+            with use_context(inner):
+                assert current_context() is inner
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_use_context_none_is_passthrough(self):
+        ctx = TraceContext.root()
+        with use_context(ctx):
+            with use_context(None):
+                assert current_context() is ctx
+
+    def test_contexts_are_thread_local(self):
+        ctx = TraceContext.root()
+        observed = []
+
+        def probe():
+            observed.append(current_context())
+
+        with use_context(ctx):
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert observed == [None]

@@ -1,0 +1,121 @@
+"""OpenMetrics text exposition: rendering, name mapping, negotiation."""
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    OPENMETRICS_CONTENT_TYPE,
+    TelemetryHub,
+    negotiates_openmetrics,
+    render_openmetrics,
+)
+from repro.telemetry.hub import REQUEST_SECONDS_BUCKETS
+
+
+def lines_of(registry):
+    return render_openmetrics(registry).splitlines()
+
+
+class TestRendering:
+    def test_document_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("device.ops").inc(3)
+        registry.gauge("mem.row_buffer_hit_rate").set(0.5)
+        text = render_openmetrics(registry)
+        assert text.endswith("# EOF\n")
+        lines = text.splitlines()
+        assert "# TYPE coruscant_device_ops counter" in lines
+        assert "coruscant_device_ops_total 3" in lines
+        assert "# TYPE coruscant_mem_row_buffer_hit_rate gauge" in lines
+        assert "coruscant_mem_row_buffer_hit_rate 0.5" in lines
+
+    def test_empty_registry_is_just_eof(self):
+        assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("resilience.retry_depth", (1, 2, 3))
+        for value in (1, 1, 2, 9):
+            hist.observe(value)
+        lines = lines_of(registry)
+        fam = "coruscant_resilience_retry_depth"
+        assert f"# TYPE {fam} histogram" in lines
+        assert f'{fam}_bucket{{le="1.0"}} 2' in lines
+        assert f'{fam}_bucket{{le="2.0"}} 3' in lines
+        assert f'{fam}_bucket{{le="3.0"}} 3' in lines
+        assert f'{fam}_bucket{{le="+Inf"}} 4' in lines
+        assert f"{fam}_sum 13" in lines
+        assert f"{fam}_count 4" in lines
+
+    def test_dynamic_segments_become_labels(self):
+        hub = TelemetryHub()
+        hub.service_admitted("multiply", "batch")
+        hub.service_rejected("add", "queue_full")
+        hub.service_shed("add", "queue")
+        hub.service_request("multiply", "ok", 0.002)
+        hub.service_queue_depth("storm", "add", 5)
+        hub.resilient_op(2, "recovered")
+        lines = lines_of(hub.metrics)
+        assert 'coruscant_service_admitted_total{priority="batch"} 1' in lines
+        assert 'coruscant_service_kernel_admitted_total{kernel="multiply"} 1' in lines
+        assert 'coruscant_service_rejected_total{reason="queue_full"} 1' in lines
+        assert 'coruscant_service_shed_total{stage="queue"} 1' in lines
+        assert 'coruscant_service_requests_total{status="ok"} 1' in lines
+        assert (
+            'coruscant_service_queue_depth{kernel="add",profile="storm"} 5'
+            in lines
+        )
+        assert 'coruscant_resilience_verdict_total{verdict="recovered"} 1' in lines
+
+    def test_per_kernel_latency_merges_into_one_family(self):
+        hub = TelemetryHub()
+        hub.service_request("add", "ok", 0.002)
+        hub.service_request("multiply", "ok", 0.004)
+        lines = lines_of(hub.metrics)
+        fam = "coruscant_service_request_seconds"
+        # One TYPE header covers the bare aggregate and both kernels.
+        assert lines.count(f"# TYPE {fam} histogram") == 1
+        assert f'{fam}_bucket{{kernel="add",le="+Inf"}} 1' in lines
+        assert f'{fam}_bucket{{kernel="multiply",le="+Inf"}} 1' in lines
+        assert f'{fam}_bucket{{le="+Inf"}} 2' in lines
+        assert f"{fam}_count 2" in lines
+        # Bucket edges render as floats per the exposition grammar.
+        edge = REQUEST_SECONDS_BUCKETS[0]
+        assert f'{fam}_bucket{{le="{edge}"}} 0' in lines
+
+    def test_families_are_sorted_and_unique(self):
+        hub = TelemetryHub()
+        hub.service_admitted("add", "interactive")
+        hub.device_op("shift", 4, 0.6)
+        text = render_openmetrics(hub.metrics)
+        type_lines = [
+            line for line in text.splitlines() if line.startswith("# TYPE")
+        ]
+        assert type_lines == sorted(type_lines)
+        families = [line.split()[2] for line in type_lines]
+        assert len(families) == len(set(families))
+
+
+class TestNegotiation:
+    @pytest.mark.parametrize(
+        "accept",
+        [
+            "application/openmetrics-text",
+            "application/openmetrics-text; version=1.0.0",
+            "text/plain",
+            "application/json, text/plain;q=0.5",
+            "TEXT/PLAIN",
+        ],
+    )
+    def test_text_forms_negotiate(self, accept):
+        assert negotiates_openmetrics(accept) is True
+
+    @pytest.mark.parametrize(
+        "accept", [None, "", "application/json", "*/*", "text/html"]
+    )
+    def test_json_stays_default(self, accept):
+        assert negotiates_openmetrics(accept) is False
+
+    def test_content_type_names_the_version(self):
+        assert "openmetrics-text" in OPENMETRICS_CONTENT_TYPE
+        assert "version=1.0.0" in OPENMETRICS_CONTENT_TYPE
