@@ -44,7 +44,21 @@ operations for exploration:
                                     # p50/p90/p99 latency, gated by the
                                     # same regression detector as bench
                                     # (exit 1 on latency regression,
-                                    # 3 if any request failed)
+                                    # 3 if any request failed; add
+                                    # --slo to also gate on the SLO
+                                    # burn-rate engine)
+    python -m repro profile bench --repeats 2 --no-history
+                                    # wrap any command in the sampling
+                                    # profiler; writes speedscope JSON
+                                    # (--profile-out) and collapsed
+                                    # stacks (--folded-out); add
+                                    # --virtual-clock for bit-identical
+                                    # folded output derived from the
+                                    # simulated span tree
+    python -m repro slo --history LOADBENCH_history.jsonl --format md
+                                    # multi-window SLO burn-rate report
+                                    # over the loadbench history (exit
+                                    # 3 while an objective is burning)
 
 Every table/figure command accepts ``--json`` to emit its result as one
 JSON document on stdout instead of the text tables (the document always
@@ -384,6 +398,11 @@ def _run_loadbench(writer: OutputWriter, args) -> int:
             )
         )
         client.start()
+    slo_engine = None
+    if args.slo:
+        from repro.obs.slo import SloEngine
+
+        slo_engine = SloEngine(burn_threshold=args.slo_burn_threshold)
     try:
         current = run_loadbench(
             profile=profile,
@@ -393,6 +412,8 @@ def _run_loadbench(writer: OutputWriter, args) -> int:
             duration=args.duration,
             budget_s=args.default_budget_s,
             client=client,
+            slo_engine=slo_engine,
+            slo_step=args.slo_step,
         )
     finally:
         if client is not None:
@@ -476,6 +497,41 @@ def _run_loadbench(writer: OutputWriter, args) -> int:
         )
         if code == EXIT_OK:
             code = EXIT_DEGRADED
+
+    if args.slo and "slo" in current:
+        report = current["slo"]["report"]
+        writer.rows(
+            "slo",
+            report["slos"],
+            [
+                "  {name:14s} compliance {compliance}  "
+                "burn fast {fast:.3f} / slow {slow:.3f}  {status}".format(
+                    name=entry["name"],
+                    compliance=(
+                        f"{entry['compliance']:.4f}"
+                        if entry["compliance"] is not None
+                        else "n/a"
+                    ),
+                    fast=entry["burn_rate_fast"],
+                    slow=entry["burn_rate_slow"],
+                    status=entry["status"],
+                )
+                for entry in report["slos"]
+            ],
+        )
+        violated = report["burning"] or any(
+            entry["compliance"] is not None
+            and entry["compliance"] < entry["objective"]
+            for entry in report["slos"]
+        )
+        if violated:
+            writer.line(
+                "\nSLO violated (error budget burning or compliance "
+                "below objective)",
+                slo_violated=True,
+            )
+            if code == EXIT_OK:
+                code = EXIT_DEGRADED
 
     if not args.no_history:
         BenchHistory(history_path).append(
@@ -690,7 +746,32 @@ def _run_sharded_campaign(writer: OutputWriter, args, telemetry=None) -> int:
     return exit_code
 
 
-def _run_mc(writer: OutputWriter, args) -> int:
+def _shard_telemetry(args, sharded: bool):
+    """(hub, event_log) for campaign/mc runs per the telemetry flags.
+
+    Returns (None, None) unless ``--metrics-json`` or ``--event-log``
+    asked for instrumentation. Unsharded runs stamp ``shard_id: 0``
+    onto every event record via the log's common fields; sharded
+    supervisors emit shard lifecycle records that already carry their
+    ``shard_id`` explicitly.
+    """
+    if not (args.metrics_json or args.event_log):
+        return None, None
+    from repro.telemetry import TelemetryHub
+
+    event_log = None
+    if args.event_log:
+        from repro.telemetry import EventLog, JsonlSink
+
+        event_log = EventLog(
+            JsonlSink(args.event_log),
+            common=None if sharded else {"shard_id": 0},
+        )
+    hub = TelemetryHub(events=event_log)
+    return hub, event_log
+
+
+def _run_mc(writer: OutputWriter, args, telemetry=None) -> int:
     from repro.reliability.sharded import MC_KINDS, MC_SCHEMA, run_sharded_mc
 
     kind = args.operands[0] if args.operands else "additions"
@@ -710,6 +791,7 @@ def _run_mc(writer: OutputWriter, args) -> int:
         shard_timeout=args.shard_timeout,
         max_shard_retries=args.max_shard_retries,
         checkpoint_every=args.checkpoint_every,
+        telemetry=telemetry,
     )
     summaries = result.shard_summaries()
     writer.meta(schema=MC_SCHEMA, config=result.report["config"])
@@ -918,6 +1000,7 @@ def _run_serve(parser: argparse.ArgumentParser, args) -> int:
         workers=args.workers if args.workers is not None else 2,
         default_budget_s=args.default_budget_s,
         telemetry=telemetry,
+        enable_profiling=args.enable_profiling,
     )
 
     def announce(host: str, port: int) -> None:
@@ -944,6 +1027,140 @@ def _run_serve(parser: argparse.ArgumentParser, args) -> int:
     return EXIT_OK
 
 
+# ----------------------------------------------------------------------
+# continuous profiling + SLO commands
+
+
+def _run_profile(parser: argparse.ArgumentParser, args) -> int:
+    """``repro profile <command> ...``: wrap any command in the profiler.
+
+    Wall mode samples every ``--profile-interval-ms`` milliseconds via
+    the background :class:`SamplingProfiler`; ``--virtual-clock``
+    instead derives deterministic folded stacks from the simulated span
+    tree plus the ``device.<op>.cycles`` counters after the wrapped
+    command finishes, so two identical invocations produce bit-identical
+    folded output.
+    """
+    if not args.operands:
+        parser.error(
+            "profile needs a command to wrap, e.g. repro profile bench"
+        )
+    wrapped = args.operands[0]
+    if wrapped == "profile":
+        parser.error("profile cannot wrap itself")
+    if wrapped not in _COMMANDS:
+        parser.error(
+            f"unknown command {wrapped!r} to profile; "
+            f"pick one of {', '.join(_COMMANDS)}"
+        )
+    if args.profile_interval_ms <= 0:
+        parser.error("--profile-interval-ms must be > 0")
+    args.command = wrapped
+    args.operands = args.operands[1:]
+
+    from repro.telemetry import TelemetryHub, runtime
+    from repro.telemetry.profiler import (
+        SamplingProfiler,
+        fold_tracer,
+        profile_document,
+        render_collapsed,
+        speedscope_document,
+        top_frames,
+    )
+
+    hub = TelemetryHub()
+    interval_s = args.profile_interval_ms / 1000.0
+    with runtime.activated(hub):
+        if args.virtual_clock:
+            code = _dispatch(parser, args)
+            folded = fold_tracer(hub.tracer, hub.metrics)
+            document = profile_document(folded, mode="virtual")
+            speedscope = speedscope_document(
+                folded, name=f"repro {wrapped} (virtual)"
+            )
+        else:
+            profiler = SamplingProfiler(
+                interval_s=interval_s, tracer=hub.tracer
+            )
+            profiler.start()
+            try:
+                code = _dispatch(parser, args)
+            finally:
+                profiler.stop()
+            folded = profiler.folded()
+            document = profiler.document(mode="wall")
+            speedscope = speedscope_document(
+                folded, name=f"repro {wrapped}", interval_s=interval_s
+            )
+
+    with open(args.profile_out, "w", encoding="utf-8") as fh:
+        json.dump(speedscope, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if args.folded_out:
+        with open(args.folded_out, "w", encoding="utf-8") as fh:
+            fh.write(render_collapsed(folded))
+    if args.profile_record:
+        with open(args.profile_record, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(document, sort_keys=True) + "\n")
+
+    mode = "virtual" if args.virtual_clock else "wall"
+    print(
+        f"profile ({mode}): {document['samples']} samples over "
+        f"{len(folded)} stacks -> {args.profile_out}",
+        file=sys.stderr,
+    )
+    for frame, weight in top_frames(folded, limit=5):
+        print(f"  {weight:>12d}  {frame}", file=sys.stderr)
+    return code
+
+
+def _run_slo(parser: argparse.ArgumentParser, args) -> int:
+    """``repro slo``: burn-rate report over the loadbench history.
+
+    Replays every history entry through the SLO engine on the virtual
+    request clock and exits 3 (degraded) while any objective is
+    burning, 0 otherwise.
+    """
+    from repro.obs import BenchHistory
+    from repro.obs.slo import (
+        evaluate_history,
+        render_slo_markdown,
+        slo_exit_code,
+    )
+
+    fmt = args.format or ("json" if args.json else "md")
+    if fmt not in ("md", "json"):
+        parser.error("slo supports --format md or json")
+    if args.slo_burn_threshold <= 0:
+        parser.error("--slo-burn-threshold must be > 0")
+    if args.slo_step <= 0:
+        parser.error("--slo-step must be > 0")
+    history_path = args.history or "LOADBENCH_history.jsonl"
+    documents = [
+        entry["bench"] for entry in BenchHistory(history_path).load()
+    ]
+    report = evaluate_history(
+        documents,
+        burn_threshold=args.slo_burn_threshold,
+        virtual_step_s=args.slo_step,
+    )
+    report["history"] = history_path
+    code = slo_exit_code(report)
+    if fmt == "json":
+        report["exit_status"] = code
+        json.dump(report, sys.stdout, indent=2, sort_keys=False)
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(render_slo_markdown(report))
+    return code
+
+
+_COMMANDS = sorted(_EXPERIMENTS) + [
+    "all", "add", "mult", "campaign", "mc", "trace", "bench",
+    "loadbench", "serve", "profile", "slo",
+]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -951,20 +1168,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=sorted(_EXPERIMENTS) + ["all", "add", "mult", "campaign",
-                                        "mc", "trace", "bench",
-                                        "loadbench", "serve"],
+        choices=_COMMANDS,
         help="experiment to regenerate, a one-off PIM operation, the "
              "fidelity scoreboard (report), the bench regression gate "
              "(bench), the closed-loop service load bench (loadbench), "
              "a fault campaign (campaign), Monte Carlo fault-injection "
-             "trials (mc), or the resilient kernel gateway (serve)",
+             "trials (mc), the resilient kernel gateway (serve), the "
+             "sampling profiler wrapper (profile), or the SLO burn-rate "
+             "report (slo)",
     )
     parser.add_argument(
         "operands", nargs="*",
         help="operands for add/mult, the kernel name for trace "
-             f"({', '.join(_TRACE_KERNELS)}), or the trial kind for mc "
-             "(additions, multiplies, tmr_additions)",
+             f"({', '.join(_TRACE_KERNELS)}), the trial kind for mc "
+             "(additions, multiplies, tmr_additions), or the wrapped "
+             "command (plus its operands) for profile",
     )
     parser.add_argument(
         "--json", action="store_true",
@@ -1157,8 +1375,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--event-log", metavar="PATH", default=None,
-        help="serve/loadbench: write the structured coruscant-events/1 "
-             "JSONL event stream (size-rotated) to PATH",
+        help="serve/loadbench/campaign/mc: write the structured "
+             "coruscant-events/1 JSONL event stream (size-rotated) to "
+             "PATH; campaign/mc records carry a shard_id",
     )
     parser.add_argument(
         "--queue-capacity", type=int, default=16, metavar="N",
@@ -1186,9 +1405,69 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="serve: deadline budget for requests that do not carry "
              "one (default 10)",
     )
+    parser.add_argument(
+        "--enable-profiling", action="store_true",
+        help="serve: allow POST /debug/profile/start|stop on the "
+             "gateway (rejected 403 otherwise)",
+    )
+    parser.add_argument(
+        "--profile-out", metavar="PATH",
+        default="profile.speedscope.json",
+        help="profile: speedscope JSON output path "
+             "(default profile.speedscope.json)",
+    )
+    parser.add_argument(
+        "--folded-out", metavar="PATH", default=None,
+        help="profile: also write collapsed-stack text "
+             "(flamegraph.pl / speedscope import format) to PATH",
+    )
+    parser.add_argument(
+        "--profile-record", metavar="PATH", default=None,
+        help="profile: append the coruscant-profile/1 JSONL record "
+             "(folded stacks + phases + per-request ledger) to PATH",
+    )
+    parser.add_argument(
+        "--profile-interval-ms", type=float, default=5.0, metavar="MS",
+        help="profile: wall sampling interval in milliseconds "
+             "(default 5)",
+    )
+    parser.add_argument(
+        "--virtual-clock", action="store_true",
+        help="profile: derive deterministic folded stacks from the "
+             "simulated span tree + device cycle counters instead of "
+             "wall sampling (bit-identical across runs)",
+    )
+    parser.add_argument(
+        "--slo", action="store_true",
+        help="loadbench: replay the run through the SLO burn-rate "
+             "engine and exit 3 when an objective is violated",
+    )
+    parser.add_argument(
+        "--slo-burn-threshold", type=float, default=14.4, metavar="X",
+        help="slo/loadbench: multi-window burn-rate alert threshold "
+             "(default 14.4, the SRE fast-page value)",
+    )
+    parser.add_argument(
+        "--slo-step", type=float, default=6.0, metavar="SECONDS",
+        help="slo/loadbench: virtual seconds per completed request "
+             "(default 6; 50 requests = one fast window)",
+    )
     args = parser.parse_args(argv)
+    if args.command == "profile":
+        return _run_profile(parser, args)
+    return _dispatch(parser, args)
+
+
+def _dispatch(parser: argparse.ArgumentParser, args) -> int:
+    """Post-parse command dispatch.
+
+    Factored out of :func:`main` so the ``profile`` command can re-enter
+    it with the wrapped command's flags after installing the profiler.
+    """
     writer = OutputWriter(json_mode=args.json)
 
+    if args.command == "slo":
+        return _run_slo(parser, args)
     if args.command == "serve":
         if args.queue_capacity < 1:
             parser.error("--queue-capacity must be >= 1")
@@ -1226,6 +1505,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--default-budget-s must be > 0")
         if args.profile is not None and len(args.profile) != 1:
             parser.error("loadbench takes exactly one --profile")
+        if args.slo_burn_threshold <= 0:
+            parser.error("--slo-burn-threshold must be > 0")
+        if args.slo_step <= 0:
+            parser.error("--slo-step must be > 0")
         code = _run_loadbench(writer, args)
         writer.close(code)
         return code
@@ -1241,7 +1524,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.inject_worker_crash:
             parser.error("--inject-worker-crash applies to campaign only")
         _validate_shard_flags(parser, args)
-        code = _run_mc(writer, args)
+        hub, event_log = _shard_telemetry(args, sharded=True)
+        try:
+            code = _run_mc(writer, args, telemetry=hub)
+        finally:
+            if event_log is not None:
+                event_log.close()
+        if hub is not None and args.metrics_json:
+            _dump_metrics(hub, args.metrics_json)
         writer.close(code)
         return code
     if args.command == "campaign":
@@ -1268,27 +1558,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.storage_rows < 0:
             parser.error("--storage-rows must be >= 0")
         _validate_shard_flags(parser, args)
-        hub = None
-        if args.metrics_json:
-            from repro.telemetry import TelemetryHub
-
-            hub = TelemetryHub()
-        if args.shards is not None or args.journal:
-            if args.checkpoint:
-                parser.error(
-                    "sharded campaigns journal per shard; use "
-                    "--journal DIR instead of --checkpoint"
-                )
-            if args.stop_after is not None:
-                parser.error(
-                    "--stop-after is the single-process crash stand-in; "
-                    "sharded runs are interrupted per worker instead"
-                )
-            args.shards = args.shards or 1
-            code = _run_sharded_campaign(writer, args, telemetry=hub)
-        else:
-            code = _run_campaign(writer, args, telemetry=hub)
-        if hub is not None:
+        sharded = args.shards is not None or bool(args.journal)
+        hub, event_log = _shard_telemetry(args, sharded=sharded)
+        try:
+            if sharded:
+                if args.checkpoint:
+                    parser.error(
+                        "sharded campaigns journal per shard; use "
+                        "--journal DIR instead of --checkpoint"
+                    )
+                if args.stop_after is not None:
+                    parser.error(
+                        "--stop-after is the single-process crash "
+                        "stand-in; sharded runs are interrupted per "
+                        "worker instead"
+                    )
+                args.shards = args.shards or 1
+                code = _run_sharded_campaign(writer, args, telemetry=hub)
+            else:
+                code = _run_campaign(writer, args, telemetry=hub)
+        finally:
+            if event_log is not None:
+                event_log.close()
+        if hub is not None and args.metrics_json:
             _dump_metrics(hub, args.metrics_json)
         writer.close(code)
         return code

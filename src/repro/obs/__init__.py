@@ -63,11 +63,26 @@ from repro.obs.render import (
     render_json,
     render_markdown,
 )
+from repro.obs.slo import (
+    BURN_ALERT_THRESHOLD,
+    DEFAULT_SLOS,
+    SLO_SCHEMA,
+    SloDefinition,
+    SloEngine,
+    counts_from_loadbench,
+    counts_from_registry,
+    evaluate_history,
+    publish_gauges,
+    render_slo_markdown,
+    slo_exit_code,
+)
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BURN_ALERT_THRESHOLD",
     "BenchHistory",
     "Comparison",
+    "DEFAULT_SLOS",
     "DeterminismError",
     "FIDELITY_SCHEMA",
     "FORMATS",
@@ -85,17 +100,26 @@ __all__ = [
     "RegressionDetector",
     "RegressionReport",
     "SECTION_TITLES",
+    "SLO_SCHEMA",
     "ScheduledRequest",
+    "SloDefinition",
+    "SloEngine",
     "Verdict",
     "bench_kernel",
     "build_schedule",
+    "counts_from_loadbench",
+    "counts_from_registry",
     "default_kernels",
+    "evaluate_history",
     "extract_hotspots",
     "load_baseline",
+    "publish_gauges",
     "record_for",
     "render_html",
     "render_json",
     "render_markdown",
+    "render_slo_markdown",
     "run_benchmarks",
     "run_loadbench",
+    "slo_exit_code",
 ]

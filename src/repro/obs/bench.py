@@ -99,6 +99,23 @@ def bench_kernel(
                     for metric in drifted
                 )
             )
+    # ``repro profile ... --virtual-clock`` activates a process-wide
+    # hub around the wrapped command; mirror the last repeat's
+    # (deterministic, repeat-identical) counters and span tree into it
+    # so the profiler's fold_tracer sees the simulated costs even
+    # though each repeat ran on its own private hub.
+    from repro.telemetry import runtime
+
+    active = runtime.active_hub()
+    if active is not None and active is not hub:
+        for counter_name, value in counters.items():
+            active.metrics.counter(counter_name).inc(value)
+        mirror = getattr(active, "tracer", None)
+        if mirror is not None and isinstance(
+            getattr(mirror, "roots", None), list
+        ):
+            mirror.roots.extend(hub.tracer.roots)
+
     return {
         "name": name,
         "trd": trd,

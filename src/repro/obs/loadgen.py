@@ -222,6 +222,8 @@ def run_loadbench(
     budget_s: float = 10.0,
     client=None,
     clock: Callable[[], float] = time.perf_counter,
+    slo_engine=None,
+    slo_step: float = 6.0,
 ) -> Dict[str, Any]:
     """Run the closed-loop bench and return the loadbench document.
 
@@ -238,6 +240,15 @@ def run_loadbench(
         client: a started :class:`ServiceClient` to drive; when None an
             in-process one is created (and closed) for the run.
         clock: injectable monotonic clock (tests).
+        slo_engine: optional :class:`~repro.obs.slo.SloEngine`. When
+            given, every completed request is replayed through it on
+            the *virtual* request clock (request ``i`` completes at
+            ``(i + 1) * slo_step`` virtual seconds — deterministic, so
+            the burn-rate verdict depends only on statuses/latencies,
+            not host speed) and the document gains an ``"slo"`` block
+            holding the cumulative good/total counts and the engine's
+            report.
+        slo_step: virtual seconds credited per completed request.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -332,7 +343,7 @@ def run_loadbench(
             }
         )
 
-    return {
+    document = {
         "schema": LOADBENCH_SCHEMA,
         "profile": profile,
         "seed": seed,
@@ -347,6 +358,37 @@ def run_loadbench(
         "throughput_rps": (completed / elapsed) if elapsed > 0 else 0.0,
         "kernels": kernels,
     }
+
+    if slo_engine is not None:
+        from repro.obs.slo import GOOD_STATUSES
+
+        cumulative: Dict[str, List[int]] = {
+            slo.name: [0, 0] for slo in slo_engine.slos
+        }
+        for position, sample in enumerate(samples):
+            for slo in slo_engine.slos:
+                good, total = cumulative[slo.name]
+                if slo.kind == "availability":
+                    is_good = sample.status in GOOD_STATUSES
+                else:
+                    is_good = sample.seconds <= (slo.threshold_s or 0.0)
+                cumulative[slo.name] = [good + int(is_good), total + 1]
+            slo_engine.observe(
+                (position + 1) * slo_step,
+                {
+                    name: (pair[0], pair[1])
+                    for name, pair in cumulative.items()
+                },
+            )
+        document["slo"] = {
+            "step_seconds": slo_step,
+            "counts": {
+                name: list(pair) for name, pair in cumulative.items()
+            },
+            "report": slo_engine.evaluate(),
+        }
+
+    return document
 
 
 __all__ = [

@@ -1,0 +1,544 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SloDefinition` states an objective over the service's
+existing instruments — no new measurement path:
+
+* ``availability`` — fraction of requests that end ``ok``/``degraded``,
+  read from the ``service.requests`` / ``service.status.*`` counters;
+* ``latency`` — fraction of requests at or under ``threshold_s``, read
+  from the ``service.request_seconds`` histogram (cumulative count
+  interpolated at the threshold).
+
+Health is judged the SRE way, by **burn rate**: the bad-request rate
+over a window divided by the error budget (``1 - objective``). Burn
+rate 1.0 spends the budget exactly at the sustainable pace; the engine
+alerts only when *both* a fast window (5-minute equivalent, catches
+cliffs) and a slow window (1-hour equivalent, filters blips) burn past
+the threshold — the classic multi-window rule, with 14.4 (the fast-page
+threshold) as the default.
+
+Time here is **virtual**: loadbench advances a request clock
+(:data:`VIRTUAL_SECONDS_PER_REQUEST` per completed request) so window
+arithmetic is deterministic and CI-friendly; the gateway feeds the same
+engine wall-clock seconds at scrape time. Either way the engine only
+ever sees ``observe(t, {slo: (good, total)})`` cumulative points.
+
+Surfaces: ``repro slo`` (md/json report, exit 3 while burning), the
+``slo`` block in ``/readyz``, the ``slo.<name>.*`` gauges published
+into the metrics registry (JSON ``/metrics`` and the OpenMetrics
+``coruscant_slo_burn_rate`` / ``coruscant_slo_compliance`` families),
+and the ``loadbench --slo`` gate.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+SLO_SCHEMA = "coruscant-slo/1"
+
+KIND_AVAILABILITY = "availability"
+KIND_LATENCY = "latency"
+
+#: Window lengths in virtual seconds: the 5m/1h multi-window pair.
+FAST_WINDOW_S = 300.0
+SLOW_WINDOW_S = 3600.0
+
+#: Default burn-rate alert threshold (the SRE fast-page value: burning
+#: the whole monthly budget in ~2 days).
+BURN_ALERT_THRESHOLD = 14.4
+
+#: How far the virtual request clock advances per completed loadbench
+#: request — 50 requests span one fast window exactly.
+VIRTUAL_SECONDS_PER_REQUEST = 6.0
+
+STATUS_OK = "ok"
+STATUS_BURNING = "burning"
+STATUS_NO_DATA = "no_data"
+
+#: Request statuses that count as "good" for availability.
+GOOD_STATUSES = ("ok", "degraded")
+
+
+@dataclass(frozen=True)
+class SloDefinition:
+    """One declarative objective over the service metrics."""
+
+    name: str
+    kind: str
+    objective: float
+    threshold_s: Optional[float] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_AVAILABILITY, KIND_LATENCY):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.kind == KIND_LATENCY and (
+            self.threshold_s is None or self.threshold_s <= 0
+        ):
+            raise ValueError(
+                "latency SLOs need a positive threshold_s"
+            )
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the tolerable bad-request fraction."""
+        return 1.0 - self.objective
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+        }
+        if self.threshold_s is not None:
+            out["threshold_s"] = self.threshold_s
+        if self.description:
+            out["description"] = self.description
+        return out
+
+
+DEFAULT_SLOS: Tuple[SloDefinition, ...] = (
+    SloDefinition(
+        name="availability",
+        kind=KIND_AVAILABILITY,
+        objective=0.99,
+        description="99% of requests end ok or degraded",
+    ),
+    SloDefinition(
+        name="latency",
+        kind=KIND_LATENCY,
+        objective=0.99,
+        threshold_s=0.5,
+        description="99% of requests complete within 500 ms",
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# reading (good, total) counts out of the existing instruments
+
+
+def good_below(hist: Dict[str, Any], threshold: float) -> float:
+    """Observations at or under ``threshold``, from a histogram dict.
+
+    Interpolates inside the bucket containing the threshold (uniform
+    assumption, the ``histogram_quantile`` convention) so thresholds
+    that fall between edges still produce a sensible count.
+    """
+    edges: Sequence[float] = hist["edges"]
+    cumulative: Sequence[int] = hist["cumulative"]
+    count = int(hist["count"])
+    if count == 0:
+        return 0.0
+    index = bisect_left(edges, threshold)
+    if index < len(edges) and edges[index] == threshold:
+        return float(cumulative[index])
+    if index >= len(edges):
+        return float(count)
+    below = float(cumulative[index - 1]) if index > 0 else 0.0
+    at_edge = float(cumulative[index])
+    lower = float(edges[index - 1]) if index > 0 else 0.0
+    upper = float(edges[index])
+    if upper <= lower:
+        return at_edge
+    fraction = (threshold - lower) / (upper - lower)
+    return below + (at_edge - below) * fraction
+
+
+def counts_from_registry(
+    metrics, slos: Sequence[SloDefinition] = DEFAULT_SLOS
+) -> Dict[str, Tuple[float, float]]:
+    """Cumulative (good, total) per SLO from a MetricsRegistry."""
+    snapshot = metrics.as_dict() if hasattr(metrics, "as_dict") else metrics
+    counters = snapshot.get("counters", {})
+    histograms = snapshot.get("histograms", {})
+    total_requests = float(counters.get("service.requests", 0))
+    counts: Dict[str, Tuple[float, float]] = {}
+    for slo in slos:
+        if slo.kind == KIND_AVAILABILITY:
+            good = sum(
+                float(counters.get(f"service.status.{status}", 0))
+                for status in GOOD_STATUSES
+            )
+            counts[slo.name] = (good, total_requests)
+        else:
+            hist = histograms.get("service.request_seconds")
+            if hist is None:
+                counts[slo.name] = (0.0, 0.0)
+            else:
+                counts[slo.name] = (
+                    good_below(hist, float(slo.threshold_s)),
+                    float(hist["count"]),
+                )
+    return counts
+
+
+def fraction_below(
+    threshold: float, entry: Dict[str, Any]
+) -> float:
+    """Estimate P(latency <= threshold) from a loadbench kernel entry.
+
+    Legacy history entries carry only min/p50/p90/p99 — no histogram —
+    so the CDF is reconstructed by piecewise-linear interpolation over
+    those known points. Crude, but monotone, deterministic, and honest
+    at the extremes (0 below the minimum, 1 above the p99 tail).
+    """
+    points = [
+        (float(entry.get("wall_seconds_min", 0.0)), 0.0),
+        (float(entry.get("wall_seconds_median", 0.0)), 0.5),
+        (float(entry.get("wall_seconds_p90", 0.0)), 0.9),
+        (float(entry.get("wall_seconds_p99", 0.0)), 0.99),
+    ]
+    # Drop non-monotone points (tiny samples repeat quantiles).
+    cleaned: List[Tuple[float, float]] = []
+    for value, prob in points:
+        if not cleaned or value > cleaned[-1][0]:
+            cleaned.append((value, prob))
+    if threshold <= cleaned[0][0]:
+        return 0.0
+    if threshold >= cleaned[-1][0]:
+        return 1.0
+    for (lo_v, lo_p), (hi_v, hi_p) in zip(cleaned, cleaned[1:]):
+        if lo_v <= threshold <= hi_v:
+            span = hi_v - lo_v
+            if span <= 0:
+                return hi_p
+            return lo_p + (hi_p - lo_p) * (threshold - lo_v) / span
+    return 1.0  # pragma: no cover - defensive
+
+
+# ----------------------------------------------------------------------
+# the burn-rate engine
+
+
+@dataclass(frozen=True)
+class _Point:
+    t: float
+    good: float
+    total: float
+
+
+class SloEngine:
+    """Multi-window burn-rate evaluation over cumulative observations.
+
+    Feed it cumulative (good, total) counts at increasing times via
+    :meth:`observe`; ask :meth:`evaluate` for the report. The baseline
+    for a window is the most recent point at or before the window
+    start (the implicit zero origin when none is old enough), so burn
+    rates are well-defined from the very first observation.
+    """
+
+    def __init__(
+        self,
+        slos: Sequence[SloDefinition] = DEFAULT_SLOS,
+        fast_window_s: float = FAST_WINDOW_S,
+        slow_window_s: float = SLOW_WINDOW_S,
+        burn_threshold: float = BURN_ALERT_THRESHOLD,
+    ) -> None:
+        if fast_window_s <= 0 or slow_window_s <= 0:
+            raise ValueError("window lengths must be > 0")
+        if fast_window_s > slow_window_s:
+            raise ValueError(
+                "the fast window cannot outlast the slow window"
+            )
+        if burn_threshold <= 0:
+            raise ValueError("burn_threshold must be > 0")
+        names = [slo.name for slo in slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names in {names}")
+        self.slos: Tuple[SloDefinition, ...] = tuple(slos)
+        self.fast_window_s = fast_window_s
+        self.slow_window_s = slow_window_s
+        self.burn_threshold = burn_threshold
+        self._points: Dict[str, List[_Point]] = {
+            slo.name: [] for slo in self.slos
+        }
+
+    def observe(
+        self,
+        t: float,
+        counts: Dict[str, Tuple[float, float]],
+    ) -> None:
+        """Record cumulative (good, total) per SLO at virtual time t."""
+        for slo in self.slos:
+            if slo.name not in counts:
+                continue
+            good, total = counts[slo.name]
+            points = self._points[slo.name]
+            if points and t < points[-1].t:
+                raise ValueError(
+                    f"time went backwards for {slo.name!r}: "
+                    f"{t} < {points[-1].t}"
+                )
+            points.append(_Point(t, float(good), float(total)))
+            # Retain one point older than the slow window as the
+            # boundary baseline; drop everything before it.
+            horizon = t - self.slow_window_s
+            keep = 0
+            for index, point in enumerate(points):
+                if point.t < horizon:
+                    keep = index
+            if keep:
+                del points[:keep]
+
+    def burn_rate(
+        self, slo: SloDefinition, window_s: float,
+        now: Optional[float] = None,
+    ) -> float:
+        """Bad-request rate over the trailing window / error budget."""
+        points = self._points[slo.name]
+        if not points:
+            return 0.0
+        last = points[-1]
+        at = last.t if now is None else now
+        boundary = at - window_s
+        baseline = _Point(min(0.0, boundary), 0.0, 0.0)
+        for point in points:
+            if point.t <= boundary:
+                baseline = point
+            else:
+                break
+        delta_total = last.total - baseline.total
+        if delta_total <= 0:
+            return 0.0
+        delta_bad = (last.total - last.good) - (
+            baseline.total - baseline.good
+        )
+        bad_rate = max(0.0, delta_bad) / delta_total
+        return bad_rate / slo.budget
+
+    def compliance(self, slo: SloDefinition) -> Optional[float]:
+        """Lifetime good fraction, or None before any data."""
+        points = self._points[slo.name]
+        if not points or points[-1].total <= 0:
+            return None
+        return points[-1].good / points[-1].total
+
+    def evaluate(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """The full report: per-SLO burn rates, compliance, status."""
+        results: List[Dict[str, Any]] = []
+        burning = False
+        for slo in self.slos:
+            fast = self.burn_rate(slo, self.fast_window_s, now)
+            slow = self.burn_rate(slo, self.slow_window_s, now)
+            compliance = self.compliance(slo)
+            if compliance is None:
+                status = STATUS_NO_DATA
+            elif (
+                fast >= self.burn_threshold
+                and slow >= self.burn_threshold
+            ):
+                status = STATUS_BURNING
+                burning = True
+            else:
+                status = STATUS_OK
+            entry = slo.as_dict()
+            entry.update(
+                burn_rate_fast=round(fast, 6),
+                burn_rate_slow=round(slow, 6),
+                compliance=(
+                    round(compliance, 6)
+                    if compliance is not None
+                    else None
+                ),
+                status=status,
+            )
+            results.append(entry)
+        return {
+            "schema": SLO_SCHEMA,
+            "burn_threshold": self.burn_threshold,
+            "fast_window_s": self.fast_window_s,
+            "slow_window_s": self.slow_window_s,
+            "burning": burning,
+            "slos": results,
+        }
+
+
+def publish_gauges(metrics, report: Dict[str, Any]) -> None:
+    """Mirror a report into ``slo.*`` gauges for /metrics exposition."""
+    for entry in report["slos"]:
+        name = entry["name"]
+        metrics.gauge(f"slo.{name}.burn_rate.fast").set(
+            entry["burn_rate_fast"]
+        )
+        metrics.gauge(f"slo.{name}.burn_rate.slow").set(
+            entry["burn_rate_slow"]
+        )
+        metrics.gauge(f"slo.{name}.objective").set(entry["objective"])
+        compliance = entry["compliance"]
+        metrics.gauge(f"slo.{name}.compliance").set(
+            compliance if compliance is not None else 1.0
+        )
+
+
+# ----------------------------------------------------------------------
+# loadbench-history evaluation (the `repro slo` data source)
+
+
+def counts_from_loadbench(
+    doc: Dict[str, Any], slos: Sequence[SloDefinition] = DEFAULT_SLOS
+) -> Dict[str, Tuple[float, float]]:
+    """Per-SLO (good, total) increments from one loadbench document.
+
+    Documents written since the SLO engine landed embed exact counts
+    under ``doc["slo"]["counts"]``; older entries are reconstructed
+    from the status totals and the overall latency quantiles.
+    """
+    embedded = doc.get("slo", {}).get("counts")
+    counts: Dict[str, Tuple[float, float]] = {}
+    completed = float(doc.get("requests_completed", 0))
+    statuses = doc.get("statuses", {})
+    overall = next(
+        (
+            k
+            for k in doc.get("kernels", [])
+            if k.get("name") == "loadbench.overall"
+        ),
+        None,
+    )
+    for slo in slos:
+        if embedded and slo.name in embedded:
+            good, total = embedded[slo.name]
+            counts[slo.name] = (float(good), float(total))
+        elif slo.kind == KIND_AVAILABILITY:
+            good = sum(
+                float(statuses.get(status, 0))
+                for status in GOOD_STATUSES
+            )
+            counts[slo.name] = (good, completed)
+        else:
+            if overall is None or not completed:
+                counts[slo.name] = (0.0, 0.0)
+            else:
+                fraction = fraction_below(
+                    float(slo.threshold_s), overall
+                )
+                counts[slo.name] = (fraction * completed, completed)
+    return counts
+
+
+def evaluate_history(
+    documents: Sequence[Dict[str, Any]],
+    slos: Sequence[SloDefinition] = DEFAULT_SLOS,
+    burn_threshold: float = BURN_ALERT_THRESHOLD,
+    virtual_step_s: float = VIRTUAL_SECONDS_PER_REQUEST,
+) -> Dict[str, Any]:
+    """Replay loadbench documents through the engine on a virtual clock.
+
+    Each document advances the clock by ``requests_completed`` x
+    ``virtual_step_s`` and contributes its (good, total) increments to
+    the cumulative series, so the most recent entries dominate the fast
+    window and the whole recent history shapes the slow one.
+    """
+    engine = SloEngine(slos=slos, burn_threshold=burn_threshold)
+    clock = 0.0
+    cumulative: Dict[str, List[float]] = {
+        slo.name: [0.0, 0.0] for slo in slos
+    }
+    for doc in documents:
+        increments = counts_from_loadbench(doc, slos)
+        clock += float(doc.get("requests_completed", 0)) * virtual_step_s
+        observed: Dict[str, Tuple[float, float]] = {}
+        for slo in slos:
+            good, total = increments.get(slo.name, (0.0, 0.0))
+            cumulative[slo.name][0] += good
+            cumulative[slo.name][1] += total
+            observed[slo.name] = (
+                cumulative[slo.name][0],
+                cumulative[slo.name][1],
+            )
+        engine.observe(clock, observed)
+    report = engine.evaluate()
+    report["entries"] = len(documents)
+    report["virtual_seconds"] = clock
+    return report
+
+
+# ----------------------------------------------------------------------
+# renderers
+
+
+def render_slo_markdown(report: Dict[str, Any]) -> str:
+    """The report as a Markdown table plus a verdict line."""
+    lines = [
+        "# SLO report",
+        "",
+        f"- burn threshold: {report['burn_threshold']}",
+        f"- windows: fast {report['fast_window_s']:.0f}s / "
+        f"slow {report['slow_window_s']:.0f}s (virtual)",
+    ]
+    if "entries" in report:
+        lines.append(
+            f"- history: {report['entries']} entries, "
+            f"{report['virtual_seconds']:.0f} virtual seconds"
+        )
+    lines += [
+        "",
+        "| SLO | kind | objective | compliance | burn (fast) | "
+        "burn (slow) | status |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for entry in report["slos"]:
+        compliance = entry["compliance"]
+        lines.append(
+            "| {name} | {kind} | {objective:.4f} | {compliance} | "
+            "{fast:.3f} | {slow:.3f} | {status} |".format(
+                name=entry["name"],
+                kind=entry["kind"],
+                objective=entry["objective"],
+                compliance=(
+                    f"{compliance:.4f}"
+                    if compliance is not None
+                    else "n/a"
+                ),
+                fast=entry["burn_rate_fast"],
+                slow=entry["burn_rate_slow"],
+                status=entry["status"],
+            )
+        )
+    lines.append("")
+    lines.append(
+        "**BURNING** — error budget is being spent too fast."
+        if report["burning"]
+        else "All objectives healthy."
+    )
+    return "\n".join(lines) + "\n"
+
+
+def slo_exit_code(report: Dict[str, Any]) -> int:
+    """0 when healthy, 3 (degraded) while any SLO is burning."""
+    from repro.exitcodes import EXIT_DEGRADED, EXIT_OK
+
+    return EXIT_DEGRADED if report["burning"] else EXIT_OK
+
+
+__all__ = [
+    "BURN_ALERT_THRESHOLD",
+    "DEFAULT_SLOS",
+    "FAST_WINDOW_S",
+    "GOOD_STATUSES",
+    "KIND_AVAILABILITY",
+    "KIND_LATENCY",
+    "SLOW_WINDOW_S",
+    "SLO_SCHEMA",
+    "STATUS_BURNING",
+    "STATUS_NO_DATA",
+    "STATUS_OK",
+    "SloDefinition",
+    "SloEngine",
+    "VIRTUAL_SECONDS_PER_REQUEST",
+    "counts_from_loadbench",
+    "counts_from_registry",
+    "evaluate_history",
+    "fraction_below",
+    "good_below",
+    "publish_gauges",
+    "render_slo_markdown",
+    "slo_exit_code",
+]

@@ -439,6 +439,7 @@ class ProfileDispatcher:
                     request.deadline,
                     self.telemetry,
                     context,
+                    self.profile.name,
                 )
                 return {
                     "kind": "ok", "result": result, "retries": retries,

@@ -16,7 +16,14 @@ dispatchers. Endpoints:
   profile's breaker is open; otherwise 200 with per-profile detail.
 * ``GET /metrics`` — the TelemetryHub metrics registry as JSON, or as
   OpenMetrics text when the ``Accept`` header asks for
-  ``application/openmetrics-text`` (or ``text/plain``).
+  ``application/openmetrics-text`` (or ``text/plain``). Scrapes also
+  refresh the SLO engine, so the ``slo.*`` burn-rate/compliance gauges
+  appear in both forms.
+* ``POST /debug/profile/start`` / ``POST /debug/profile/stop`` —
+  toggle the in-process sampling profiler; ``stop`` returns the
+  ``coruscant-profile/1`` document plus a speedscope export. Guarded
+  behind ``Gateway(enable_profiling=True)`` (the ``serve
+  --enable-profiling`` flag); 403 otherwise.
 
 SIGTERM (and SIGINT) starts a graceful drain: the listener refuses new
 work with 503 ``draining``, every already-admitted request runs to its
@@ -29,6 +36,7 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.service.admission import AdmissionPolicy
@@ -78,6 +86,9 @@ class Gateway:
         workers: int = 2,
         default_budget_s: float = 10.0,
         telemetry: Optional[TelemetryHub] = None,
+        enable_profiling: bool = False,
+        slo_engine=None,
+        clock=time.monotonic,
     ) -> None:
         if default_budget_s <= 0:
             raise ValueError(
@@ -89,6 +100,15 @@ class Gateway:
         self.telemetry = telemetry or TelemetryHub(
             tracer=Tracer(max_roots=_DEFAULT_MAX_ROOTS)
         )
+        self.enable_profiling = enable_profiling
+        self._profiler = None
+        self._clock = clock
+        self._epoch = clock()
+        if slo_engine is None:
+            from repro.obs.slo import SloEngine
+
+            slo_engine = SloEngine()
+        self.slo_engine = slo_engine
         self.dispatchers: Dict[str, ProfileDispatcher] = {
             name: ProfileDispatcher(
                 profile,
@@ -278,8 +298,97 @@ class Gateway:
                 name: dispatcher.profile.as_dict()
                 for name, dispatcher in self.dispatchers.items()
             },
+            "slo": self.slo_report(),
         }
         return (200 if ready else 503), body
+
+    def slo_report(self) -> Dict[str, Any]:
+        """Observe current counts, evaluate, and publish the gauges.
+
+        Called on every ``/readyz`` and ``/metrics`` hit: the engine
+        gets one cumulative (good, total) point per scrape on the
+        gateway's monotonic clock, and the resulting burn-rate /
+        compliance values land in the registry as ``slo.*`` gauges so
+        both metric forms expose them.
+        """
+        from repro.obs.slo import counts_from_registry, publish_gauges
+
+        counts = counts_from_registry(
+            self.telemetry.metrics, self.slo_engine.slos
+        )
+        self.slo_engine.observe(self._clock() - self._epoch, counts)
+        report = self.slo_engine.evaluate()
+        publish_gauges(self.telemetry.metrics, report)
+        return report
+
+    # ------------------------------------------------------------------
+    # debug profiling endpoints
+
+    def profile_start(
+        self, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        if not self.enable_profiling:
+            return 403, {
+                "status": "rejected",
+                "error": "profiling_disabled",
+                "message": "start the gateway with --enable-profiling",
+            }
+        if self._profiler is not None:
+            return 409, {
+                "status": "rejected",
+                "error": "profiler_running",
+            }
+        from repro.telemetry.profiler import SamplingProfiler
+
+        interval_ms = (body or {}).get("interval_ms", 5.0)
+        if (
+            isinstance(interval_ms, bool)
+            or not isinstance(interval_ms, (int, float))
+            or interval_ms <= 0
+        ):
+            return 400, {
+                "status": "rejected",
+                "error": "bad_request",
+                "message": "'interval_ms' must be a positive number",
+            }
+        self._profiler = SamplingProfiler(
+            interval_s=float(interval_ms) / 1000.0,
+            tracer=self.telemetry.tracer,
+        )
+        self._profiler.start()
+        return 200, {
+            "status": "ok",
+            "profiling": "started",
+            "interval_ms": float(interval_ms),
+        }
+
+    def profile_stop(self) -> Tuple[int, Dict[str, Any]]:
+        if not self.enable_profiling:
+            return 403, {
+                "status": "rejected",
+                "error": "profiling_disabled",
+            }
+        if self._profiler is None:
+            return 409, {
+                "status": "rejected",
+                "error": "profiler_not_running",
+            }
+        from repro.telemetry.profiler import speedscope_document
+
+        profiler = self._profiler
+        self._profiler = None
+        profiler.stop()
+        document = profiler.document(mode="wall")
+        document["speedscope"] = speedscope_document(
+            profiler.folded(),
+            name="coruscant-gateway",
+            interval_s=profiler.interval_s,
+        )
+        return 200, {
+            "status": "ok",
+            "profiling": "stopped",
+            "profile": document,
+        }
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -362,9 +471,10 @@ class Gateway:
                 {"status": "rejected", "error": "method_not_allowed"},
                 {},
             )
-        if not path.startswith("/v1/"):
+        if not path.startswith("/v1/") and not path.startswith(
+            "/debug/profile/"
+        ):
             return 404, {"status": "rejected", "error": "not_found"}, {}
-        kernel = path[len("/v1/"):]
         try:
             body = json.loads(raw.decode() or "{}")
         except (ValueError, UnicodeDecodeError):
@@ -374,6 +484,15 @@ class Gateway:
                  "message": "body is not valid JSON"},
                 {},
             )
+        if path == "/debug/profile/start":
+            status, reply = self.profile_start(body)
+            return status, reply, {}
+        if path == "/debug/profile/stop":
+            status, reply = self.profile_stop()
+            return status, reply, {}
+        if path.startswith("/debug/profile/"):
+            return 404, {"status": "rejected", "error": "not_found"}, {}
+        kernel = path[len("/v1/"):]
         response = await self.handle(kernel, body)
         return response.http_status, response.body, response.headers
 
@@ -387,6 +506,9 @@ class Gateway:
             status, body = self.readyz()
             return status, body, {}
         if path == "/metrics":
+            # Refresh the slo.* gauges first so both exposition forms
+            # carry current burn rates.
+            self.slo_report()
             # Content negotiation: explicit openmetrics-text (or
             # text/plain) Accept headers get the OpenMetrics form;
             # everything else keeps the historical JSON byte-for-byte.
@@ -403,7 +525,9 @@ class Gateway:
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
+    409: "Conflict",
     405: "Method Not Allowed",
     413: "Payload Too Large",
     429: "Too Many Requests",

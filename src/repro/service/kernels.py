@@ -343,6 +343,7 @@ def run_traced(
     deadline: Deadline,
     telemetry=None,
     context: Optional[TraceContext] = None,
+    profile: Optional[str] = None,
 ) -> Dict:
     """Run one kernel inside a ``service.execute`` span on this thread.
 
@@ -352,10 +353,21 @@ def run_traced(
     and opens the ``service.execute`` span under it — so every span the
     simulator opens below (``resilience.op``, ``cpim.add``, ...) nests
     inside the same trace by plain thread-local stacking.
+
+    ``profile`` (the worker's device-profile name) tags the executing
+    thread for the sampling profiler, so wall samples fold under
+    ``profile:<name>;...``.
     """
     runner = RUNNERS.get(kernel)
     if runner is None:
         raise BadRequest(f"unknown kernel {kernel!r}")
+    if profile is not None:
+        from repro.telemetry.profiler import tag_thread
+
+        with tag_thread(profile):
+            return run_traced(
+                system, kernel, payload, deadline, telemetry, context
+            )
     if telemetry is None:
         return runner(system, payload, deadline)
     with use_context(context):

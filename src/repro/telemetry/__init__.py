@@ -56,6 +56,16 @@ from repro.telemetry.openmetrics import (
     negotiates_openmetrics,
     render_openmetrics,
 )
+from repro.telemetry.profiler import (
+    PROFILE_SCHEMA,
+    SamplingProfiler,
+    fold_tracer,
+    ledger_from_tracer,
+    profile_document,
+    render_collapsed,
+    speedscope_document,
+    tag_thread,
+)
 from repro.telemetry.runtime import (
     activate,
     activated,
@@ -85,13 +95,21 @@ __all__ = [
     "NullTracer",
     "OPENMETRICS_CONTENT_TYPE",
     "OP_CYCLE_BUCKETS",
+    "PROFILE_SCHEMA",
     "QUEUE_CYCLE_BUCKETS",
     "RETRY_DEPTH_BUCKETS",
+    "SamplingProfiler",
     "Span",
     "TR_PER_OP_BUCKETS",
     "TelemetryHub",
     "TraceContext",
     "Tracer",
+    "fold_tracer",
+    "ledger_from_tracer",
+    "profile_document",
+    "render_collapsed",
+    "speedscope_document",
+    "tag_thread",
     "activate",
     "activated",
     "active_hub",

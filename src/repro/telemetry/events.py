@@ -141,10 +141,20 @@ class EventLog:
     explicit ``trace_id`` argument or the ambient
     :func:`~repro.telemetry.context.current_context` — the trace it
     belongs to.
+
+    ``common`` fields are stamped onto every record the log emits —
+    the campaign CLI binds ``shard_id`` here so each record of a
+    campaign event stream names its shard. Explicit per-emit fields
+    win over common ones.
     """
 
-    def __init__(self, sink: Optional[Any] = None) -> None:
+    def __init__(
+        self,
+        sink: Optional[Any] = None,
+        common: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self.sink = sink if sink is not None else NullSink()
+        self.common: Dict[str, Any] = dict(common) if common else {}
         self._seq = 0
         self._lock = threading.Lock()
 
@@ -175,6 +185,9 @@ class EventLog:
         }
         if trace_id is not None:
             record["trace_id"] = trace_id
+        for key, value in self.common.items():
+            if value is not None:
+                record[key] = value
         for key, value in fields.items():
             if value is not None:
                 record[key] = value

@@ -176,6 +176,7 @@ class TelemetryHub:
             self.events.emit(
                 "campaign.shard_attempt",
                 shard=shard,
+                shard_id=shard,
                 status=status,
                 wall_seconds=wall_seconds,
             )
@@ -185,7 +186,9 @@ class TelemetryHub:
         with self._lock:
             self.metrics.counter("campaign.incomplete_shards").inc()
         if self.events.enabled:
-            self.events.emit("campaign.shard_incomplete", shard=shard)
+            self.events.emit(
+                "campaign.shard_incomplete", shard=shard, shard_id=shard
+            )
 
     # ------------------------------------------------------------------
     # kernel gateway (repro.service)

@@ -94,6 +94,15 @@ def _map_name(name: str) -> Tuple[str, Dict[str, str]]:
             PREFIX + "service_queue_depth",
             {"profile": parts[2], "kernel": parts[3]},
         )
+    # slo.<name>.burn_rate.<window> / slo.<name>.compliance etc. — the
+    # SLO engine's gauges, labelled by objective (and window).
+    if parts[0] == "slo" and len(parts) == 4 and parts[2] == "burn_rate":
+        return (
+            PREFIX + "slo_burn_rate",
+            {"slo": parts[1], "window": parts[3]},
+        )
+    if parts[0] == "slo" and len(parts) == 3:
+        return PREFIX + f"slo_{parts[2]}", {"slo": parts[1]}
     if name == "service.request_seconds":
         return PREFIX + "service_request_seconds", {}
     return _sanitize(name), {}
@@ -133,6 +142,11 @@ def render_openmetrics(registry) -> str:
 
     for name, value in snapshot["gauges"].items():
         fam, labels = _map_name(name)
+        # A gauge sample must never look like a counter: ``_total`` is
+        # the counter-sample suffix, so a dotted gauge name ending in
+        # ``.total`` would otherwise render ambiguously.
+        while fam.endswith("_total"):
+            fam = fam[: -len("_total")]
         family(fam, "gauge").append(
             f"{fam}{_label_str(labels)} {_format_number(value)}"
         )
@@ -156,9 +170,21 @@ def render_openmetrics(registry) -> str:
         )
         lines.append(f"{fam}_count{_label_str(labels)} {hist['count']}")
 
+    # Every exposition names the running build, version-labelled from
+    # the package itself (imported lazily: repro.__init__ imports this
+    # module, so a top-level import would cycle).
+    from repro import __version__
+
+    info_family = PREFIX + "build_info"
+    family(info_family, "gauge").append(
+        f'{info_family}{{version="{_escape_label(__version__)}"}} 1'
+    )
+
     out: List[str] = []
     for fam in sorted(families):
         out.append(f"# TYPE {fam} {families[fam]['type']}")
+        if fam.endswith("_seconds"):
+            out.append(f"# UNIT {fam} seconds")
         out.extend(families[fam]["lines"])
     out.append("# EOF")
     return "\n".join(out) + "\n"

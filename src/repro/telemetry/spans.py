@@ -221,6 +221,27 @@ class Tracer:
         with self._lock:
             return dict(self._tid_names)
 
+    def active_snapshot(self) -> Dict[int, Span]:
+        """Thread ident -> that thread's innermost open span.
+
+        The sampling profiler joins this against
+        ``sys._current_frames()`` (also keyed by thread ident) to bill
+        samples to the request whose span is open on the sampled
+        thread. Owner threads push/pop their stacks without the lock,
+        so the snapshot is taken defensively: a stack that empties
+        mid-read is simply skipped.
+        """
+        with self._lock:
+            stacks = list(self._stacks.items())
+        snapshot: Dict[int, Span] = {}
+        for ident, stack in stacks:
+            try:
+                span = stack[-1]
+            except IndexError:
+                continue
+            snapshot[ident] = span
+        return snapshot
+
     def iter_spans(self) -> Iterator[Span]:
         """All finished-or-open spans, depth-first in start order."""
         stack = list(reversed(self.roots))
@@ -358,6 +379,9 @@ class NullTracer:
         return None
 
     def thread_names(self) -> Dict[int, str]:
+        return {}
+
+    def active_snapshot(self) -> Dict[int, Span]:
         return {}
 
     def iter_spans(self) -> Iterator[Span]:

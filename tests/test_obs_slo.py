@@ -1,0 +1,294 @@
+"""SLO definitions, burn-rate engine, history replay, renderers."""
+
+import pytest
+
+from repro.exitcodes import EXIT_DEGRADED, EXIT_OK
+from repro.obs.slo import (
+    BURN_ALERT_THRESHOLD,
+    DEFAULT_SLOS,
+    FAST_WINDOW_S,
+    SLOW_WINDOW_S,
+    SLO_SCHEMA,
+    STATUS_BURNING,
+    STATUS_NO_DATA,
+    STATUS_OK,
+    SloDefinition,
+    SloEngine,
+    counts_from_loadbench,
+    counts_from_registry,
+    evaluate_history,
+    fraction_below,
+    good_below,
+    publish_gauges,
+    render_slo_markdown,
+    slo_exit_code,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+AVAILABILITY = SloDefinition(
+    name="availability", kind="availability", objective=0.99
+)
+LATENCY = SloDefinition(
+    name="latency", kind="latency", objective=0.99, threshold_s=0.5
+)
+
+
+class TestDefinition:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown SLO kind"):
+            SloDefinition(name="x", kind="throughput", objective=0.9)
+
+    @pytest.mark.parametrize("objective", [0.0, 1.0, -0.5, 2.0])
+    def test_objective_must_be_open_interval(self, objective):
+        with pytest.raises(ValueError, match="objective"):
+            SloDefinition(
+                name="x", kind="availability", objective=objective
+            )
+
+    @pytest.mark.parametrize("threshold", [None, 0.0, -1.0])
+    def test_latency_needs_positive_threshold(self, threshold):
+        with pytest.raises(ValueError, match="threshold_s"):
+            SloDefinition(
+                name="x",
+                kind="latency",
+                objective=0.99,
+                threshold_s=threshold,
+            )
+
+    def test_budget_and_dict(self):
+        assert LATENCY.budget == pytest.approx(0.01)
+        record = LATENCY.as_dict()
+        assert record["threshold_s"] == 0.5
+        assert "description" not in record  # empty fields are elided
+
+    def test_default_slos_cover_both_kinds(self):
+        kinds = {slo.kind for slo in DEFAULT_SLOS}
+        assert kinds == {"availability", "latency"}
+
+
+class TestGoodBelow:
+    HIST = {
+        "edges": [0.1, 0.5, 1.0],
+        "cumulative": [2, 6, 9, 10],
+        "count": 10,
+    }
+
+    def test_exact_edge_uses_cumulative(self):
+        assert good_below(self.HIST, 0.5) == 6.0
+
+    def test_interpolates_inside_bucket(self):
+        # (0.1, 0.5] holds 4 observations; 0.3 is halfway through.
+        assert good_below(self.HIST, 0.3) == pytest.approx(4.0)
+
+    def test_above_last_edge_is_everything(self):
+        assert good_below(self.HIST, 2.0) == 10.0
+
+    def test_below_first_edge_interpolates_from_zero(self):
+        assert good_below(self.HIST, 0.05) == pytest.approx(1.0)
+
+    def test_empty_histogram_is_zero(self):
+        assert good_below({"edges": [1], "cumulative": [0, 0], "count": 0},
+                          0.5) == 0.0
+
+
+class TestCountsFromRegistry:
+    def test_reads_service_instruments(self):
+        metrics = MetricsRegistry()
+        metrics.counter("service.requests").inc(10)
+        metrics.counter("service.status.ok").inc(7)
+        metrics.counter("service.status.degraded").inc(1)
+        metrics.counter("service.status.error").inc(2)
+        hist = metrics.histogram("service.request_seconds", (0.5, 1.0))
+        for value in (0.1, 0.2, 0.3, 0.9):
+            hist.observe(value)
+        counts = counts_from_registry(metrics, (AVAILABILITY, LATENCY))
+        assert counts["availability"] == (8.0, 10.0)
+        assert counts["latency"] == (3.0, 4.0)
+
+    def test_missing_histogram_yields_no_data(self):
+        counts = counts_from_registry(MetricsRegistry(), (LATENCY,))
+        assert counts["latency"] == (0.0, 0.0)
+
+
+class TestEngine:
+    def test_time_must_be_monotone(self):
+        engine = SloEngine(slos=(AVAILABILITY,))
+        engine.observe(10.0, {"availability": (5, 5)})
+        with pytest.raises(ValueError, match="time went backwards"):
+            engine.observe(5.0, {"availability": (6, 6)})
+
+    def test_fast_window_must_not_outlast_slow(self):
+        with pytest.raises(ValueError):
+            SloEngine(fast_window_s=600.0, slow_window_s=300.0)
+
+    def test_no_data_status(self):
+        report = SloEngine(slos=(AVAILABILITY,)).evaluate()
+        (entry,) = report["slos"]
+        assert entry["status"] == STATUS_NO_DATA
+        assert entry["compliance"] is None
+        assert report["burning"] is False
+
+    def test_healthy_traffic_is_ok(self):
+        engine = SloEngine(slos=(AVAILABILITY,))
+        for step in range(1, 11):
+            engine.observe(step * 30.0, {"availability": (step * 5, step * 5)})
+        report = engine.evaluate()
+        (entry,) = report["slos"]
+        assert entry["status"] == STATUS_OK
+        assert entry["burn_rate_fast"] == 0.0
+        assert entry["compliance"] == 1.0
+
+    def test_total_failure_burns_both_windows(self):
+        engine = SloEngine(slos=(AVAILABILITY,))
+        for step in range(1, 11):
+            engine.observe(step * 30.0, {"availability": (0, step * 5)})
+        report = engine.evaluate()
+        (entry,) = report["slos"]
+        # bad fraction 1.0 over a 0.01 budget = burn rate 100.
+        assert entry["burn_rate_fast"] == pytest.approx(100.0)
+        assert entry["burn_rate_slow"] == pytest.approx(100.0)
+        assert entry["status"] == STATUS_BURNING
+        assert report["burning"] is True
+
+    def test_fast_window_uses_window_baseline(self):
+        engine = SloEngine(slos=(AVAILABILITY,))
+        # 1000 good requests long ago, then 100 pure failures recently.
+        engine.observe(0.0, {"availability": (1000, 1000)})
+        engine.observe(4000.0, {"availability": (1000, 1100)})
+        fast = engine.burn_rate(AVAILABILITY, FAST_WINDOW_S)
+        slow = engine.burn_rate(AVAILABILITY, SLOW_WINDOW_S)
+        # Both window baselines resolve to the t=0 point (nothing newer
+        # is old enough), so both see the 100-bad / 100-new burst.
+        assert fast == pytest.approx(100.0)
+        assert slow == pytest.approx(100.0)
+
+    def test_old_failures_age_out_of_the_fast_window(self):
+        engine = SloEngine(slos=(AVAILABILITY,))
+        engine.observe(0.0, {"availability": (0, 100)})  # bad burst
+        engine.observe(500.0, {"availability": (100, 200)})
+        engine.observe(700.0, {"availability": (200, 300)})
+        # Fast window baseline already contains the burst's bad count,
+        # so the trailing delta is all good.
+        assert engine.burn_rate(AVAILABILITY, FAST_WINDOW_S) == 0.0
+        # Slow window still sees the burst via the zero origin.
+        assert engine.burn_rate(
+            AVAILABILITY, SLOW_WINDOW_S
+        ) == pytest.approx(100.0 / 300.0 / AVAILABILITY.budget)
+
+    def test_report_shape(self):
+        engine = SloEngine()
+        report = engine.evaluate()
+        assert report["schema"] == SLO_SCHEMA
+        assert report["burn_threshold"] == BURN_ALERT_THRESHOLD
+        assert {e["name"] for e in report["slos"]} == {
+            "availability",
+            "latency",
+        }
+
+
+class TestPublishGauges:
+    def test_gauge_names_and_values(self):
+        engine = SloEngine(slos=(AVAILABILITY,))
+        engine.observe(6.0, {"availability": (49, 50)})
+        metrics = MetricsRegistry()
+        publish_gauges(metrics, engine.evaluate())
+        gauges = metrics.as_dict()["gauges"]
+        assert gauges["slo.availability.objective"] == 0.99
+        assert gauges["slo.availability.compliance"] == 0.98
+        assert "slo.availability.burn_rate.fast" in gauges
+        assert "slo.availability.burn_rate.slow" in gauges
+
+    def test_no_data_compliance_renders_as_one(self):
+        metrics = MetricsRegistry()
+        publish_gauges(metrics, SloEngine(slos=(AVAILABILITY,)).evaluate())
+        gauges = metrics.as_dict()["gauges"]
+        assert gauges["slo.availability.compliance"] == 1.0
+
+
+def loadbench_doc(completed, ok, p99=0.01, embedded=None):
+    doc = {
+        "schema": "coruscant-loadbench/1",
+        "requests_completed": completed,
+        "statuses": {"ok": ok, "error": completed - ok},
+        "kernels": [
+            {
+                "name": "loadbench.overall",
+                "requests": completed,
+                "wall_seconds_min": p99 / 10,
+                "wall_seconds_median": p99 / 2,
+                "wall_seconds_p90": p99 * 0.9,
+                "wall_seconds_p99": p99,
+            }
+        ],
+    }
+    if embedded is not None:
+        doc["slo"] = {"counts": embedded}
+    return doc
+
+
+class TestLoadbenchCounts:
+    def test_embedded_counts_win(self):
+        doc = loadbench_doc(
+            50, 50, embedded={"availability": [40, 50], "latency": [45, 50]}
+        )
+        counts = counts_from_loadbench(doc, (AVAILABILITY, LATENCY))
+        assert counts["availability"] == (40.0, 50.0)
+        assert counts["latency"] == (45.0, 50.0)
+
+    def test_legacy_doc_reconstructs_from_statuses(self):
+        counts = counts_from_loadbench(
+            loadbench_doc(50, 48), (AVAILABILITY, LATENCY)
+        )
+        assert counts["availability"] == (48.0, 50.0)
+        # p99 of 10 ms is far below the 500 ms threshold: all good.
+        assert counts["latency"] == (50.0, 50.0)
+
+    def test_fraction_below_extremes(self):
+        entry = {
+            "wall_seconds_min": 0.1,
+            "wall_seconds_median": 0.2,
+            "wall_seconds_p90": 0.4,
+            "wall_seconds_p99": 0.8,
+        }
+        assert fraction_below(0.05, entry) == 0.0
+        assert fraction_below(0.9, entry) == 1.0
+        assert fraction_below(0.3, entry) == pytest.approx(0.7)
+
+
+class TestEvaluateHistory:
+    def test_healthy_history_exits_zero(self):
+        documents = [loadbench_doc(50, 50) for _ in range(3)]
+        report = evaluate_history(documents)
+        assert report["burning"] is False
+        assert report["entries"] == 3
+        assert report["virtual_seconds"] == pytest.approx(900.0)
+        assert slo_exit_code(report) == EXIT_OK
+
+    def test_recent_failures_burn_and_exit_three(self):
+        documents = [loadbench_doc(50, 50), loadbench_doc(50, 0)]
+        report = evaluate_history(documents)
+        assert report["burning"] is True
+        statuses = {e["name"]: e["status"] for e in report["slos"]}
+        assert statuses["availability"] == STATUS_BURNING
+        assert slo_exit_code(report) == EXIT_DEGRADED
+
+    def test_empty_history_is_no_data(self):
+        report = evaluate_history([])
+        assert report["burning"] is False
+        assert all(
+            e["status"] == STATUS_NO_DATA for e in report["slos"]
+        )
+
+
+class TestRenderer:
+    def test_markdown_report(self):
+        report = evaluate_history([loadbench_doc(50, 50)])
+        text = render_slo_markdown(report)
+        assert text.startswith("# SLO report")
+        assert "| availability |" in text
+        assert "All objectives healthy." in text
+
+    def test_markdown_burning_verdict(self):
+        report = evaluate_history([loadbench_doc(50, 0)])
+        assert "**BURNING**" in render_slo_markdown(report)

@@ -1,0 +1,147 @@
+"""Metrics edge cases: quantile boundaries and snapshot thread-safety."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+
+class TestQuantileEdges:
+    def test_empty_histogram_returns_none(self):
+        hist = Histogram("t", (1, 2, 3))
+        assert hist.quantile(0.5) is None
+        assert hist.quantile(0.0) is None
+        assert hist.quantile(1.0) is None
+
+    def test_single_sample_every_quantile_is_it(self):
+        hist = Histogram("t", (1, 2, 3))
+        hist.observe(1.5)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(1.5)
+
+    def test_all_samples_in_overflow_bucket(self):
+        hist = Histogram("t", (1, 2))
+        for value in (10, 20, 30):
+            hist.observe(value)
+        # Overflow bucket spans [min, max] = [10, 30]; estimates stay
+        # inside the observed range instead of escaping past the edges.
+        assert hist.quantile(0.0) == pytest.approx(10.0)
+        assert hist.quantile(1.0) == pytest.approx(30.0)
+        assert 10.0 <= hist.quantile(0.5) <= 30.0
+
+    def test_identical_samples_collapse_the_bucket(self):
+        hist = Histogram("t", (1, 5))
+        for _ in range(4):
+            hist.observe(3.0)
+        # min == max inside one bucket: no room to interpolate.
+        assert hist.quantile(0.5) == pytest.approx(3.0)
+        assert hist.quantile(0.99) == pytest.approx(3.0)
+
+    def test_quantile_out_of_range_raises(self):
+        hist = Histogram("t", (1,))
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.1)
+
+    def test_estimates_never_leave_observed_range(self):
+        hist = Histogram("t", (1, 10, 100))
+        for value in (4, 5, 6, 7):
+            hist.observe(value)
+        for q in (0.0, 0.1, 0.5, 0.9, 1.0):
+            assert 4.0 <= hist.quantile(q) <= 7.0
+
+
+class TestConcurrentSnapshots:
+    def test_counter_incs_race_as_dict(self):
+        """as_dict() snapshots stay readable while counters increment.
+
+        CPython counter bumps interleave with snapshot iteration; the
+        registry promises non-destructive reads and monotone values,
+        not a global lock — so every snapshot must parse and every
+        successive read of one counter must be non-decreasing.
+        """
+        registry = MetricsRegistry()
+        names = [f"race.c{i}" for i in range(4)]
+        for name in names:
+            registry.counter(name)
+        per_thread = 2000
+        errors = []
+
+        def incrementer(name):
+            counter = registry.counter(name)
+            try:
+                for _ in range(per_thread):
+                    counter.inc()
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        streams = [[], []]
+
+        def snapshotter(stream):
+            try:
+                for _ in range(200):
+                    stream.append(registry.as_dict()["counters"])
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=incrementer, args=(name,))
+            for name in names
+        ] + [
+            threading.Thread(target=snapshotter, args=(stream,))
+            for stream in streams
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        # Final totals are exact: each counter has one writer thread.
+        final = registry.as_dict()["counters"]
+        for name in names:
+            assert final[name] == per_thread
+        # Within one snapshotter's stream, every counter reads as an
+        # in-range, monotonically non-decreasing value.
+        for stream in streams:
+            for name in names:
+                previous = 0
+                for snapshot in stream:
+                    value = snapshot.get(name, 0)
+                    assert 0 <= value <= per_thread
+                    assert value >= previous
+                    previous = value
+
+    def test_histogram_observe_races_as_dict(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("race.h", (0.5, 1.0))
+        errors = []
+
+        def observer():
+            try:
+                for i in range(2000):
+                    hist.observe((i % 3) * 0.4)
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        def snapshotter():
+            try:
+                for _ in range(100):
+                    snapshot = registry.as_dict()["histograms"]["race.h"]
+                    assert snapshot["count"] >= 0
+                    assert len(snapshot["counts"]) == 3
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=observer),
+            threading.Thread(target=snapshotter),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert hist.count == 2000

@@ -29,8 +29,49 @@ class TestRendering:
         assert "# TYPE coruscant_mem_row_buffer_hit_rate gauge" in lines
         assert "coruscant_mem_row_buffer_hit_rate 0.5" in lines
 
-    def test_empty_registry_is_just_eof(self):
-        assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+    def test_empty_registry_is_build_info_plus_eof(self):
+        from repro import __version__
+
+        assert render_openmetrics(MetricsRegistry()) == (
+            "# TYPE coruscant_build_info gauge\n"
+            f'coruscant_build_info{{version="{__version__}"}} 1\n'
+            "# EOF\n"
+        )
+
+    def test_unit_lines_follow_type_for_seconds_families(self):
+        hub = TelemetryHub()
+        hub.service_request("add", "ok", 0.002)
+        lines = lines_of(hub.metrics)
+        fam = "coruscant_service_request_seconds"
+        type_index = lines.index(f"# TYPE {fam} histogram")
+        assert lines[type_index + 1] == f"# UNIT {fam} seconds"
+        # Non-seconds families carry no UNIT line.
+        assert not any(
+            line.startswith("# UNIT") and fam not in line
+            for line in lines
+        )
+
+    def test_gauge_families_never_end_in_total(self):
+        registry = MetricsRegistry()
+        registry.gauge("scrub.repaired.total").set(3)
+        lines = lines_of(registry)
+        assert "# TYPE coruscant_scrub_repaired gauge" in lines
+        assert "coruscant_scrub_repaired 3" in lines
+        assert not any(
+            "coruscant_scrub_repaired_total" in line for line in lines
+        )
+
+    def test_slo_gauges_map_to_labelled_families(self):
+        registry = MetricsRegistry()
+        registry.gauge("slo.latency.burn_rate.fast").set(1.5)
+        registry.gauge("slo.latency.compliance").set(0.995)
+        lines = lines_of(registry)
+        assert "# TYPE coruscant_slo_burn_rate gauge" in lines
+        assert (
+            'coruscant_slo_burn_rate{slo="latency",window="fast"} 1.5'
+            in lines
+        )
+        assert 'coruscant_slo_compliance{slo="latency"} 0.995' in lines
 
     def test_histogram_buckets_are_cumulative_with_inf(self):
         registry = MetricsRegistry()
