@@ -1,0 +1,31 @@
+"""Deterministic chaos engineering for the Coruscant service stack.
+
+Three layers, importable independently:
+
+* :mod:`repro.chaos.hooks` — the dependency-free injection seams the
+  service stack calls at every layer; no-ops when chaos is off.
+* :mod:`repro.chaos.faults` — seed-reproducible fault timelines
+  (``derive_stream(seed, "chaos.<kind>")``) and the injector that fires
+  them at their sites.
+* :mod:`repro.chaos.campaign` — the campaign runner behind the
+  ``repro chaos`` CLI: loadgen mix against an in-process gateway,
+  crash/restart/replay against the request journal, steady-state
+  invariant checkers, schema ``coruscant-chaos/1`` report. Imported
+  lazily — it pulls in the whole service stack.
+"""
+
+from repro.chaos.hooks import (
+    ChaosWorkerCrash,
+    activate,
+    active,
+    deactivate,
+    fire,
+)
+
+__all__ = [
+    "ChaosWorkerCrash",
+    "activate",
+    "active",
+    "deactivate",
+    "fire",
+]

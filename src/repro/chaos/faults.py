@@ -1,0 +1,313 @@
+"""Deterministic fault timelines and the injector that fires them.
+
+A chaos campaign's entire fault schedule is compiled up front by
+:func:`compile_timeline` from ``derive_stream(seed, "chaos.<kind>")``
+substreams — one independent stream per fault kind, exactly the sharded
+campaign's derivation discipline — so two runs with the same seed,
+fault specs, and op count produce *bit-identical* timelines. Nothing is
+drawn at fire time.
+
+The :class:`ChaosInjector` is the runtime half: the campaign calls
+:meth:`ChaosInjector.advance` before issuing operation ``k``, which
+arms that op's events at their injection site; the service stack's
+:func:`repro.chaos.hooks.fire` calls then consume them. Armed events a
+site never reached (e.g. a kernel fault armed on an op that was
+rejected at admission) are swept into ``unfired`` on the next advance,
+so the op-to-fault association never smears across operations.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chaos import hooks
+from repro.utils.streams import derive_stream
+
+#: kind -> (site, default parameter). Campaign-level kinds (applied by
+#: the campaign runner between requests, not at an in-path site) map to
+#: the pseudo-site "campaign".
+FAULT_KINDS: Dict[str, Tuple[str, float]] = {
+    # dispatcher / worker pool
+    "worker-crash": (hooks.SITE_DISPATCH_WORKER, 0.0),
+    "worker-hang": (hooks.SITE_DISPATCH_WORKER, 0.02),
+    "worker-slow": (hooks.SITE_DISPATCH_WORKER, 0.005),
+    # kernel execution (worker thread)
+    "kernel-latency": (hooks.SITE_KERNEL_EXECUTE, 0.005),
+    "kernel-fault": (hooks.SITE_KERNEL_EXECUTE, 0.0),
+    # resilient executor (device level)
+    "device-uncorrectable": (hooks.SITE_RESILIENCE_EXECUTE, 0.0),
+    # admission
+    "queue-saturation": (hooks.SITE_DISPATCH_SUBMIT, 0.25),
+    # deadline budgets
+    "clock-skew": (hooks.SITE_GATEWAY_BUDGET, 1e-12),
+    # durability (journal + event log)
+    "torn-wal": (hooks.SITE_JOURNAL_APPEND, 0.5),
+    "wal-io-error": (hooks.SITE_JOURNAL_APPEND, 0.0),
+    "ack-suppress": (hooks.SITE_JOURNAL_ACK, 0.0),
+    "event-io-error": (hooks.SITE_EVENTS_WRITE, 0.0),
+    # breaker storm: applied by the campaign runner against the victim
+    # profile's breaker (min_samples failure verdicts), not in-path.
+    "breaker-storm": ("campaign", 0.0),
+}
+
+#: Kinds the campaign runner applies itself between requests.
+CAMPAIGN_KINDS = frozenset(
+    kind for kind, (site, _p) in FAULT_KINDS.items() if site == "campaign"
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """How many events of one fault kind a campaign schedules.
+
+    ``param`` is kind-specific: stall/latency seconds for the delay
+    kinds, the budget scale for ``clock-skew``, the truncation fraction
+    for ``torn-wal``. ``None`` uses the kind's default.
+    """
+
+    kind: str
+    count: int
+    param: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; pick from "
+                f"{', '.join(sorted(FAULT_KINDS))}"
+            )
+        if self.count < 1:
+            raise ValueError(
+                f"fault count must be >= 1, got {self.count}"
+            )
+
+    @property
+    def site(self) -> str:
+        return FAULT_KINDS[self.kind][0]
+
+    @property
+    def effective_param(self) -> float:
+        if self.param is not None:
+            return self.param
+        return FAULT_KINDS[self.kind][1]
+
+
+def parse_fault_specs(text: str) -> List[FaultSpec]:
+    """Parse the CLI ``--faults`` grammar.
+
+    ``kind:count[@param]`` entries joined by commas, e.g.
+    ``worker-crash:2,torn-wal:3,kernel-latency:4@0.002``. The order of
+    entries does not matter — each kind draws from its own stream.
+    """
+    specs: List[FaultSpec] = []
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        kind, _, rest = entry.partition(":")
+        if not rest:
+            raise ValueError(
+                f"fault spec {entry!r} is not kind:count[@param]"
+            )
+        count_text, _, param_text = rest.partition("@")
+        try:
+            count = int(count_text)
+        except ValueError as exc:
+            raise ValueError(
+                f"fault spec {entry!r} has a non-integer count"
+            ) from exc
+        param = None
+        if param_text:
+            try:
+                param = float(param_text)
+            except ValueError as exc:
+                raise ValueError(
+                    f"fault spec {entry!r} has a non-numeric param"
+                ) from exc
+        specs.append(FaultSpec(kind=kind.strip(), count=count, param=param))
+    if not specs:
+        raise ValueError("at least one fault spec is required")
+    return specs
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: fires when operation ``op`` reaches ``site``."""
+
+    op: int
+    kind: str
+    param: float
+
+    @property
+    def site(self) -> str:
+        return FAULT_KINDS[self.kind][0]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "kind": self.kind,
+            "site": self.site,
+            "param": self.param,
+        }
+
+
+def compile_timeline(
+    seed: int, specs: List[FaultSpec], duration_ops: int
+) -> List[FaultEvent]:
+    """The full fault schedule, a pure function of its arguments.
+
+    Each spec's op indices are sampled without replacement from its own
+    ``chaos.<kind>`` substream, so adding a fault kind (or changing one
+    kind's count) never perturbs another kind's placement. Counts
+    larger than ``duration_ops`` are clamped — every op can carry at
+    most one event of a given kind, but different kinds may share an op.
+    """
+    if duration_ops < 1:
+        raise ValueError(
+            f"duration_ops must be >= 1, got {duration_ops}"
+        )
+    events: List[FaultEvent] = []
+    for spec in specs:
+        rng = derive_stream(seed, f"chaos.{spec.kind}")
+        count = min(spec.count, duration_ops)
+        for op in sorted(rng.sample(range(duration_ops), count)):
+            events.append(
+                FaultEvent(op=op, kind=spec.kind, param=spec.effective_param)
+            )
+    # Deterministic global order: by op, then kind name.
+    events.sort(key=lambda e: (e.op, e.kind))
+    return events
+
+
+class ChaosInjector:
+    """Arms a compiled timeline op-by-op and fires events at their site.
+
+    One injector drives one sequential campaign: the runner calls
+    :meth:`advance` before operation ``k`` (arming that op's in-path
+    events and returning its campaign-level ones), then issues the
+    request; the stack's hook sites consume whatever is armed for them.
+    ``fired`` and ``unfired`` record exactly what happened, in order,
+    for the campaign report.
+    """
+
+    def __init__(self, timeline: List[FaultEvent]) -> None:
+        self._by_op: Dict[int, List[FaultEvent]] = {}
+        for event in timeline:
+            self._by_op.setdefault(event.op, []).append(event)
+        self._armed: Dict[str, deque] = {}
+        self.current_op: Optional[int] = None
+        self.fired: List[Dict[str, Any]] = []
+        self.unfired: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+
+    def advance(self, op: int) -> List[FaultEvent]:
+        """Arm op ``op``'s events; return its campaign-level events.
+
+        Events still armed from earlier ops are swept into ``unfired``
+        (their op never exercised that site), keeping the op-to-fault
+        mapping exact.
+        """
+        self.sweep()
+        self.current_op = op
+        campaign_events: List[FaultEvent] = []
+        for event in self._by_op.get(op, ()):
+            if event.kind in CAMPAIGN_KINDS:
+                campaign_events.append(event)
+                self.fired.append(event.as_dict())
+            else:
+                self._armed.setdefault(event.site, deque()).append(event)
+        return campaign_events
+
+    def sweep(self) -> None:
+        """Move every still-armed event into ``unfired``."""
+        for queue in self._armed.values():
+            while queue:
+                self.unfired.append(queue.popleft().as_dict())
+
+    # ------------------------------------------------------------------
+
+    def fire(self, site: str, **context: Any) -> Optional[Any]:
+        """Consume one armed event at ``site``, applying its effect."""
+        queue = self._armed.get(site)
+        if not queue:
+            return None
+        event = queue[0]
+        if (
+            event.kind == "torn-wal"
+            and context.get("record_type") not in (None, "ack")
+        ):
+            # A torn *ack* is the interesting WAL fault: the intent
+            # survives, the ack is lost, and restart must replay the
+            # request. Let the op's intent append through untouched and
+            # stay armed for its ack. (wal-io-error keeps hitting the
+            # first append — the intent — so both record types get
+            # attacked across the two kinds.)
+            return None
+        queue.popleft()
+        record = event.as_dict()
+        record["fired_at_op"] = self.current_op
+        self.fired.append(record)
+        return self._apply(event, context)
+
+    def _apply(self, event: FaultEvent, context: Dict[str, Any]) -> Any:
+        kind = event.kind
+        if kind == "worker-crash":
+            return {"action": "crash"}
+        if kind in ("worker-hang", "worker-slow"):
+            return {"action": "stall", "delay_s": event.param}
+        if kind == "kernel-latency":
+            # Fires on the worker thread: a blocking sleep models the
+            # device (or its host glue) going slow without touching the
+            # event loop.
+            time.sleep(event.param)
+            return None
+        if kind == "kernel-fault":
+            from repro.service.protocol import KernelFault
+
+            raise KernelFault(
+                "chaos_injected",
+                f"chaos: injected kernel fault at op {event.op}",
+            )
+        if kind == "device-uncorrectable":
+            from repro.resilience.errors import UncorrectableFaultError
+
+            raise UncorrectableFaultError(
+                f"chaos: injected uncorrectable device fault at op "
+                f"{event.op}"
+            )
+        if kind == "queue-saturation":
+            from repro.service.protocol import ServiceReject
+
+            raise ServiceReject(
+                429,
+                "queue_full",
+                f"chaos: admission queue saturated at op {event.op}",
+                retry_after=event.param,
+            )
+        if kind == "clock-skew":
+            return event.param
+        if kind == "torn-wal":
+            return {"action": "tear", "fraction": event.param}
+        if kind == "wal-io-error":
+            raise OSError(f"chaos: injected WAL IO error at op {event.op}")
+        if kind == "ack-suppress":
+            return {"action": "suppress"}
+        if kind == "event-io-error":
+            raise OSError(
+                f"chaos: injected event-log IO error at op {event.op}"
+            )
+        raise AssertionError(f"unhandled fault kind {kind!r}")
+
+
+__all__ = [
+    "CAMPAIGN_KINDS",
+    "ChaosInjector",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSpec",
+    "compile_timeline",
+    "parse_fault_specs",
+]

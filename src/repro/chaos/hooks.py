@@ -1,0 +1,116 @@
+"""Chaos injection hooks: the service stack's fault-injection seams.
+
+Every layer of the service stack calls :func:`fire` at a named *site*
+(admission, worker dequeue, kernel execution, the resilient executor,
+journal appends, event-log writes, deadline parsing). With no injector
+activated — the production default — ``fire`` is one module-global read
+and a ``None`` check, so the hooks cost nothing measurable when chaos
+is off. A chaos campaign activates a
+:class:`~repro.chaos.faults.ChaosInjector` for its duration; armed
+fault events then surface at their site as a raised exception (worker
+crash, kernel fault, induced IO error), an injected latency, or an
+action value the call site interprets (torn journal write, suppressed
+ack, skewed deadline budget).
+
+This module is intentionally dependency-free: service, telemetry, and
+resilience modules import it at module load, so it must never import
+them back.
+
+Sites (the stable contract between the stack and the injector):
+
+========================  ==================================================
+``gateway.budget``        deadline-budget parsing; returns a skew scale
+``dispatch.submit``       admission; may raise ``ServiceReject`` (saturation)
+``dispatch.worker``       worker dequeue; returns crash/stall actions
+``kernels.execute``       kernel runner entry (worker thread); latency/fault
+``resilience.execute``    resilient-executor entry; device-level give-up
+``journal.append``        WAL append; torn write or raised ``OSError``
+``journal.ack``           WAL ack; returns a suppress action (crash stand-in)
+``events.write``          event-log sink write; raised ``OSError``
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+SITE_GATEWAY_BUDGET = "gateway.budget"
+SITE_DISPATCH_SUBMIT = "dispatch.submit"
+SITE_DISPATCH_WORKER = "dispatch.worker"
+SITE_KERNEL_EXECUTE = "kernels.execute"
+SITE_RESILIENCE_EXECUTE = "resilience.execute"
+SITE_JOURNAL_APPEND = "journal.append"
+SITE_JOURNAL_ACK = "journal.ack"
+SITE_EVENTS_WRITE = "events.write"
+
+SITES = (
+    SITE_GATEWAY_BUDGET,
+    SITE_DISPATCH_SUBMIT,
+    SITE_DISPATCH_WORKER,
+    SITE_KERNEL_EXECUTE,
+    SITE_RESILIENCE_EXECUTE,
+    SITE_JOURNAL_APPEND,
+    SITE_JOURNAL_ACK,
+    SITE_EVENTS_WRITE,
+)
+
+
+class ChaosWorkerCrash(Exception):
+    """An injected worker-process death.
+
+    Deliberately *not* a :class:`ServiceReject` or :class:`KernelFault`
+    subclass: it must escape the dispatcher's per-job fault handling and
+    reach the worker supervisor, which fails the in-flight request and
+    respawns the worker with a fresh system — exactly what a real
+    worker death would force.
+    """
+
+
+#: The one active injector, or None (the permanent production state).
+_active: Optional[Any] = None
+
+
+def activate(injector: Any) -> None:
+    """Install ``injector`` as the process-wide chaos source."""
+    global _active
+    _active = injector
+
+
+def deactivate() -> None:
+    global _active
+    _active = None
+
+
+def active() -> Optional[Any]:
+    return _active
+
+
+def fire(site: str, **context: Any) -> Optional[Any]:
+    """Give the active injector one shot at ``site``.
+
+    Returns whatever the injector's armed fault produces for the site
+    (an action dict, a scale factor, ...), or None when chaos is off or
+    nothing is armed there. May raise — that *is* the fault.
+    """
+    injector = _active
+    if injector is None:
+        return None
+    return injector.fire(site, **context)
+
+
+__all__ = [
+    "ChaosWorkerCrash",
+    "SITES",
+    "SITE_DISPATCH_SUBMIT",
+    "SITE_DISPATCH_WORKER",
+    "SITE_EVENTS_WRITE",
+    "SITE_GATEWAY_BUDGET",
+    "SITE_JOURNAL_ACK",
+    "SITE_JOURNAL_APPEND",
+    "SITE_KERNEL_EXECUTE",
+    "SITE_RESILIENCE_EXECUTE",
+    "activate",
+    "active",
+    "deactivate",
+    "fire",
+]

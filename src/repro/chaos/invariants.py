@@ -1,0 +1,150 @@
+"""Steady-state invariants every chaos campaign must end green on.
+
+Each checker is a pure function over evidence the campaign collected —
+counters, journal state, breaker snapshots, per-request digests — and
+returns one ``{"name", "ok", "detail"}`` record. The campaign report
+carries all of them; any ``ok: false`` drives the ``repro chaos`` CLI
+to exit 3 (the degraded code), the same contract sharded campaigns use
+for incomplete shards.
+
+The four invariants:
+
+* **no-acked-request-lost** — every request whose ack reached disk
+  before the crash is answerable after restart with the *original*
+  response (``replayed: true``, matching digest). This is the whole
+  point of the WAL.
+* **request-accounting** — conservation: every request the campaign
+  issued is accounted exactly once as completed or rejected
+  (``issued == service.requests + service.rejected``), and everything
+  admitted reached a terminal response
+  (``service.admitted == service.requests``). Worker crashes, sheds,
+  and storms may *reclassify* requests; they must never lose one.
+* **breaker-isolation** — a storm that opens one device profile's
+  breaker leaves every other profile serving: the victim snapshot is
+  OPEN, the default stays CLOSED, and a live probe through the default
+  profile succeeds.
+* **events-metrics-consistency** — the event log and the metrics
+  registry tell one story: ``service.request.done`` events never
+  exceed the ``service.requests`` counter, fall short only by records
+  the sink dropped (``events.write_errors``), and each carries a
+  distinct ``trace_id``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+INVARIANT_NO_ACKED_LOST = "no-acked-request-lost"
+INVARIANT_ACCOUNTING = "request-accounting"
+INVARIANT_BREAKER_ISOLATION = "breaker-isolation"
+INVARIANT_EVENTS_CONSISTENCY = "events-metrics-consistency"
+
+
+def _result(
+    name: str, ok: bool, detail: Dict[str, Any]
+) -> Dict[str, Any]:
+    return {"name": name, "ok": bool(ok), "detail": detail}
+
+
+def check_no_acked_lost(
+    acked_keys: List[str],
+    resubmits: Dict[str, Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Every durably-acked key resubmits to its original response.
+
+    ``resubmits`` maps key -> {"replayed": bool, "digest_matches": bool}
+    from the campaign's post-restart idempotent-resubmit phase.
+    """
+    lost: List[Dict[str, Any]] = []
+    for key in acked_keys:
+        record = resubmits.get(key)
+        if record is None:
+            lost.append({"key": key, "reason": "never_resubmitted"})
+        elif not record.get("replayed"):
+            lost.append({"key": key, "reason": "re_executed"})
+        elif not record.get("digest_matches"):
+            lost.append({"key": key, "reason": "digest_mismatch"})
+    return _result(
+        INVARIANT_NO_ACKED_LOST,
+        not lost,
+        {"acked": len(acked_keys), "lost": lost},
+    )
+
+
+def check_accounting(
+    issued: int, counters: Dict[str, int]
+) -> Dict[str, Any]:
+    requests = int(counters.get("service.requests", 0))
+    rejected = int(counters.get("service.rejected", 0))
+    admitted = int(counters.get("service.admitted", 0))
+    conserved = issued == requests + rejected
+    landed = admitted == requests
+    return _result(
+        INVARIANT_ACCOUNTING,
+        conserved and landed,
+        {
+            "issued": issued,
+            "requests": requests,
+            "rejected": rejected,
+            "admitted": admitted,
+            "conserved": conserved,
+            "all_admitted_landed": landed,
+        },
+    )
+
+
+def check_breaker_isolation(
+    storms_fired: int,
+    victim_state: Optional[str],
+    default_state: str,
+    default_probe_status: str,
+) -> Dict[str, Any]:
+    victim_ok = storms_fired == 0 or victim_state == "OPEN"
+    default_ok = (
+        default_state == "CLOSED" and default_probe_status == "ok"
+    )
+    return _result(
+        INVARIANT_BREAKER_ISOLATION,
+        victim_ok and default_ok,
+        {
+            "storms_fired": storms_fired,
+            "victim_state": victim_state,
+            "default_state": default_state,
+            "default_probe_status": default_probe_status,
+        },
+    )
+
+
+def check_events_consistency(
+    counters: Dict[str, int],
+    done_trace_ids: List[Optional[str]],
+) -> Dict[str, Any]:
+    requests = int(counters.get("service.requests", 0))
+    write_errors = int(counters.get("events.write_errors", 0))
+    done = len(done_trace_ids)
+    traced = [t for t in done_trace_ids if t]
+    bounded = done <= requests <= done + write_errors
+    distinct = len(set(traced)) == len(traced) == done
+    return _result(
+        INVARIANT_EVENTS_CONSISTENCY,
+        bounded and distinct,
+        {
+            "done_events": done,
+            "requests": requests,
+            "write_errors": write_errors,
+            "bounded": bounded,
+            "trace_ids_distinct_and_present": distinct,
+        },
+    )
+
+
+__all__ = [
+    "INVARIANT_ACCOUNTING",
+    "INVARIANT_BREAKER_ISOLATION",
+    "INVARIANT_EVENTS_CONSISTENCY",
+    "INVARIANT_NO_ACKED_LOST",
+    "check_accounting",
+    "check_breaker_isolation",
+    "check_events_consistency",
+    "check_no_acked_lost",
+]

@@ -1155,8 +1155,85 @@ def _run_slo(parser: argparse.ArgumentParser, args) -> int:
     return code
 
 
+def _run_chaos(parser: argparse.ArgumentParser, args) -> int:
+    """``repro chaos``: seed-reproducible service-stack fault campaign.
+
+    Compiles a deterministic fault timeline, drives the loadgen mix
+    against an in-process gateway while the faults fire, then crashes,
+    recovers, and replays the request journal. Exits 3 the moment any
+    steady-state invariant is red, 0 when all are green. The report
+    (schema ``coruscant-chaos/1``) is byte-identical across runs of the
+    same seed/flags.
+    """
+    from repro.chaos.campaign import run_campaign
+    from repro.chaos.faults import parse_fault_specs
+    from repro.obs.loadgen import LOAD_PROFILES
+
+    if args.duration_ops < 1:
+        parser.error("--duration-ops must be >= 1")
+    try:
+        specs = parse_fault_specs(
+            args.faults or "worker-crash:1,torn-wal:1"
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    load_profile = "mixed"
+    if args.profile:
+        if len(args.profile) != 1:
+            parser.error(
+                "chaos takes exactly one --profile (a load-mix name)"
+            )
+        load_profile = args.profile[0]
+    if load_profile not in LOAD_PROFILES:
+        parser.error(
+            f"--profile must be a load mix: "
+            f"{', '.join(sorted(LOAD_PROFILES))}"
+        )
+    report = run_campaign(
+        seed=args.seed,
+        fault_specs=specs,
+        duration_ops=args.duration_ops,
+        journal_dir=args.journal,
+        load_profile=load_profile,
+        inject_violation=args.inject_invariant_violation,
+    )
+    code = EXIT_OK if report["ok"] else EXIT_DEGRADED
+    if args.report_out:
+        # The canonical byte form: two runs of the same seed/flags
+        # write identical files (CI compares them with cmp).
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(report, sort_keys=True) + "\n")
+    if args.json:
+        report["exit_status"] = code
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return code
+    fired = len(report["fired"])
+    print(
+        f"chaos campaign: seed={args.seed} "
+        f"ops={args.duration_ops} mix={load_profile} "
+        f"faults={fired} fired / {len(report['unfired'])} unfired"
+    )
+    journal = report["journal"]
+    print(
+        f"journal: {journal['phase_a']['intents']} intents, "
+        f"{journal['acked_on_disk']} acks on disk, "
+        f"{journal['recovered']['torn_records']} torn records, "
+        f"{report['replay']['count']} replayed after restart, "
+        f"{report['resubmits']['count']} idempotent resubmits"
+    )
+    for invariant in report["invariants"]:
+        mark = "PASS" if invariant["ok"] else "FAIL"
+        print(f"  [{mark}] {invariant['name']}")
+        if not invariant["ok"]:
+            print(f"         {invariant['detail']}")
+    print("all invariants green" if report["ok"]
+          else "INVARIANT VIOLATION — exiting 3")
+    return code
+
+
 _COMMANDS = sorted(_EXPERIMENTS) + [
-    "all", "add", "mult", "campaign", "mc", "trace", "bench",
+    "all", "add", "mult", "campaign", "chaos", "mc", "trace", "bench",
     "loadbench", "serve", "profile", "slo",
 ]
 
@@ -1172,7 +1249,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="experiment to regenerate, a one-off PIM operation, the "
              "fidelity scoreboard (report), the bench regression gate "
              "(bench), the closed-loop service load bench (loadbench), "
-             "a fault campaign (campaign), Monte Carlo fault-injection "
+             "a fault campaign (campaign), a deterministic service-"
+             "stack chaos campaign (chaos), Monte Carlo fault-injection "
              "trials (mc), the resilient kernel gateway (serve), the "
              "sampling profiler wrapper (profile), or the SLO burn-rate "
              "report (slo)",
@@ -1438,6 +1516,29 @@ def main(argv: Optional[List[str]] = None) -> int:
              "wall sampling (bit-identical across runs)",
     )
     parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="chaos: comma-joined kind:count[@param] fault specs, e.g. "
+             "worker-crash:2,torn-wal:2,kernel-latency:4@0.002 "
+             "(default worker-crash:1,torn-wal:1)",
+    )
+    parser.add_argument(
+        "--duration-ops", type=int, default=40, metavar="N",
+        help="chaos: operations in the campaign's load schedule "
+             "(default 40)",
+    )
+    parser.add_argument(
+        "--report-out", metavar="PATH", default=None,
+        help="chaos: write the canonical coruscant-chaos/1 report "
+             "(sorted-key JSON, byte-identical across runs of one "
+             "seed) to PATH",
+    )
+    parser.add_argument(
+        "--inject-invariant-violation", action="store_true",
+        help="chaos: CI hook — fabricate a lost acked request so the "
+             "no-acked-request-lost invariant goes red and the command "
+             "exits 3",
+    )
+    parser.add_argument(
         "--slo", action="store_true",
         help="loadbench: replay the run through the SLO burn-rate "
              "engine and exit 3 when an objective is violated",
@@ -1468,6 +1569,8 @@ def _dispatch(parser: argparse.ArgumentParser, args) -> int:
 
     if args.command == "slo":
         return _run_slo(parser, args)
+    if args.command == "chaos":
+        return _run_chaos(parser, args)
     if args.command == "serve":
         if args.queue_capacity < 1:
             parser.error("--queue-capacity must be >= 1")

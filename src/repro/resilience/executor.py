@@ -32,6 +32,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.arch.controller import MemoryController
 from repro.arch.placement import remap_pim_dbc
+from repro.chaos import hooks as chaos_hooks
 from repro.core.isa import CpimInstruction
 from repro.core.nmr import ModularRedundancy
 from repro.resilience.breaker import AdaptiveProtection, ProtectionLevel
@@ -215,6 +216,12 @@ class ResilientExecutor:
         instruction: CpimInstruction,
         deadline: Optional[Deadline] = None,
     ):
+        # Chaos: device-level give-up. Raising UncorrectableFaultError
+        # here exercises the same escape path a real ladder exhaustion
+        # takes (kernel golden-check -> KernelFault -> dispatcher retry).
+        chaos_hooks.fire(
+            chaos_hooks.SITE_RESILIENCE_EXECUTE, op=instruction.op.name
+        )
         with self.controller.deferred_hooks():
             instruction = self._remap(instruction)
             key = dbc_key(instruction.src)

@@ -11,6 +11,14 @@ get the full admission/deadline/retry/breaker pipeline without sockets:
         )
         assert response.status == "ok"
 
+The client is a well-behaved citizen under backpressure: a 429
+``queue_full`` is retried after honouring the server's ``Retry-After``
+hint, with deterministic-jitter backoff from
+:func:`repro.utils.streams.backoff_delay` layered on top so a herd of
+clients spreads out instead of re-colliding. Other rejections (503
+``breaker_open``, 504 deadlines, 400s) surface immediately — those are
+signals to the caller, not transient congestion.
+
 Closing the client drains the gateway, so every admitted request has
 resolved by the time ``close()`` returns.
 """
@@ -19,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from typing import Any, Dict, Optional
 
 from repro.service.gateway import Gateway
@@ -26,21 +35,35 @@ from repro.service.protocol import (
     PRIORITY_INTERACTIVE,
     ServiceResponse,
 )
+from repro.utils.streams import backoff_delay
 
 
 class ServiceClient:
     """Blocking facade over an in-process gateway."""
 
     def __init__(
-        self, gateway: Optional[Gateway] = None, **gateway_kwargs: Any
+        self,
+        gateway: Optional[Gateway] = None,
+        rejection_retries: int = 2,
+        retry_seed: int = 0,
+        **gateway_kwargs: Any,
     ) -> None:
         if gateway is not None and gateway_kwargs:
             raise ValueError(
                 "pass either a gateway or constructor kwargs, not both"
             )
+        if rejection_retries < 0:
+            raise ValueError(
+                f"rejection_retries must be >= 0, got {rejection_retries}"
+            )
         self.gateway = gateway or Gateway(**gateway_kwargs)
+        self.rejection_retries = rejection_retries
+        self.retry_seed = retry_seed
+        self.rejection_retry_count = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
+        self._request_seq = 0
+        self._seq_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -71,6 +94,10 @@ class ServiceClient:
     async def _start_dispatchers(self) -> None:
         for dispatcher in self.gateway.dispatchers.values():
             dispatcher.start()
+        # Crash recovery: with a journal attached, re-submit whatever
+        # a previous process accepted but never acked — before the
+        # caller's first request, so replays win any idempotency race.
+        await self.gateway.replay_journal()
 
     def close(self) -> None:
         """Drain the gateway, then stop the background loop."""
@@ -95,8 +122,15 @@ class ServiceClient:
         budget_s: Optional[float] = None,
         priority: str = PRIORITY_INTERACTIVE,
         profile: str = "default",
+        idempotency_key: Optional[str] = None,
     ) -> ServiceResponse:
-        """One kernel request, blocking until its terminal response."""
+        """One kernel request, blocking until its terminal response.
+
+        429 ``queue_full`` responses are retried up to
+        ``rejection_retries`` times: each retry sleeps the server's
+        ``Retry-After`` hint or the deterministic-jitter backoff for
+        this (client, request, attempt), whichever is longer.
+        """
         if self._loop is None:
             raise RuntimeError("client is not started")
         body: Dict[str, Any] = {
@@ -106,17 +140,45 @@ class ServiceClient:
         }
         if budget_s is not None:
             body["budget_s"] = budget_s
+        if idempotency_key is not None:
+            body["idempotency_key"] = idempotency_key
         wait = (
             budget_s
             if budget_s is not None
             else self.gateway.default_budget_s
         )
-        future = asyncio.run_coroutine_threadsafe(
-            self.gateway.handle(kernel, body), self._loop
-        )
-        # The gateway itself sheds on the budget; the extra margin only
-        # guards against a wedged loop.
-        return future.result(timeout=wait + 60)
+        with self._seq_lock:
+            self._request_seq += 1
+            purpose = f"client|{kernel}|{self._request_seq}"
+        attempt = 0
+        while True:
+            future = asyncio.run_coroutine_threadsafe(
+                self.gateway.handle(kernel, body), self._loop
+            )
+            # The gateway itself sheds on the budget; the extra margin
+            # only guards against a wedged loop.
+            response = future.result(timeout=wait + 60)
+            if (
+                response.http_status != 429
+                or attempt >= self.rejection_retries
+            ):
+                return response
+            attempt += 1
+            self.rejection_retry_count += 1
+            hint = response.body.get("retry_after_s", 0.0)
+            if isinstance(hint, bool) or not isinstance(
+                hint, (int, float)
+            ):
+                hint = 0.0
+            delay = max(
+                float(hint),
+                backoff_delay(
+                    self.retry_seed, purpose, attempt,
+                    base=0.05, cap=2.0, factor=2.0, jitter=0.5,
+                ),
+            )
+            if delay > 0:
+                time.sleep(delay)
 
     def healthz(self) -> Dict[str, Any]:
         status, body = self.gateway.healthz()

@@ -30,6 +30,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
+from repro.chaos import hooks as chaos_hooks
+from repro.chaos.hooks import ChaosWorkerCrash
 from repro.resilience.errors import BudgetExhaustedError
 from repro.service.admission import AdmissionPolicy, ProfileQueues
 from repro.service.breaker import RequestBreaker, RequestBreakerConfig
@@ -134,6 +136,7 @@ class ProfileDispatcher:
         self._tasks: List[asyncio.Task] = []
         self.completed = 0
         self.dropped = 0
+        self.worker_crashes = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -171,6 +174,14 @@ class ProfileDispatcher:
             raise ServiceReject(
                 504, "deadline_exceeded", "budget expired before admission"
             )
+        # Chaos: induced admission-queue saturation. Fires before the
+        # breaker gate so the synthetic 429 costs no breaker slot,
+        # exactly like a real queue_full from ``queues.offer``.
+        chaos_hooks.fire(
+            chaos_hooks.SITE_DISPATCH_SUBMIT,
+            profile=self.profile.name,
+            kernel=request.kernel,
+        )
         self.breaker.allow()
         future: asyncio.Future = (
             asyncio.get_running_loop().create_future()
@@ -222,8 +233,51 @@ class ProfileDispatcher:
                     worker=index,
                 )
             try:
+                action = chaos_hooks.fire(
+                    chaos_hooks.SITE_DISPATCH_WORKER,
+                    profile=self.profile.name,
+                    worker=index,
+                )
+                if isinstance(action, dict):
+                    if action.get("action") == "crash":
+                        raise ChaosWorkerCrash(
+                            f"worker {index} "
+                            f"({self.profile.name}) killed by chaos"
+                        )
+                    if action.get("action") == "stall":
+                        # Hang/slowdown: the worker goes dark for a
+                        # while with the job in flight; deadlines and
+                        # queue depth absorb the stall.
+                        await asyncio.sleep(
+                            float(action.get("delay_s", 0.0))
+                        )
                 response = await self._process(
                     system, job.request, context=span.context if span else None
+                )
+            except ChaosWorkerCrash as exc:
+                # Worker supervision: an injected death escapes per-job
+                # fault handling and lands here. Fail the in-flight
+                # request honestly (500 worker_crashed), release the
+                # breaker slot without a verdict (process death is not
+                # device-fault evidence), and respawn the worker by
+                # rebuilding its private system — exactly what a real
+                # supervisor restart would produce.
+                self.worker_crashes += 1
+                self.breaker.release()
+                if self.telemetry is not None:
+                    self.telemetry.service_worker_crashed(
+                        self.profile.name, index,
+                        trace_id=job.request.trace_id,
+                    )
+                response = ServiceResponse(
+                    500,
+                    envelope(
+                        job.request, "error", error="worker_crashed",
+                        message=str(exc),
+                    ),
+                )
+                system = self.profile.build_system(
+                    telemetry=self.telemetry
                 )
             except Exception as exc:  # noqa: BLE001 - worker must live
                 self.breaker.record(True)
@@ -507,6 +561,7 @@ class ProfileDispatcher:
             "queue_depths": self.queues.depths(),
             "workers": self.workers,
             "completed": self.completed,
+            "worker_crashes": self.worker_crashes,
             "draining": self.queues.closed,
         }
 

@@ -39,9 +39,11 @@ import signal
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.chaos import hooks as chaos_hooks
 from repro.service.admission import AdmissionPolicy
 from repro.service.breaker import OPEN, RequestBreakerConfig
 from repro.service.dispatch import ProfileDispatcher, RetryConfig
+from repro.service.journal import RequestJournal
 from repro.service.profiles import DeviceProfile, default_profiles
 from repro.service.protocol import (
     KERNELS,
@@ -89,6 +91,7 @@ class Gateway:
         enable_profiling: bool = False,
         slo_engine=None,
         clock=time.monotonic,
+        journal: Optional[RequestJournal] = None,
     ) -> None:
         if default_budget_s <= 0:
             raise ValueError(
@@ -125,6 +128,12 @@ class Gateway:
         self.draining = False
         self._server: Optional[asyncio.AbstractServer] = None
         self._drained = asyncio.Event()
+        # Crash durability: WAL of accepted-request intents and their
+        # terminal acks, plus the in-flight map that coalesces
+        # concurrent duplicates of one idempotency key.
+        self.journal = journal
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        self.last_replay: List[Dict[str, Any]] = []
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -158,7 +167,45 @@ class Gateway:
         )
         if self._server is not None:
             await self._server.wait_closed()
+        if self.journal is not None:
+            self.journal.close()
         self._drained.set()
+
+    async def replay_journal(self) -> List[Dict[str, Any]]:
+        """Re-submit every journalled intent that never got its ack.
+
+        Run at startup (after the dispatchers are up): these are the
+        requests a previous process accepted and then died with. Each
+        replays through the normal :meth:`handle` path under its
+        original idempotency key — so it re-executes, gets acked, and
+        future duplicates dedup against the new ack. Returns one
+        ``{"key", "kernel", "http_status", "status"}`` record per
+        replayed request, in original acceptance order.
+        """
+        if self.journal is None:
+            return []
+        replayed: List[Dict[str, Any]] = []
+        for intent in self.journal.pending():
+            body = intent.get("body")
+            if not isinstance(body, dict):
+                continue
+            response = await self.handle(
+                str(intent.get("kernel")), body,
+                journal_key=intent["key"],
+            )
+            replayed.append(
+                {
+                    "key": intent["key"],
+                    "kernel": intent.get("kernel"),
+                    "http_status": response.http_status,
+                    "status": response.status,
+                }
+            )
+        if self.telemetry is not None and replayed:
+            self.telemetry.journal_replayed(len(replayed))
+            self.telemetry.journal_counts(self.journal.counts())
+        self.last_replay = replayed
+        return replayed
 
     async def serve_until_drained(self) -> None:
         await self._drained.wait()
@@ -170,6 +217,7 @@ class Gateway:
         self,
         kernel: str,
         body: Dict[str, Any],
+        journal_key: Optional[str] = None,
     ) -> ServiceResponse:
         """Admit + await one kernel request; always returns a response.
 
@@ -179,7 +227,80 @@ class Gateway:
         span (requests interleave on the event-loop thread, so stack
         nesting would mis-parent them) whose context every downstream
         span — dispatcher, worker, resilient executor — descends from.
+
+        With a journal attached, a body's ``idempotency_key`` gives the
+        request a durable identity: an already-acked key returns the
+        original response (stamped ``"replayed": true``) without
+        re-executing; a key currently in flight coalesces onto the
+        first submission's future; a fresh key is journalled as an
+        intent after admission and acked with its terminal response.
+        ``journal_key`` is the internal replay path — it carries a
+        recovered intent's key through re-submission, bypassing the
+        dedup lookups (no ack exists for a pending intent by
+        construction).
         """
+        replaying = journal_key is not None
+        key = journal_key
+        if key is None and isinstance(body, dict):
+            raw_key = body.get("idempotency_key")
+            if raw_key is not None:
+                if not isinstance(raw_key, str) or not raw_key:
+                    return reject_response(
+                        KernelRequest(
+                            kernel=kernel,
+                            payload={},
+                            deadline=Deadline.never(),
+                        ),
+                        BadRequest(
+                            "'idempotency_key' must be a non-empty string"
+                        ),
+                    )
+                key = raw_key
+        if self.journal is None or key is None:
+            return await self._handle_core(kernel, body, None)
+        if not replaying:
+            ack = self.journal.get_ack(key)
+            if ack is not None and isinstance(ack.get("body"), dict):
+                replay_body = dict(ack["body"])
+                replay_body["replayed"] = True
+                if self.telemetry is not None:
+                    self.telemetry.journal_dedup_hit()
+                return ServiceResponse(
+                    int(ack["http_status"]), replay_body
+                )
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                # Concurrent duplicate: ride the first submission.
+                original = await asyncio.shield(inflight)
+                dedup_body = dict(original.body)
+                dedup_body["replayed"] = True
+                if self.telemetry is not None:
+                    self.telemetry.journal_dedup_hit()
+                return ServiceResponse(
+                    original.http_status, dedup_body,
+                    dict(original.headers),
+                )
+        inflight_future: "asyncio.Future" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[key] = inflight_future
+        try:
+            response = await self._handle_core(kernel, body, key)
+        except BaseException:
+            inflight_future.cancel()
+            raise
+        else:
+            inflight_future.set_result(response)
+            return response
+        finally:
+            self._inflight.pop(key, None)
+
+    async def _handle_core(
+        self,
+        kernel: str,
+        body: Dict[str, Any],
+        journal_key: Optional[str],
+    ) -> ServiceResponse:
         request_id = mint_request_id()
         trace = TraceContext.root()
         request = KernelRequest(
@@ -221,7 +342,19 @@ class Gateway:
             if span is not None:
                 self.telemetry.tracer.finish(span, status=response.status)
             return response
+        # The request is now *accepted*: journal the intent before
+        # execution so a crash from here on is recoverable. Rejects
+        # above are deliberately not journalled — the client should
+        # retry those, not have the refusal replayed back.
+        if self.journal is not None and journal_key is not None:
+            self.journal.record_intent(journal_key, kernel, body)
         response = await future
+        if self.journal is not None and journal_key is not None:
+            self.journal.record_ack(
+                journal_key, response.http_status, response.body
+            )
+            if self.telemetry is not None:
+                self.telemetry.journal_counts(self.journal.counts())
         if span is not None:
             self.telemetry.tracer.finish(span, status=response.status)
         return response
@@ -249,6 +382,14 @@ class Gateway:
             raise BadRequest("'budget_s' must be a number")
         if budget <= 0:
             raise BadRequest(f"'budget_s' must be > 0, got {budget}")
+        # Chaos: clock skew on the deadline budget. A skewed gateway
+        # clock mis-sizes the monotonic budget the deadline is minted
+        # from; a tiny scale collapses it to an immediate 504.
+        skew = chaos_hooks.fire(
+            chaos_hooks.SITE_GATEWAY_BUDGET, kernel=kernel
+        )
+        if skew is not None:
+            budget = float(budget) * float(skew)
         priority = body.get("priority", PRIORITY_INTERACTIVE)
         if priority not in PRIORITIES:
             raise BadRequest(
@@ -273,13 +414,16 @@ class Gateway:
     # health
 
     def healthz(self) -> Tuple[int, Dict[str, Any]]:
-        return 200, {
+        body: Dict[str, Any] = {
             "status": "draining" if self.draining else "ok",
             "profiles": {
                 name: dispatcher.snapshot()
                 for name, dispatcher in self.dispatchers.items()
             },
         }
+        if self.journal is not None:
+            body["journal"] = self.journal.counts()
+        return 200, body
 
     def readyz(self) -> Tuple[int, Dict[str, Any]]:
         breakers = {

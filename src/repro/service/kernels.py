@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.chaos import hooks as chaos_hooks
 from repro.core.isa import BLOCK_SIZES, Address, CpimInstruction, CpimOp
 from repro.service.protocol import BadRequest, KernelFault
 from repro.telemetry.context import TraceContext, use_context
@@ -369,12 +370,19 @@ def run_traced(
                 system, kernel, payload, deadline, telemetry, context
             )
     if telemetry is None:
+        # Chaos: kernel-level latency/fault injection (worker thread —
+        # a blocking sleep here models the device going slow without
+        # touching the event loop). May raise KernelFault.
+        chaos_hooks.fire(chaos_hooks.SITE_KERNEL_EXECUTE, kernel=kernel)
         return runner(system, payload, deadline)
     with use_context(context):
         with telemetry.tracer.span(
             "service.execute", category="service", kernel=kernel
         ) as span:
             try:
+                chaos_hooks.fire(
+                    chaos_hooks.SITE_KERNEL_EXECUTE, kernel=kernel
+                )
                 result = runner(system, payload, deadline)
             except KernelFault as exc:
                 span.annotate(verdict=exc.verdict)

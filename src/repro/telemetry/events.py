@@ -32,8 +32,9 @@ import json
 import os
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.chaos import hooks as chaos_hooks
 from repro.telemetry.context import current_context
 
 EVENTS_SCHEMA = "coruscant-events/1"
@@ -105,25 +106,34 @@ class JsonlSink:
     def emit(self, record: Dict[str, Any]) -> None:
         line = json.dumps(record, sort_keys=True) + "\n"
         with self._lock:
+            if self._fh.closed:
+                # A previous failed write/rotation closed the handle;
+                # try to come back rather than staying dead forever.
+                self._fh = open(self.path, "a", encoding="utf-8")
             if self._fh.tell() + len(line) > self.max_bytes:
                 self._rotate()
             self._fh.write(line)
             self._fh.flush()
 
     def _rotate(self) -> None:
+        # Reopen in a finally: if any replace/remove step fails (disk
+        # full, permissions) the sink must still end up with a live
+        # handle so the *next* emit can proceed.
         self._fh.close()
-        if self.backups == 0:
-            open(self.path, "w", encoding="utf-8").close()
-        else:
-            oldest = f"{self.path}.{self.backups}"
-            if os.path.exists(oldest):
-                os.remove(oldest)
-            for index in range(self.backups - 1, 0, -1):
-                src = f"{self.path}.{index}"
-                if os.path.exists(src):
-                    os.replace(src, f"{self.path}.{index + 1}")
-            os.replace(self.path, f"{self.path}.1")
-        self._fh = open(self.path, "a", encoding="utf-8")
+        try:
+            if self.backups == 0:
+                open(self.path, "w", encoding="utf-8").close()
+            else:
+                oldest = f"{self.path}.{self.backups}"
+                if os.path.exists(oldest):
+                    os.remove(oldest)
+                for index in range(self.backups - 1, 0, -1):
+                    src = f"{self.path}.{index}"
+                    if os.path.exists(src):
+                        os.replace(src, f"{self.path}.{index + 1}")
+                os.replace(self.path, f"{self.path}.1")
+        finally:
+            self._fh = open(self.path, "a", encoding="utf-8")
 
     def close(self) -> None:
         with self._lock:
@@ -146,15 +156,24 @@ class EventLog:
     the campaign CLI binds ``shard_id`` here so each record of a
     campaign event stream names its shard. Explicit per-emit fields
     win over common ones.
+
+    Sink failures never reach the caller: telemetry rides the request
+    path, so a full disk or failed rotation drops the record, bumps
+    ``write_errors`` (and the ``on_write_error`` callback, which the
+    hub uses to expose an ``events.write_errors`` counter), and the
+    request proceeds untouched.
     """
 
     def __init__(
         self,
         sink: Optional[Any] = None,
         common: Optional[Dict[str, Any]] = None,
+        on_write_error: Optional[Callable[[], None]] = None,
     ) -> None:
         self.sink = sink if sink is not None else NullSink()
         self.common: Dict[str, Any] = dict(common) if common else {}
+        self.on_write_error = on_write_error
+        self.write_errors = 0
         self._seq = 0
         self._lock = threading.Lock()
 
@@ -191,7 +210,21 @@ class EventLog:
         for key, value in fields.items():
             if value is not None:
                 record[key] = value
-        self.sink.emit(record)
+        try:
+            chaos_hooks.fire(chaos_hooks.SITE_EVENTS_WRITE, event=event)
+            self.sink.emit(record)
+        except (OSError, ValueError):
+            # ValueError covers writes on a handle a prior failure
+            # closed. Either way: drop the record, count it, move on —
+            # the event log must never fail a request.
+            with self._lock:
+                self.write_errors += 1
+            if self.on_write_error is not None:
+                try:
+                    self.on_write_error()
+                except Exception:
+                    pass
+            return None
         return record
 
     def close(self) -> None:

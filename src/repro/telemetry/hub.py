@@ -51,6 +51,15 @@ class TelemetryHub:
         self.metrics = MetricsRegistry() if metrics is None else metrics
         self.events = EventLog() if events is None else events
         self._lock = threading.Lock()
+        # Dropped event-log records surface as a counter, not as an
+        # event (emitting an event about a failed emit would recurse
+        # straight back into the failing sink).
+        if getattr(self.events, "on_write_error", None) is None:
+            self.events.on_write_error = self._event_write_error
+
+    def _event_write_error(self) -> None:
+        with self._lock:
+            self.metrics.counter("events.write_errors").inc()
 
     # ------------------------------------------------------------------
     # device layer
@@ -305,6 +314,40 @@ class TelemetryHub:
                 src=src,
                 dst=dst,
             )
+
+    def service_worker_crashed(
+        self, profile: str, worker: int, trace_id: Optional[str] = None
+    ) -> None:
+        """A worker died with a job in flight and was respawned."""
+        with self._lock:
+            m = self.metrics
+            m.counter("service.worker_crashes").inc()
+            m.counter(f"service.worker_crashes.{profile}").inc()
+        if self.events.enabled:
+            self.events.emit(
+                "service.worker.crashed",
+                trace_id=trace_id,
+                profile=profile,
+                worker=worker,
+            )
+
+    def journal_counts(self, counts: Dict[str, int]) -> None:
+        """Mirror the request journal's counters into gauges."""
+        with self._lock:
+            for name, value in counts.items():
+                self.metrics.gauge(f"journal.{name}").set(value)
+
+    def journal_dedup_hit(self) -> None:
+        """A duplicate idempotency key answered from the journal."""
+        with self._lock:
+            self.metrics.counter("journal.dedup_hits").inc()
+
+    def journal_replayed(self, count: int) -> None:
+        """Un-acked intents re-submitted after a restart."""
+        with self._lock:
+            self.metrics.counter("journal.replays").inc(count)
+        if self.events.enabled:
+            self.events.emit("journal.replayed", count=count)
 
     def service_drained(self, completed: int, dropped: int) -> None:
         """Drain accounting at shutdown: everything admitted must land."""

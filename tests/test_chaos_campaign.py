@@ -1,0 +1,191 @@
+"""Chaos campaign end-to-end: determinism, invariants, CLI contract.
+
+The load-bearing assertions: a campaign is a pure function of
+(seed, faults, duration) down to the serialized report bytes; the
+worker-kill + torn-WAL story ends with zero lost acked requests; and
+the ``repro chaos`` CLI speaks the shared exit-code contract (0 green,
+2 usage, 3 violated invariant).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.chaos.campaign import CHAOS_SCHEMA, run_campaign
+from repro.chaos.faults import parse_fault_specs
+from repro.chaos.invariants import (
+    check_accounting,
+    check_breaker_isolation,
+    check_events_consistency,
+    check_no_acked_lost,
+)
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+FAULTS = "worker-crash:1,torn-wal:1,kernel-fault:1,ack-suppress:1"
+
+
+def campaign(seed=42, faults=FAULTS, ops=8, **kwargs):
+    return run_campaign(
+        seed=seed,
+        fault_specs=parse_fault_specs(faults),
+        duration_ops=ops,
+        **kwargs,
+    )
+
+
+class TestInvariantCheckers:
+    def test_no_acked_lost_green_and_each_red_reason(self):
+        good = {"k": {"replayed": True, "digest_matches": True}}
+        assert check_no_acked_lost(["k"], good)["ok"]
+        missing = check_no_acked_lost(["k"], {})
+        assert not missing["ok"]
+        assert missing["detail"]["lost"][0]["reason"] == "never_resubmitted"
+        re_exec = check_no_acked_lost(
+            ["k"], {"k": {"replayed": False, "digest_matches": True}}
+        )
+        assert re_exec["detail"]["lost"][0]["reason"] == "re_executed"
+        mismatch = check_no_acked_lost(
+            ["k"], {"k": {"replayed": True, "digest_matches": False}}
+        )
+        assert mismatch["detail"]["lost"][0]["reason"] == "digest_mismatch"
+
+    def test_accounting_conservation(self):
+        counters = {
+            "service.requests": 7,
+            "service.rejected": 3,
+            "service.admitted": 7,
+        }
+        assert check_accounting(10, counters)["ok"]
+        assert not check_accounting(11, counters)["ok"]
+        counters["service.admitted"] = 8  # admitted never landed
+        assert not check_accounting(10, counters)["ok"]
+
+    def test_breaker_isolation(self):
+        assert check_breaker_isolation(1, "OPEN", "CLOSED", "ok")["ok"]
+        assert check_breaker_isolation(0, None, "CLOSED", "ok")["ok"]
+        assert not check_breaker_isolation(1, "CLOSED", "CLOSED", "ok")["ok"]
+        assert not check_breaker_isolation(0, None, "OPEN", "ok")["ok"]
+        assert not check_breaker_isolation(
+            0, None, "CLOSED", "breaker_open"
+        )["ok"]
+
+    def test_events_consistency(self):
+        ids = ["t1", "t2", "t3"]
+        counters = {"service.requests": 3, "events.write_errors": 0}
+        assert check_events_consistency(counters, ids)["ok"]
+        # A dropped done-event is only tolerable if write_errors covers it.
+        counters = {"service.requests": 3, "events.write_errors": 1}
+        assert check_events_consistency(counters, ids[:2])["ok"]
+        counters = {"service.requests": 3, "events.write_errors": 0}
+        assert not check_events_consistency(counters, ids[:2])["ok"]
+        # Duplicate trace ids mean the causal chain broke.
+        assert not check_events_consistency(
+            {"service.requests": 3, "events.write_errors": 0},
+            ["t1", "t1", "t2"],
+        )["ok"]
+
+
+class TestCampaign:
+    def test_worker_kill_torn_wal_ends_green(self, tmp_path):
+        report = campaign(journal_dir=str(tmp_path))
+        assert report["schema"] == CHAOS_SCHEMA
+        assert report["ok"] is True
+        assert all(inv["ok"] for inv in report["invariants"])
+        # Every scheduled event is accounted as fired or unfired.
+        assert len(report["fired"]) + len(report["unfired"]) == len(
+            report["fault_timeline"]
+        )
+        # The torn ack and the suppressed ack both forced replays.
+        assert report["journal"]["recovered"]["pending"] >= 1
+        assert report["replay"]["count"] >= 1
+        # Every durably-acked request resubmitted to its original.
+        assert report["journal"]["acked_on_disk"] >= 1
+        assert (
+            report["resubmits"]["count"]
+            == report["journal"]["acked_on_disk"]
+        )
+        for record in report["resubmits"]["records"]:
+            assert record["replayed"] and record["digest_matches"]
+
+    def test_reports_are_byte_identical(self, tmp_path):
+        a = campaign(journal_dir=str(tmp_path / "a"))
+        b = campaign(journal_dir=str(tmp_path / "b"))
+        assert json.dumps(a, sort_keys=True) == json.dumps(
+            b, sort_keys=True
+        )
+
+    def test_seed_changes_the_timeline(self, tmp_path):
+        a = campaign(seed=1, journal_dir=str(tmp_path / "a"))
+        b = campaign(seed=2, journal_dir=str(tmp_path / "b"))
+        assert a["fault_timeline"] != b["fault_timeline"]
+
+    def test_breaker_storm_isolates_victim(self, tmp_path):
+        report = campaign(
+            faults="breaker-storm:1", journal_dir=str(tmp_path)
+        )
+        assert report["ok"] is True
+        assert report["breakers"]["victim"]["state"] == "OPEN"
+        assert report["breakers"]["default"]["state"] == "CLOSED"
+        assert report["probes"]["victim"]["error"] == "breaker_open"
+        assert report["probes"]["default"]["status"] == "ok"
+
+    def test_injected_violation_turns_report_red(self, tmp_path):
+        report = campaign(
+            journal_dir=str(tmp_path), inject_violation=True
+        )
+        assert report["ok"] is False
+        red = [inv for inv in report["invariants"] if not inv["ok"]]
+        assert [inv["name"] for inv in red] == ["no-acked-request-lost"]
+
+
+class TestChaosCli:
+    def run_cli(self, *argv):
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "chaos", *argv],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+
+    def test_green_campaign_exits_zero(self, tmp_path):
+        out = tmp_path / "report.json"
+        proc = self.run_cli(
+            "--seed", "42", "--duration-ops", "6",
+            "--faults", "worker-crash:1,torn-wal:1",
+            "--report-out", str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "all invariants green" in proc.stdout
+        report = json.loads(out.read_text())
+        assert report["schema"] == CHAOS_SCHEMA
+        assert report["ok"] is True
+
+    def test_violation_exits_three(self):
+        proc = self.run_cli(
+            "--seed", "42", "--duration-ops", "6",
+            "--faults", "torn-wal:1",
+            "--inject-invariant-violation",
+        )
+        assert proc.returncode == 3, proc.stdout + proc.stderr
+        assert "INVARIANT VIOLATION" in proc.stdout
+
+    def test_bad_fault_spec_is_usage_error(self):
+        proc = self.run_cli("--faults", "no-such-kind:1")
+        assert proc.returncode == 2
+        assert "no-such-kind" in proc.stderr
+
+    def test_json_output_carries_exit_status(self):
+        proc = self.run_cli(
+            "--seed", "7", "--duration-ops", "6",
+            "--faults", "worker-crash:1", "--json",
+        )
+        assert proc.returncode == 0, proc.stderr
+        document = json.loads(proc.stdout)
+        assert document["schema"] == CHAOS_SCHEMA
+        assert document["exit_status"] == 0

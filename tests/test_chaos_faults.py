@@ -1,0 +1,177 @@
+"""Unit tests for the chaos timeline compiler and injector.
+
+The determinism contract is the load-bearing part: a timeline is a
+pure function of (seed, specs, duration_ops), per-kind substreams are
+independent, and the injector's arm/fire/sweep bookkeeping maps every
+scheduled event to exactly one of ``fired`` / ``unfired``.
+"""
+
+import pytest
+
+from repro.chaos import hooks
+from repro.chaos.faults import (
+    CAMPAIGN_KINDS,
+    ChaosInjector,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSpec,
+    compile_timeline,
+    parse_fault_specs,
+)
+from repro.service.protocol import KernelFault, ServiceReject
+
+
+class TestFaultSpecs:
+    def test_parse_round_trip(self):
+        specs = parse_fault_specs(
+            "worker-crash:2, torn-wal:3,kernel-latency:4@0.002"
+        )
+        assert [
+            (s.kind, s.count, s.param) for s in specs
+        ] == [
+            ("worker-crash", 2, None),
+            ("torn-wal", 3, None),
+            ("kernel-latency", 4, 0.002),
+        ]
+        assert specs[2].effective_param == 0.002
+        assert specs[1].effective_param == FAULT_KINDS["torn-wal"][1]
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("", "worker-crash", "worker-crash:x",
+                    "worker-crash:1@q", "no-such-kind:1",
+                    "worker-crash:0"):
+            with pytest.raises(ValueError):
+                parse_fault_specs(bad)
+
+    def test_every_kind_has_a_site(self):
+        for kind, (site, _param) in FAULT_KINDS.items():
+            if kind in CAMPAIGN_KINDS:
+                assert site == "campaign"
+            else:
+                assert site in hooks.SITES
+
+
+class TestTimeline:
+    SPECS = [
+        FaultSpec("worker-crash", 3),
+        FaultSpec("torn-wal", 2),
+        FaultSpec("kernel-fault", 4),
+    ]
+
+    def test_bit_identical_across_compiles(self):
+        a = compile_timeline(42, self.SPECS, 50)
+        b = compile_timeline(42, self.SPECS, 50)
+        assert a == b
+
+    def test_seed_changes_timeline(self):
+        a = compile_timeline(42, self.SPECS, 50)
+        b = compile_timeline(43, self.SPECS, 50)
+        assert a != b
+
+    def test_kinds_draw_from_independent_streams(self):
+        # Removing one kind must not move another kind's placements.
+        full = compile_timeline(7, self.SPECS, 50)
+        partial = compile_timeline(7, self.SPECS[:2], 50)
+        keep = {e for e in full if e.kind != "kernel-fault"}
+        assert keep == set(partial)
+
+    def test_count_clamped_to_duration(self):
+        events = compile_timeline(1, [FaultSpec("worker-crash", 99)], 5)
+        assert len(events) == 5
+        assert sorted(e.op for e in events) == [0, 1, 2, 3, 4]
+
+    def test_sorted_by_op_then_kind(self):
+        events = compile_timeline(3, self.SPECS, 30)
+        assert events == sorted(events, key=lambda e: (e.op, e.kind))
+
+
+class TestInjector:
+    def test_arm_fire_consume(self):
+        injector = ChaosInjector(
+            [FaultEvent(op=0, kind="worker-crash", param=0.0)]
+        )
+        injector.advance(0)
+        assert injector.fire(hooks.SITE_DISPATCH_WORKER) == {
+            "action": "crash"
+        }
+        # Consumed: a second fire at the same site is a no-op.
+        assert injector.fire(hooks.SITE_DISPATCH_WORKER) is None
+        assert [f["kind"] for f in injector.fired] == ["worker-crash"]
+        assert injector.fired[0]["fired_at_op"] == 0
+
+    def test_wrong_site_does_not_fire(self):
+        injector = ChaosInjector(
+            [FaultEvent(op=0, kind="worker-crash", param=0.0)]
+        )
+        injector.advance(0)
+        assert injector.fire(hooks.SITE_KERNEL_EXECUTE) is None
+
+    def test_unreached_events_swept_to_unfired(self):
+        injector = ChaosInjector(
+            [FaultEvent(op=0, kind="kernel-fault", param=0.0)]
+        )
+        injector.advance(0)
+        injector.advance(1)  # op 0 never reached kernels.execute
+        assert injector.fired == []
+        assert [u["kind"] for u in injector.unfired] == ["kernel-fault"]
+
+    def test_campaign_events_returned_not_armed(self):
+        injector = ChaosInjector(
+            [FaultEvent(op=2, kind="breaker-storm", param=0.0)]
+        )
+        assert injector.advance(0) == []
+        storms = injector.advance(2)
+        assert [e.kind for e in storms] == ["breaker-storm"]
+        assert [f["kind"] for f in injector.fired] == ["breaker-storm"]
+
+    def test_torn_wal_waits_for_the_ack_append(self):
+        injector = ChaosInjector(
+            [FaultEvent(op=0, kind="torn-wal", param=0.5)]
+        )
+        injector.advance(0)
+        # The intent append passes clean; the event stays armed.
+        assert (
+            injector.fire(
+                hooks.SITE_JOURNAL_APPEND, record_type="intent"
+            )
+            is None
+        )
+        assert injector.fire(
+            hooks.SITE_JOURNAL_APPEND, record_type="ack"
+        ) == {"action": "tear", "fraction": 0.5}
+
+    def test_exception_kinds_raise(self):
+        injector = ChaosInjector(
+            [
+                FaultEvent(op=0, kind="kernel-fault", param=0.0),
+                FaultEvent(op=0, kind="queue-saturation", param=0.25),
+                FaultEvent(op=0, kind="wal-io-error", param=0.0),
+            ]
+        )
+        injector.advance(0)
+        with pytest.raises(ServiceReject) as reject:
+            injector.fire(hooks.SITE_DISPATCH_SUBMIT)
+        assert reject.value.http_status == 429
+        with pytest.raises(KernelFault):
+            injector.fire(hooks.SITE_KERNEL_EXECUTE)
+        with pytest.raises(OSError):
+            injector.fire(hooks.SITE_JOURNAL_APPEND)
+
+
+class TestHooks:
+    def test_fire_is_noop_when_inactive(self):
+        hooks.deactivate()
+        assert hooks.active() is None
+        assert hooks.fire(hooks.SITE_DISPATCH_WORKER) is None
+
+    def test_activate_routes_to_injector(self):
+        injector = ChaosInjector(
+            [FaultEvent(op=0, kind="clock-skew", param=0.5)]
+        )
+        injector.advance(0)
+        hooks.activate(injector)
+        try:
+            assert hooks.fire(hooks.SITE_GATEWAY_BUDGET) == 0.5
+        finally:
+            hooks.deactivate()
+        assert hooks.fire(hooks.SITE_GATEWAY_BUDGET) is None

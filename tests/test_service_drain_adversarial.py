@@ -1,0 +1,185 @@
+"""Drain correctness under adversarial service states.
+
+The clean-shutdown contract must hold in the worst moments, not just
+the idle ones: a drain begun while the admission queue is saturated or
+while a profile breaker is OPEN still refuses new work (``/readyz``
+503), completes every admitted request, and — for the ``serve``
+process — exits 0.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.chaos import hooks
+from repro.chaos.faults import ChaosInjector, FaultEvent
+from repro.service.admission import AdmissionPolicy
+from repro.service.breaker import CLOSED, OPEN
+from repro.service.gateway import Gateway
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+PAYLOAD = {"payload": {"words": [5, 6], "n_bits": 8}}
+
+
+class TestDrainUnderAdversity:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_drain_while_queue_saturated(self):
+        # One worker, two total slots: three stalled submissions
+        # saturate admission, then the drain begins with the queue
+        # still full.
+        async def scenario():
+            gateway = Gateway(
+                workers=1,
+                admission=AdmissionPolicy(
+                    capacity=1, high_reserve=1, retry_after=0.05
+                ),
+            )
+            injector = ChaosInjector(
+                [
+                    FaultEvent(op=0, kind="worker-slow", param=0.3),
+                    FaultEvent(op=0, kind="worker-slow", param=0.3),
+                ]
+            )
+            for dispatcher in gateway.dispatchers.values():
+                dispatcher.start()
+            hooks.activate(injector)
+            try:
+                injector.advance(0)
+                submitted = [
+                    asyncio.create_task(
+                        gateway.handle("add", dict(PAYLOAD))
+                    )
+                    for _ in range(3)
+                ]
+                # Let the first request reach its stall and the rest
+                # pile up.
+                await asyncio.sleep(0.1)
+                drain = asyncio.create_task(gateway.shutdown())
+                await asyncio.sleep(0.05)
+
+                # Mid-drain: not ready, and new work is refused.
+                status, body = gateway.readyz()
+                assert status == 503
+                assert body["draining"] is True
+                refused = await gateway.handle("add", dict(PAYLOAD))
+                assert refused.http_status == 503
+                assert refused.body["error"] == "draining"
+
+                responses = await asyncio.gather(*submitted)
+                await drain
+                return responses
+            finally:
+                hooks.deactivate()
+
+        responses = self.run(scenario())
+        outcomes = sorted(r.http_status for r in responses)
+        # Two admitted requests completed through the drain; the third
+        # was refused by the saturated queue — not dropped silently.
+        assert outcomes == [200, 200, 429]
+
+    def test_drain_while_breaker_open(self):
+        async def scenario():
+            gateway = Gateway(workers=1)
+            for dispatcher in gateway.dispatchers.values():
+                dispatcher.start()
+            breaker = gateway.dispatchers["default"].breaker
+            # Trip the only profile's breaker the honest way: a run of
+            # faulty terminal outcomes.
+            while breaker.state == CLOSED:
+                breaker.allow()
+                breaker.record(True)
+            assert breaker.state == OPEN
+
+            # All breakers open: already not ready, before any drain.
+            status, body = gateway.readyz()
+            assert status == 503
+            assert body["ready"] is False
+
+            drain = asyncio.create_task(gateway.shutdown())
+            await asyncio.sleep(0.02)
+            status, body = gateway.readyz()
+            assert status == 503
+            assert body["draining"] is True
+            await drain
+            # Drain completed despite zero serveable profiles.
+            assert gateway.draining is True
+
+        self.run(scenario())
+
+
+class TestServeSigtermUnderLoad:
+    def test_sigterm_with_saturated_queue_exits_zero(self, tmp_path):
+        port_file = tmp_path / "port"
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--port-file", str(port_file),
+                "--workers", "1",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not port_file.exists():
+                assert proc.poll() is None, proc.communicate()[1]
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            port = int(port_file.read_text())
+
+            statuses = []
+            lock = threading.Lock()
+
+            def fire():
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{port}/v1/add",
+                    data=json.dumps(PAYLOAD).encode(),
+                    method="POST",
+                )
+                try:
+                    with urllib.request.urlopen(
+                        request, timeout=30
+                    ) as response:
+                        code = response.status
+                except urllib.error.HTTPError as error:
+                    code = error.code
+                with lock:
+                    statuses.append(code)
+
+            # More concurrent requests than one worker drains
+            # instantly; SIGTERM lands while they are in flight.
+            threads = [
+                threading.Thread(target=fire) for _ in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.15)
+            proc.send_signal(signal.SIGTERM)
+            for thread in threads:
+                thread.join(timeout=30)
+            stdout, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, stdout
+        assert "drained clean" in stdout
+        # Every request got a terminal answer: served, refused by the
+        # saturated queue (429), or refused by the drain (503) — none
+        # hung or died with the process.
+        assert len(statuses) == 8
+        assert set(statuses) <= {200, 429, 503}
+        assert 200 in statuses

@@ -1,0 +1,196 @@
+"""Unit tests for the crash-durable request journal.
+
+The contract under test: every append is durable and torn-write
+scoped, recovery tolerates a corrupt final record, acks answer
+duplicates with the original body, and disk failure degrades into
+counters instead of reaching the request path.
+"""
+
+import json
+import os
+
+from repro.chaos import hooks
+from repro.chaos.faults import ChaosInjector, FaultEvent
+from repro.service.journal import JOURNAL_SCHEMA, RequestJournal
+
+
+def make(tmp_path, name="journal.jsonl"):
+    return RequestJournal(str(tmp_path / name))
+
+
+class TestJournalBasics:
+    def test_intent_then_ack_round_trip(self, tmp_path):
+        journal = make(tmp_path)
+        journal.record_intent("k1", "add", {"payload": {"words": [1]}})
+        assert journal.has_intent("k1")
+        assert journal.get_ack("k1") is None
+        assert [p["key"] for p in journal.pending()] == ["k1"]
+
+        journal.record_ack("k1", 200, {"status": "ok", "result": 7})
+        assert journal.pending() == []
+        ack = journal.get_ack("k1")
+        assert ack == {
+            "http_status": 200,
+            "body": {"status": "ok", "result": 7},
+        }
+        journal.close()
+
+    def test_pending_preserves_acceptance_order(self, tmp_path):
+        journal = make(tmp_path)
+        for key in ("b", "a", "c"):
+            journal.record_intent(key, "add", {})
+        journal.record_ack("a", 200, {})
+        assert [p["key"] for p in journal.pending()] == ["b", "c"]
+        journal.close()
+
+    def test_records_carry_schema(self, tmp_path):
+        journal = make(tmp_path)
+        journal.record_intent("k", "add", {})
+        journal.record_ack("k", 200, {})
+        journal.close()
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "journal.jsonl").read_text().splitlines()
+        ]
+        assert [r["type"] for r in lines] == ["intent", "ack"]
+        assert all(r["schema"] == JOURNAL_SCHEMA for r in lines)
+
+
+class TestJournalRecovery:
+    def test_restart_recovers_state(self, tmp_path):
+        journal = make(tmp_path)
+        journal.record_intent("done", "add", {"payload": 1})
+        journal.record_ack("done", 200, {"status": "ok"})
+        journal.record_intent("lost", "multiply", {"payload": 2})
+        journal.close()
+
+        recovered = make(tmp_path)
+        assert recovered.get_ack("done")["body"] == {"status": "ok"}
+        assert [p["key"] for p in recovered.pending()] == ["lost"]
+        assert recovered.pending()[0]["kernel"] == "multiply"
+        recovered.close()
+
+    def test_torn_final_record_is_skipped_not_fatal(self, tmp_path):
+        journal = make(tmp_path)
+        journal.record_intent("ok", "add", {})
+        journal.record_ack("ok", 200, {})
+        journal.close()
+        path = tmp_path / "journal.jsonl"
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": "coruscant-journal/1", "type": "ack"')
+
+        recovered = make(tmp_path)
+        assert recovered.torn_records == 1
+        assert recovered.get_ack("ok") is not None
+        recovered.close()
+
+    def test_ack_authoritative_without_intent(self, tmp_path):
+        # The intent line was the torn one; the ack must still dedup.
+        path = tmp_path / "journal.jsonl"
+        ack = {
+            "schema": JOURNAL_SCHEMA,
+            "type": "ack",
+            "key": "orphan",
+            "http_status": 200,
+            "body": {"status": "ok"},
+        }
+        path.write_text("{garbage\n" + json.dumps(ack) + "\n")
+        journal = make(tmp_path)
+        assert journal.torn_records == 1
+        assert journal.get_ack("orphan")["http_status"] == 200
+        assert journal.pending() == []
+        journal.close()
+
+
+class TestJournalFaults:
+    def run_with_chaos(self, timeline, body):
+        injector = ChaosInjector(timeline)
+        injector.advance(0)
+        hooks.activate(injector)
+        try:
+            body(injector)
+        finally:
+            hooks.deactivate()
+        return injector
+
+    def test_torn_ack_forces_replay_on_restart(self, tmp_path):
+        journal = make(tmp_path)
+
+        def scenario(_injector):
+            journal.record_intent("k", "add", {"payload": 5})
+            journal.record_ack("k", 200, {"status": "ok"})
+
+        self.run_with_chaos(
+            [FaultEvent(op=0, kind="torn-wal", param=0.5)], scenario
+        )
+        assert journal.torn_writes == 1
+        # In-memory state is unaffected for the running process…
+        assert journal.get_ack("k") is not None
+        journal.close()
+        # …but the restarted journal sees a torn ack and replays.
+        recovered = make(tmp_path)
+        assert recovered.torn_records == 1
+        assert recovered.get_ack("k") is None
+        assert [p["key"] for p in recovered.pending()] == ["k"]
+        recovered.close()
+
+    def test_io_error_degrades_into_counter(self, tmp_path):
+        journal = make(tmp_path)
+
+        def scenario(_injector):
+            journal.record_intent("k", "add", {})
+
+        self.run_with_chaos(
+            [FaultEvent(op=0, kind="wal-io-error", param=0.0)], scenario
+        )
+        assert journal.write_errors == 1
+        assert journal.has_intent("k")  # in-memory state advanced
+        journal.close()
+        recovered = make(tmp_path)
+        assert not recovered.has_intent("k")  # disk never got it
+        recovered.close()
+
+    def test_suppressed_ack_keeps_intent_pending_on_disk(self, tmp_path):
+        journal = make(tmp_path)
+
+        def scenario(_injector):
+            journal.record_intent("k", "add", {})
+            journal.record_ack("k", 200, {"status": "ok"})
+
+        self.run_with_chaos(
+            [FaultEvent(op=0, kind="ack-suppress", param=0.0)], scenario
+        )
+        assert journal.suppressed_acks == 1
+        assert journal.get_ack("k") is not None
+        journal.close()
+        recovered = make(tmp_path)
+        assert recovered.get_ack("k") is None
+        assert [p["key"] for p in recovered.pending()] == ["k"]
+        recovered.close()
+
+
+class TestJournalCompaction:
+    def test_compact_drops_acked_intents_keeps_history(self, tmp_path):
+        journal = make(tmp_path)
+        for i in range(5):
+            journal.record_intent(f"k{i}", "add", {"i": i})
+        for i in range(3):
+            journal.record_ack(f"k{i}", 200, {"i": i})
+        journal.compact()
+        # Live state unchanged through the rewrite.
+        assert sorted(p["key"] for p in journal.pending()) == ["k3", "k4"]
+        assert journal.get_ack("k2")["body"] == {"i": 2}
+        # Appends still work on the swapped file handle.
+        journal.record_ack("k3", 200, {"i": 3})
+        journal.close()
+
+        recovered = make(tmp_path)
+        assert [p["key"] for p in recovered.pending()] == ["k4"]
+        assert recovered.get_ack("k0") is not None
+        assert recovered.get_ack("k3") is not None
+        recovered.close()
+        # Acked intents dropped by the rewrite: 2 pending intents +
+        # 3 acks survive the compact, then one more ack is appended.
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        assert len(lines) == 6
+        assert not os.path.exists(str(tmp_path / "journal.jsonl.tmp"))
